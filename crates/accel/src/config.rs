@@ -1,0 +1,135 @@
+use apc::layout::CamGeometry;
+use cam::CamTechnology;
+use rtm::RtmTechnology;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the RTM-AP accelerator (geometry, hierarchy and the
+/// interconnect/buffer figures of merit from §V of the paper).
+///
+/// # Example
+///
+/// ```
+/// use accel::ArchConfig;
+///
+/// let config = ArchConfig::default();
+/// assert_eq!(config.geometry.rows, 256);
+/// assert!((config.interconnect_pj_per_bit - 1.0).abs() < f64::EPSILON);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Geometry of each CAM array (rows, columns, domains per cell).
+    pub geometry: CamGeometry,
+    /// Timing/energy figures of the RTM-TCAM design.
+    pub cam_tech: CamTechnology,
+    /// Racetrack device figures (shift costs, endurance).
+    pub rtm_tech: RtmTechnology,
+    /// Number of APs per tile.
+    pub aps_per_tile: usize,
+    /// Number of tiles per bank.
+    pub tiles_per_bank: usize,
+    /// Number of banks.
+    pub banks: usize,
+    /// Energy of moving one bit through the tile/bank/global interconnect, in
+    /// picojoules (the paper uses a conservative 1 pJ/bit).
+    pub interconnect_pj_per_bit: f64,
+    /// Energy of moving one bit between adjacent APs inside a tile (the short hops of
+    /// the accumulation-phase adder tree), in picojoules.
+    pub intra_tile_pj_per_bit: f64,
+    /// Interconnect bandwidth per link, in bits per nanosecond.
+    pub interconnect_bits_per_ns: f64,
+    /// Width (bits) at which partial sums are transferred between APs during the
+    /// accumulation phase. `None` uses the full accumulator width; the paper's
+    /// "optimizing the bitwidth of partial sums" step corresponds to a narrower
+    /// transfer width.
+    pub psum_transfer_bits: Option<u8>,
+    /// Fraction of the output feature map that must cross an array boundary when it
+    /// is redistributed as the next layer's input (halo exchange). The bulk of the
+    /// feature map is computed and stored in place (the paper's data-centric
+    /// mapping), so only boundary regions travel over the interconnect.
+    pub ofm_redistribution_fraction: f64,
+    /// Static/controller energy per executed instruction (instruction cache, decoder),
+    /// in femtojoules; counted once per AP executing the instruction.
+    pub instruction_overhead_fj: f64,
+    /// Maximum number of APs used to parallelise the input-channel dimension of one
+    /// layer. Channels beyond this limit stay resident in the same AP (stored in
+    /// additional patch column sets) and are processed sequentially, which bounds the
+    /// partial-sum traffic of the accumulation phase.
+    pub max_channel_groups: usize,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            geometry: CamGeometry::default(),
+            cam_tech: CamTechnology::default(),
+            rtm_tech: RtmTechnology::default(),
+            aps_per_tile: 4,
+            tiles_per_bank: 4,
+            banks: 4,
+            interconnect_pj_per_bit: 1.0,
+            intra_tile_pj_per_bit: 0.1,
+            interconnect_bits_per_ns: 256.0,
+            psum_transfer_bits: Some(8),
+            ofm_redistribution_fraction: 0.25,
+            instruction_overhead_fj: 10.0,
+            max_channel_groups: 8,
+        }
+    }
+}
+
+impl ArchConfig {
+    /// Creates the default configuration used in the paper's evaluation (256×256
+    /// arrays, 64-domain cells, 1 pJ/bit interconnect).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of APs in the fabric.
+    pub fn total_aps(&self) -> usize {
+        self.banks * self.tiles_per_bank * self.aps_per_tile
+    }
+
+    /// Returns a copy with a different CAM geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: CamGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let config = ArchConfig::default();
+        assert_eq!(config.geometry.rows, 256);
+        assert_eq!(config.geometry.cols, 256);
+        assert_eq!(config.geometry.domains, 64);
+        assert!((config.interconnect_pj_per_bit - 1.0).abs() < 1e-12);
+        assert!(config.cam_tech.search_latency_ns <= 0.2);
+    }
+
+    #[test]
+    fn hierarchy_counts_multiply() {
+        let config = ArchConfig { aps_per_tile: 2, tiles_per_bank: 3, banks: 5, ..Default::default() };
+        assert_eq!(config.total_aps(), 30);
+    }
+
+    #[test]
+    fn with_geometry_replaces_only_geometry() {
+        let geometry = CamGeometry { rows: 128, cols: 128, domains: 32 };
+        let config = ArchConfig::default().with_geometry(geometry);
+        assert_eq!(config.geometry, geometry);
+        assert_eq!(config.banks, ArchConfig::default().banks);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = ArchConfig::default();
+        let json = serde_json::to_string(&config).expect("serialize");
+        let back: ArchConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(config, back);
+    }
+}

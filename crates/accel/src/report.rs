@@ -1,0 +1,243 @@
+use rtm::endurance::EnduranceReport;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Per-component energy of one layer (or network), in femtojoules.
+///
+/// The components match Fig. 4 of the paper: the channel-wise DFG phase, the
+/// accumulation phase (local and cross-AP), peripherals (controller, instruction
+/// cache, buffers) and data movement over the interconnect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy of the channel-wise DFG phase (searches and writes of the add/sub LUT
+    /// passes), in femtojoules.
+    pub dfg_fj: f64,
+    /// Energy of the accumulation phase (partial-sum accumulation in the APs plus the
+    /// cross-AP adder tree), in femtojoules.
+    pub accumulation_fj: f64,
+    /// Energy of peripherals: controller, instruction cache, sense amplifiers used
+    /// for data staging, in femtojoules.
+    pub peripherals_fj: f64,
+    /// Energy of data movement over the tile/bank/global interconnect, in
+    /// femtojoules.
+    pub data_movement_fj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in femtojoules.
+    pub fn total_fj(&self) -> f64 {
+        self.dfg_fj + self.accumulation_fj + self.peripherals_fj + self.data_movement_fj
+    }
+
+    /// Total energy in microjoules (the unit of Table II).
+    pub fn total_uj(&self) -> f64 {
+        self.total_fj() * 1e-9
+    }
+
+    /// Fraction of the total energy spent on interconnect data movement.
+    pub fn data_movement_share(&self) -> f64 {
+        let total = self.total_fj();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.data_movement_fj / total
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dfg_fj: self.dfg_fj + rhs.dfg_fj,
+            accumulation_fj: self.accumulation_fj + rhs.accumulation_fj,
+            peripherals_fj: self.peripherals_fj + rhs.peripherals_fj,
+            data_movement_fj: self.data_movement_fj + rhs.data_movement_fj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-component latency of one layer (or network), in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Latency of the channel-wise DFG phase, in nanoseconds.
+    pub dfg_ns: f64,
+    /// Latency of the accumulation phase, in nanoseconds.
+    pub accumulation_ns: f64,
+    /// Latency of interconnect transfers that cannot be overlapped, in nanoseconds.
+    pub data_movement_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.dfg_ns + self.accumulation_ns + self.data_movement_ns
+    }
+
+    /// Total latency in milliseconds (the unit of Table II).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns() * 1e-6
+    }
+}
+
+impl Add for LatencyBreakdown {
+    type Output = LatencyBreakdown;
+
+    fn add(self, rhs: LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            dfg_ns: self.dfg_ns + rhs.dfg_ns,
+            accumulation_ns: self.accumulation_ns + rhs.accumulation_ns,
+            data_movement_ns: self.data_movement_ns + rhs.data_movement_ns,
+        }
+    }
+}
+
+impl AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: LatencyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// The simulation result of one layer on the RTM-AP accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Number of 256×256 arrays (row groups) occupied in parallel.
+    pub arrays: usize,
+    /// Number of APs active (row groups × channel groups).
+    pub parallel_aps: usize,
+    /// Add/sub instruction count (the paper's `#Adds/Subs` metric).
+    pub adds_subs: u64,
+    /// Fraction of CAM rows that hold useful output positions.
+    pub row_utilization: f64,
+    /// Bits moved over the interconnect.
+    pub interconnect_bits: u64,
+}
+
+/// The simulation result of a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub name: String,
+    /// Activation precision in bits.
+    pub act_bits: u8,
+    /// Whether CSE was enabled.
+    pub cse: bool,
+    /// Per-layer results in network order.
+    pub layers: Vec<LayerReport>,
+    /// Write-endurance estimate for the hottest CAM column.
+    pub endurance: EnduranceReport,
+}
+
+impl NetworkReport {
+    /// Total energy of one inference, in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy().total_uj()
+    }
+
+    /// Total latency of one inference, in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency().total_ms()
+    }
+
+    /// Summed energy breakdown over all layers.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.layers.iter().fold(EnergyBreakdown::default(), |acc, l| acc + l.energy)
+    }
+
+    /// Summed latency breakdown over all layers.
+    pub fn latency(&self) -> LatencyBreakdown {
+        self.layers.iter().fold(LatencyBreakdown::default(), |acc, l| acc + l.latency)
+    }
+
+    /// The `#Arrays` metric of Table II: the largest number of arrays any layer needs
+    /// in parallel along the output-position dimension.
+    pub fn arrays(&self) -> usize {
+        self.layers.iter().map(|l| l.arrays).max().unwrap_or(0)
+    }
+
+    /// Total add/sub instructions (in thousands, as reported in Table II).
+    pub fn adds_subs_k(&self) -> f64 {
+        self.layers.iter().map(|l| l.adds_subs).sum::<u64>() as f64 / 1e3
+    }
+
+    /// Fraction of the total energy spent on interconnect data movement (§V-C).
+    pub fn data_movement_share(&self) -> f64 {
+        self.energy().data_movement_share()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, dfg: f64, dm: f64, arrays: usize, adds: u64) -> LayerReport {
+        LayerReport {
+            name: name.to_string(),
+            energy: EnergyBreakdown { dfg_fj: dfg, accumulation_fj: dfg / 4.0, peripherals_fj: dfg / 10.0, data_movement_fj: dm },
+            latency: LatencyBreakdown { dfg_ns: 100.0, accumulation_ns: 20.0, data_movement_ns: 5.0 },
+            arrays,
+            parallel_aps: arrays,
+            adds_subs: adds,
+            row_utilization: 0.8,
+            interconnect_bits: 1000,
+        }
+    }
+
+    fn network() -> NetworkReport {
+        NetworkReport {
+            name: "toy".to_string(),
+            act_bits: 4,
+            cse: true,
+            layers: vec![layer("a", 1e9, 1e7, 4, 500), layer("b", 2e9, 3e7, 49, 1500)],
+            endurance: EnduranceReport::from_write_interval(&rtm::RtmTechnology::default(), 100.0),
+        }
+    }
+
+    #[test]
+    fn totals_and_units() {
+        let report = network();
+        let energy = report.energy();
+        assert!(energy.total_fj() > 3e9);
+        assert!((report.energy_uj() - energy.total_fj() * 1e-9).abs() < 1e-9);
+        assert!((report.latency_ms() - 250.0 * 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrays_is_the_maximum_over_layers() {
+        let report = network();
+        assert_eq!(report.arrays(), 49);
+        assert!((report.adds_subs_k() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_movement_share_is_a_fraction() {
+        let report = network();
+        let share = report.data_movement_share();
+        assert!(share > 0.0 && share < 0.5, "share {share}");
+        assert_eq!(EnergyBreakdown::default().data_movement_share(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_addition_is_componentwise() {
+        let a = EnergyBreakdown { dfg_fj: 1.0, accumulation_fj: 2.0, peripherals_fj: 3.0, data_movement_fj: 4.0 };
+        let mut b = a;
+        b += a;
+        assert!((b.total_fj() - 20.0).abs() < 1e-12);
+        let mut l = LatencyBreakdown { dfg_ns: 1.0, accumulation_ns: 2.0, data_movement_ns: 3.0 };
+        l += l;
+        assert!((l.total_ns() - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,525 @@
+use crate::{ApError, ApInstruction, ApProgram, CarrySlot, Lut, LutKind, Operand, Result};
+use cam::{CamArray, CamStats, SearchKey, TagVector};
+
+/// A functional, bit-accurate associative-processor controller.
+///
+/// The controller owns a [`CamArray`] and executes [`ApInstruction`]s against it by
+/// issuing the masked-search / parallel-write passes of the corresponding
+/// [`Lut`]. Every row of the array computes independently, so one instruction
+/// performs the operation for all SIMD lanes (output feature-map positions) at once.
+///
+/// The controller is the ground truth used by tests and small-scale simulations; the
+/// accelerator-level simulator uses the matching [`CostModel`](crate::CostModel) for
+/// full networks.
+///
+/// # Example
+///
+/// ```
+/// use ap::{ApController, ApInstruction, CarrySlot, Operand};
+/// use cam::{CamArray, CamTechnology};
+///
+/// # fn main() -> Result<(), ap::ApError> {
+/// let array = CamArray::new(2, 4, 16, CamTechnology::default())?;
+/// let mut ap = ApController::new(array);
+/// let a = Operand::new(0, 0, 4, false);
+/// let acc = Operand::new(1, 0, 6, true);
+/// ap.load_column(&a, &[3, 4])?;
+/// ap.load_column(&acc, &[0, 0])?;
+/// ap.execute(&ApInstruction::SubInPlace { a, acc, carry: CarrySlot::new(2, 0) })?;
+/// assert_eq!(ap.read_column(&acc)?, vec![-3, -4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApController {
+    array: CamArray,
+}
+
+impl ApController {
+    /// Creates a controller driving `array`.
+    pub fn new(array: CamArray) -> Self {
+        ApController { array }
+    }
+
+    /// Number of SIMD rows of the underlying array.
+    pub fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    /// Shared access to the underlying CAM array.
+    pub fn array(&self) -> &CamArray {
+        &self.array
+    }
+
+    /// Mutable access to the underlying CAM array.
+    pub fn array_mut(&mut self) -> &mut CamArray {
+        &mut self.array
+    }
+
+    /// Consumes the controller and returns the underlying array.
+    pub fn into_inner(self) -> CamArray {
+        self.array
+    }
+
+    /// Event counters accumulated by the underlying array.
+    pub fn stats(&self) -> CamStats {
+        self.array.stats()
+    }
+
+    /// Resets the event counters.
+    pub fn reset_stats(&mut self) {
+        self.array.reset_stats();
+    }
+
+    /// Stages one value per row into the operand's column (I/O, not compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::WrongValueCount`] if `values` does not hold one value per
+    /// row, [`ApError::InvalidOperand`] for negative values in an unsigned operand,
+    /// or a wrapped CAM error.
+    pub fn load_column(&mut self, operand: &Operand, values: &[i64]) -> Result<()> {
+        if values.len() != self.array.rows() {
+            return Err(ApError::WrongValueCount { expected: self.array.rows(), found: values.len() });
+        }
+        if !operand.signed {
+            if let Some(&bad) = values.iter().find(|&&v| v < 0) {
+                return Err(ApError::InvalidOperand {
+                    reason: format!("negative value {bad} loaded into unsigned operand"),
+                });
+            }
+        }
+        self.array.write_column_values(operand.col, operand.base, operand.width, values)?;
+        Ok(())
+    }
+
+    /// Reads one value per row from the operand's column.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped CAM error when the operand is out of range.
+    pub fn read_column(&mut self, operand: &Operand) -> Result<Vec<i64>> {
+        Ok(self
+            .array
+            .read_column_values(operand.col, operand.base, operand.width, operand.signed)?)
+    }
+
+    /// Executes a whole program in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; earlier instructions remain applied.
+    pub fn run(&mut self, program: &ApProgram) -> Result<()> {
+        for instruction in program.iter() {
+            self.execute(instruction)?;
+        }
+        Ok(())
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::OperandConflict`] or [`ApError::InvalidOperand`] for
+    /// malformed instructions, or a wrapped CAM error for out-of-range accesses.
+    pub fn execute(&mut self, instruction: &ApInstruction) -> Result<()> {
+        match instruction {
+            ApInstruction::AddInPlace { a, acc, carry } => {
+                self.binary_in_place(a, acc, *carry, LutKind::AddInPlace)
+            }
+            ApInstruction::SubInPlace { a, acc, carry } => {
+                self.binary_in_place(a, acc, *carry, LutKind::SubInPlace)
+            }
+            ApInstruction::AddOutOfPlace { a, b, dests, carry } => {
+                self.binary_out_of_place(a, b, dests, *carry, LutKind::AddOutOfPlace)
+            }
+            ApInstruction::SubOutOfPlace { a, b, dests, carry } => {
+                self.binary_out_of_place(a, b, dests, *carry, LutKind::SubOutOfPlace)
+            }
+            ApInstruction::Copy { src, dests } => self.copy(src, dests),
+            ApInstruction::Clear { dst } => self.clear(dst),
+        }
+    }
+
+    fn validate_operand(op: &Operand) -> Result<()> {
+        if op.width == 0 || op.width > 63 {
+            return Err(ApError::InvalidOperand {
+                reason: format!("operand width {} must be in 1..=63", op.width),
+            });
+        }
+        Ok(())
+    }
+
+    fn clear_carry(&mut self, carry: CarrySlot) -> Result<()> {
+        self.array.align_column(carry.col, carry.domain)?;
+        let tags = TagVector::all_set(self.array.rows());
+        self.array.write_tagged(&tags, &SearchKey::new().with(carry.col, false))?;
+        Ok(())
+    }
+
+    fn binary_in_place(&mut self, a: &Operand, acc: &Operand, carry: CarrySlot, kind: LutKind) -> Result<()> {
+        Self::validate_operand(a)?;
+        Self::validate_operand(acc)?;
+        if a.col == acc.col {
+            return Err(ApError::OperandConflict {
+                reason: "source and accumulator must live in different columns".to_string(),
+            });
+        }
+        if carry.col == a.col || carry.col == acc.col {
+            return Err(ApError::OperandConflict {
+                reason: "carry column must differ from both operand columns".to_string(),
+            });
+        }
+        self.clear_carry(carry)?;
+        let lut = Lut::of(kind);
+        for bit in 0..acc.width as usize {
+            self.array.align_column(acc.col, acc.base + bit)?;
+            let a_domain = a.domain_for_bit(bit);
+            if let Some(domain) = a_domain {
+                self.array.align_column(a.col, domain)?;
+            }
+            self.array.align_column(carry.col, carry.domain)?;
+            let passes = match a_domain {
+                Some(_) => lut.passes().to_vec(),
+                None => lut.passes_with_constant_a(false),
+            };
+            for pass in passes {
+                let mut key = SearchKey::new().with(carry.col, pass.key_carry).with(acc.col, pass.key_b);
+                if a_domain.is_some() {
+                    key.set(a.col, pass.key_a);
+                }
+                let tags = self.array.search(&key)?;
+                let pattern = SearchKey::new()
+                    .with(carry.col, pass.write_carry)
+                    .with(acc.col, pass.write_result);
+                self.array.write_tagged(&tags, &pattern)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn binary_out_of_place(
+        &mut self,
+        a: &Operand,
+        b: &Operand,
+        dests: &[Operand],
+        carry: CarrySlot,
+        kind: LutKind,
+    ) -> Result<()> {
+        Self::validate_operand(a)?;
+        Self::validate_operand(b)?;
+        let first = dests.first().ok_or_else(|| ApError::InvalidOperand {
+            reason: "out-of-place operation needs at least one destination".to_string(),
+        })?;
+        for dest in dests {
+            Self::validate_operand(dest)?;
+            if dest.width != first.width {
+                return Err(ApError::InvalidOperand {
+                    reason: "all destinations must share the same width".to_string(),
+                });
+            }
+            if dest.col == a.col || dest.col == b.col || dest.col == carry.col {
+                return Err(ApError::OperandConflict {
+                    reason: "destination columns must differ from sources and carry".to_string(),
+                });
+            }
+        }
+        if a.col == b.col {
+            return Err(ApError::OperandConflict {
+                reason: "the two source operands must live in different columns".to_string(),
+            });
+        }
+        if carry.col == a.col || carry.col == b.col {
+            return Err(ApError::OperandConflict {
+                reason: "carry column must differ from both source columns".to_string(),
+            });
+        }
+        self.clear_carry(carry)?;
+        // Destinations must start from zero for the out-of-place tables to be valid.
+        for dest in dests {
+            self.clear(dest)?;
+        }
+        let lut = Lut::of(kind);
+        let width = first.width as usize;
+        for bit in 0..width {
+            let a_domain = a.domain_for_bit(bit);
+            let b_domain = b.domain_for_bit(bit);
+            if let Some(domain) = a_domain {
+                self.array.align_column(a.col, domain)?;
+            }
+            if let Some(domain) = b_domain {
+                self.array.align_column(b.col, domain)?;
+            }
+            self.array.align_column(carry.col, carry.domain)?;
+            for dest in dests {
+                self.array.align_column(dest.col, dest.base + bit)?;
+            }
+            for pass in lut.passes() {
+                let a_ok = a_domain.is_some() || !pass.key_a;
+                let b_ok = b_domain.is_some() || !pass.key_b;
+                if !a_ok || !b_ok {
+                    continue;
+                }
+                let mut key = SearchKey::new().with(carry.col, pass.key_carry);
+                if b_domain.is_some() {
+                    key.set(b.col, pass.key_b);
+                }
+                if a_domain.is_some() {
+                    key.set(a.col, pass.key_a);
+                }
+                let tags = self.array.search(&key)?;
+                let mut pattern = SearchKey::new().with(carry.col, pass.write_carry);
+                for dest in dests {
+                    pattern.set(dest.col, pass.write_result);
+                }
+                self.array.write_tagged(&tags, &pattern)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn copy(&mut self, src: &Operand, dests: &[Operand]) -> Result<()> {
+        Self::validate_operand(src)?;
+        let first = dests.first().ok_or_else(|| ApError::InvalidOperand {
+            reason: "copy needs at least one destination".to_string(),
+        })?;
+        for dest in dests {
+            Self::validate_operand(dest)?;
+            if dest.width != first.width {
+                return Err(ApError::InvalidOperand {
+                    reason: "all copy destinations must share the same width".to_string(),
+                });
+            }
+            if dest.col == src.col {
+                return Err(ApError::OperandConflict {
+                    reason: "copy destination must differ from the source column".to_string(),
+                });
+            }
+        }
+        let width = first.width as usize;
+        for bit in 0..width {
+            for dest in dests {
+                self.array.align_column(dest.col, dest.base + bit)?;
+            }
+            match src.domain_for_bit(bit) {
+                Some(domain) => {
+                    self.array.align_column(src.col, domain)?;
+                    for bit_value in [false, true] {
+                        let tags = self.array.search(&SearchKey::new().with(src.col, bit_value))?;
+                        let mut pattern = SearchKey::new();
+                        for dest in dests {
+                            pattern.set(dest.col, bit_value);
+                        }
+                        self.array.write_tagged(&tags, &pattern)?;
+                    }
+                }
+                None => {
+                    let tags = TagVector::all_set(self.array.rows());
+                    let mut pattern = SearchKey::new();
+                    for dest in dests {
+                        pattern.set(dest.col, false);
+                    }
+                    self.array.write_tagged(&tags, &pattern)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn clear(&mut self, dst: &Operand) -> Result<()> {
+        Self::validate_operand(dst)?;
+        for bit in 0..dst.width as usize {
+            self.array.align_column(dst.col, dst.base + bit)?;
+            let tags = TagVector::all_set(self.array.rows());
+            self.array.write_tagged(&tags, &SearchKey::new().with(dst.col, false))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam::CamTechnology;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn controller(rows: usize, cols: usize, domains: usize) -> ApController {
+        ApController::new(CamArray::new(rows, cols, domains, CamTechnology::default()).expect("geometry"))
+    }
+
+    #[test]
+    fn add_in_place_matches_integer_addition() {
+        let mut ap = controller(4, 4, 16);
+        let a = Operand::new(0, 0, 4, false);
+        let acc = Operand::new(1, 0, 8, true);
+        ap.load_column(&a, &[1, 7, 15, 0]).expect("load");
+        ap.load_column(&acc, &[5, -3, 100, -128]).expect("load");
+        ap.execute(&ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(2, 0) }).expect("exec");
+        assert_eq!(ap.read_column(&acc).expect("read"), vec![6, 4, 115, -128]);
+    }
+
+    #[test]
+    fn sub_in_place_matches_integer_subtraction() {
+        let mut ap = controller(3, 4, 16);
+        let a = Operand::new(0, 0, 5, true);
+        let acc = Operand::new(1, 0, 8, true);
+        ap.load_column(&a, &[3, -7, 15]).expect("load");
+        ap.load_column(&acc, &[10, 10, -20]).expect("load");
+        ap.execute(&ApInstruction::SubInPlace { a, acc, carry: CarrySlot::new(2, 0) }).expect("exec");
+        assert_eq!(ap.read_column(&acc).expect("read"), vec![7, 17, -35]);
+    }
+
+    #[test]
+    fn add_out_of_place_preserves_sources_and_fills_all_destinations() {
+        let mut ap = controller(2, 6, 16);
+        let a = Operand::new(0, 0, 4, false);
+        let b = Operand::new(1, 0, 4, false);
+        let d0 = Operand::new(2, 0, 6, true);
+        let d1 = Operand::new(3, 0, 6, true);
+        ap.load_column(&a, &[9, 2]).expect("load");
+        ap.load_column(&b, &[4, 11]).expect("load");
+        // Destinations hold garbage that must be cleared by the instruction.
+        ap.load_column(&d0, &[31, 17]).expect("load");
+        ap.execute(&ApInstruction::AddOutOfPlace {
+            a,
+            b,
+            dests: vec![d0, d1],
+            carry: CarrySlot::new(5, 0),
+        })
+        .expect("exec");
+        assert_eq!(ap.read_column(&d0).expect("read"), vec![13, 13]);
+        assert_eq!(ap.read_column(&d1).expect("read"), vec![13, 13]);
+        assert_eq!(ap.read_column(&a).expect("read"), vec![9, 2]);
+        assert_eq!(ap.read_column(&b).expect("read"), vec![4, 11]);
+    }
+
+    #[test]
+    fn sub_out_of_place_computes_b_minus_a() {
+        let mut ap = controller(3, 5, 16);
+        let a = Operand::new(0, 0, 4, false);
+        let b = Operand::new(1, 0, 4, false);
+        let d = Operand::new(2, 0, 6, true);
+        ap.load_column(&a, &[5, 0, 15]).expect("load");
+        ap.load_column(&b, &[3, 9, 15]).expect("load");
+        ap.execute(&ApInstruction::SubOutOfPlace { a, b, dests: vec![d], carry: CarrySlot::new(4, 0) })
+            .expect("exec");
+        assert_eq!(ap.read_column(&d).expect("read"), vec![-2, 9, 0]);
+    }
+
+    #[test]
+    fn copy_replicates_the_source() {
+        let mut ap = controller(3, 4, 16);
+        let src = Operand::new(0, 0, 5, true);
+        let d0 = Operand::new(1, 0, 5, true);
+        let d1 = Operand::new(2, 4, 5, true);
+        ap.load_column(&src, &[-7, 3, 15]).expect("load");
+        ap.execute(&ApInstruction::Copy { src, dests: vec![d0, d1] }).expect("exec");
+        assert_eq!(ap.read_column(&d0).expect("read"), vec![-7, 3, 15]);
+        assert_eq!(ap.read_column(&d1).expect("read"), vec![-7, 3, 15]);
+    }
+
+    #[test]
+    fn clear_zeroes_every_row() {
+        let mut ap = controller(2, 2, 8);
+        let dst = Operand::new(0, 0, 6, true);
+        ap.load_column(&dst, &[19, -11]).expect("load");
+        ap.execute(&ApInstruction::Clear { dst }).expect("exec");
+        assert_eq!(ap.read_column(&dst).expect("read"), vec![0, 0]);
+    }
+
+    #[test]
+    fn operand_conflicts_are_rejected() {
+        let mut ap = controller(2, 4, 8);
+        let a = Operand::new(0, 0, 4, false);
+        let acc = Operand::new(0, 4, 4, true);
+        let err = ap
+            .execute(&ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(1, 0) })
+            .expect_err("same column must be rejected");
+        assert!(matches!(err, ApError::OperandConflict { .. }));
+
+        let err = ap
+            .execute(&ApInstruction::AddInPlace {
+                a: Operand::new(0, 0, 4, false),
+                acc: Operand::new(1, 0, 4, true),
+                carry: CarrySlot::new(1, 7),
+            })
+            .expect_err("carry sharing the accumulator column must be rejected");
+        assert!(matches!(err, ApError::OperandConflict { .. }));
+    }
+
+    #[test]
+    fn wrong_value_count_is_rejected() {
+        let mut ap = controller(4, 2, 8);
+        let a = Operand::new(0, 0, 4, false);
+        assert!(matches!(
+            ap.load_column(&a, &[1, 2]),
+            Err(ApError::WrongValueCount { expected: 4, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn unsigned_operand_rejects_negative_values() {
+        let mut ap = controller(2, 2, 8);
+        let a = Operand::new(0, 0, 4, false);
+        assert!(matches!(ap.load_column(&a, &[1, -1]), Err(ApError::InvalidOperand { .. })));
+    }
+
+    #[test]
+    fn accumulation_chain_matches_reference() {
+        // Emulates the accumulation phase: acc starts at 0 and sums four columns.
+        let mut ap = controller(8, 8, 24);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut reference = vec![0i64; 8];
+        let acc = Operand::new(6, 0, 12, true);
+        ap.execute(&ApInstruction::Clear { dst: acc }).expect("clear");
+        for col in 0..4 {
+            let values: Vec<i64> = (0..8).map(|_| rng.gen_range(0..256)).collect();
+            let op = Operand::new(col, 0, 8, false);
+            ap.load_column(&op, &values).expect("load");
+            for (r, v) in reference.iter_mut().zip(&values) {
+                *r += v;
+            }
+            ap.execute(&ApInstruction::AddInPlace { a: op, acc, carry: CarrySlot::new(7, 0) })
+                .expect("exec");
+        }
+        assert_eq!(ap.read_column(&acc).expect("read"), reference);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_add_in_place_matches_i64(
+            a_vals in proptest::collection::vec(0i64..16, 4),
+            acc_vals in proptest::collection::vec(-100i64..100, 4),
+        ) {
+            let mut ap = controller(4, 4, 16);
+            let a = Operand::new(0, 0, 4, false);
+            let acc = Operand::new(1, 0, 9, true);
+            ap.load_column(&a, &a_vals).expect("load");
+            ap.load_column(&acc, &acc_vals).expect("load");
+            ap.execute(&ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(2, 0) }).expect("exec");
+            let expected: Vec<i64> = a_vals.iter().zip(&acc_vals).map(|(x, y)| x + y).collect();
+            prop_assert_eq!(ap.read_column(&acc).expect("read"), expected);
+        }
+
+        #[test]
+        fn prop_sub_out_of_place_matches_i64(
+            a_vals in proptest::collection::vec(0i64..128, 4),
+            b_vals in proptest::collection::vec(0i64..128, 4),
+        ) {
+            let mut ap = controller(4, 6, 16);
+            let a = Operand::new(0, 0, 7, false);
+            let b = Operand::new(1, 0, 7, false);
+            let d = Operand::new(2, 0, 9, true);
+            ap.load_column(&a, &a_vals).expect("load");
+            ap.load_column(&b, &b_vals).expect("load");
+            ap.execute(&ApInstruction::SubOutOfPlace { a, b, dests: vec![d], carry: CarrySlot::new(5, 0) })
+                .expect("exec");
+            let expected: Vec<i64> = a_vals.iter().zip(&b_vals).map(|(x, y)| y - x).collect();
+            prop_assert_eq!(ap.read_column(&d).expect("read"), expected);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+use serde::{Deserialize, Serialize};
+
+/// A multi-bit operand stored in the CAM: a column index, the domain of its least
+/// significant bit, its width and its signedness.
+///
+/// The bits of the operand occupy `width` consecutive racetrack domains of the cells
+/// in column `col`, starting at `base`. Every row of the array holds an independent
+/// value of the operand — this is the SIMD dimension of the associative processor.
+///
+/// # Example
+///
+/// ```
+/// use ap::Operand;
+///
+/// let activation = Operand::new(3, 0, 4, false); // 4-bit unsigned activation in column 3
+/// assert_eq!(activation.msb_domain(), 3);
+/// assert!(activation.domains().eq(0..4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operand {
+    /// Column of the CAM array holding this operand.
+    pub col: usize,
+    /// Domain (bit position inside the cell) of the least significant bit.
+    pub base: usize,
+    /// Width of the operand in bits (1..=63).
+    pub width: u8,
+    /// Whether the operand is a two's-complement signed value. Unsigned operands are
+    /// zero-extended, signed operands sign-extended, when combined with wider values.
+    pub signed: bool,
+}
+
+impl Operand {
+    /// Creates an operand description.
+    pub fn new(col: usize, base: usize, width: u8, signed: bool) -> Self {
+        Operand { col, base, width, signed }
+    }
+
+    /// Domain holding the most significant bit.
+    pub fn msb_domain(&self) -> usize {
+        self.base + self.width.saturating_sub(1) as usize
+    }
+
+    /// Iterator over the domains occupied by the operand, LSB first.
+    pub fn domains(&self) -> std::ops::Range<usize> {
+        self.base..self.base + self.width as usize
+    }
+
+    /// The domain to align for bit `bit` of a (possibly wider) result:
+    /// `Some(domain)` when the bit is physically stored or obtainable by sign
+    /// extension, `None` when the bit is a constant zero (zero extension).
+    pub fn domain_for_bit(&self, bit: usize) -> Option<usize> {
+        if bit < self.width as usize {
+            Some(self.base + bit)
+        } else if self.signed {
+            Some(self.msb_domain())
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when the two operands live in the same column and their domain
+    /// ranges overlap.
+    pub fn overlaps(&self, other: &Operand) -> bool {
+        self.col == other.col
+            && self.base < other.base + other.width as usize
+            && other.base < self.base + self.width as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_and_domains() {
+        let op = Operand::new(2, 4, 8, true);
+        assert_eq!(op.msb_domain(), 11);
+        assert_eq!(op.domains().collect::<Vec<_>>(), (4..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn domain_for_bit_zero_vs_sign_extension() {
+        let unsigned = Operand::new(0, 0, 4, false);
+        assert_eq!(unsigned.domain_for_bit(2), Some(2));
+        assert_eq!(unsigned.domain_for_bit(6), None);
+        let signed = Operand::new(0, 0, 4, true);
+        assert_eq!(signed.domain_for_bit(6), Some(3));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Operand::new(1, 0, 4, false);
+        let b = Operand::new(1, 3, 4, false);
+        let c = Operand::new(1, 4, 4, false);
+        let d = Operand::new(2, 0, 4, false);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+}

@@ -1,0 +1,245 @@
+//! Common subexpression elimination over ternary-weight slices (§IV-A).
+//!
+//! CSE operates on the set of output expressions of one input-channel slice
+//! (`Cout × Fh·Fw` ternary weights convolved on the same input patch): the signed
+//! pair of signals that occurs in the most expressions is replaced by a new signal,
+//! and the process repeats until no pair occurs at least twice. The paper reports an
+//! average 31 % reduction in additions from this pass; Eq. 1 of the paper goes from
+//! 19 to 7 operations.
+
+use crate::expr::{LinearExpr, SignalId, SignalTable};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Statistics of one CSE run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CseOutcome {
+    /// Number of new signals (shared subexpressions) introduced.
+    pub new_signals: usize,
+    /// Number of term occurrences removed from the output expressions (each new
+    /// signal removes two terms per expression it is substituted into and adds one).
+    pub terms_eliminated: usize,
+}
+
+/// A signed pair pattern: signals `(a, b)` with `a < b` and the *relative* sign of
+/// `b` with respect to `a` (+1 when both appear with the same sign, −1 otherwise).
+/// A pattern and its global negation are the same subexpression, because negation is
+/// free on the associative processor (operand swap / sign folding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Pattern {
+    a: SignalId,
+    b: SignalId,
+    relative_sign: i8,
+}
+
+fn count_patterns(outputs: &[LinearExpr]) -> HashMap<Pattern, usize> {
+    let mut counts = HashMap::new();
+    for expr in outputs {
+        let terms: Vec<(SignalId, i8)> = expr.iter().collect();
+        for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                let (a, sa) = terms[i];
+                let (b, sb) = terms[j];
+                let pattern = Pattern { a, b, relative_sign: sa * sb };
+                *counts.entry(pattern).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Runs greedy pairwise CSE over `outputs`, appending new signals to `table`.
+///
+/// Substitution preserves the value of every expression: if `u = a + s·b` then every
+/// expression containing `e·a + e·s·b` is rewritten to `e·u`.
+///
+/// # Errors
+///
+/// Returns an internal error when a substitution references an unknown signal (a
+/// compiler bug, not a user error).
+///
+/// # Example
+///
+/// ```
+/// use apc::cse::eliminate;
+/// use apc::expr::{LinearExpr, SignalTable};
+///
+/// let mut table = SignalTable::with_inputs(3);
+/// let mut outputs = vec![
+///     LinearExpr::from_weight_row(&[1, 1, 0]),
+///     LinearExpr::from_weight_row(&[1, 1, 1]),
+///     LinearExpr::from_weight_row(&[-1, -1, 1]),
+/// ];
+/// let outcome = eliminate(&mut table, &mut outputs).expect("cse");
+/// // x0 + x1 occurs three times (twice positively, once negated) and becomes one signal.
+/// assert_eq!(outcome.new_signals, 1);
+/// assert_eq!(outputs[0].len(), 1);
+/// ```
+pub fn eliminate(table: &mut SignalTable, outputs: &mut [LinearExpr]) -> Result<CseOutcome> {
+    let mut outcome = CseOutcome::default();
+    loop {
+        let counts = count_patterns(outputs);
+        let best = counts.into_iter().max_by_key(|&(pattern, count)| {
+            // Deterministic tie-break on the pattern itself so compilation is stable.
+            (count, std::cmp::Reverse((pattern.a, pattern.b, pattern.relative_sign)))
+        });
+        let Some((pattern, count)) = best else { break };
+        if count < 2 {
+            break;
+        }
+        let new_signal = table.push_combine(pattern.a, false, pattern.b, pattern.relative_sign < 0)?;
+        outcome.new_signals += 1;
+        for expr in outputs.iter_mut() {
+            let (Some(sa), Some(sb)) = (expr.sign(pattern.a), expr.sign(pattern.b)) else { continue };
+            if sa * sb != pattern.relative_sign {
+                continue;
+            }
+            expr.remove(pattern.a);
+            expr.remove(pattern.b);
+            expr.insert(new_signal, sa);
+            outcome.terms_eliminated += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// The ternary matrix of Equation 1 of the paper.
+    pub(crate) fn equation1_rows() -> Vec<Vec<i8>> {
+        vec![
+            vec![1, -1, 0, 1, 0, -1],
+            vec![0, 0, -1, 1, 0, -1],
+            vec![0, 0, 0, -1, 0, 1],
+            vec![0, -1, 0, -1, 0, 1],
+            vec![1, -1, 0, -1, 0, 0],
+            vec![1, -1, -1, 1, 0, -1],
+        ]
+    }
+
+    fn value_construction_ops(table: &SignalTable, outputs: &[LinearExpr]) -> usize {
+        table.derived() + outputs.iter().map(|o| o.len().saturating_sub(1)).sum::<usize>()
+    }
+
+    #[test]
+    fn equation1_reduces_to_seven_ops() {
+        let rows = equation1_rows();
+        let mut table = SignalTable::with_inputs(6);
+        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let before = value_construction_ops(&table, &outputs);
+        assert_eq!(before, 20 - 6); // 20 non-zero weights across 6 outputs
+        let outcome = eliminate(&mut table, &mut outputs).expect("cse");
+        assert!(outcome.new_signals >= 2);
+        let after = value_construction_ops(&table, &outputs);
+        // The paper reaches 7 operations for this example; the greedy pass must get
+        // at least close (and never exceed the original count).
+        assert!(after <= 8, "after CSE: {after} ops");
+        assert!(after < before);
+    }
+
+    #[test]
+    fn cse_preserves_expression_values() {
+        let rows = equation1_rows();
+        let inputs: Vec<i64> = vec![7, -3, 12, 5, 100, -8];
+        let mut table = SignalTable::with_inputs(6);
+        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let reference: Vec<i64> = {
+            let values = table.evaluate(&inputs).expect("evaluate");
+            outputs.iter().map(|o| o.evaluate(&values)).collect()
+        };
+        eliminate(&mut table, &mut outputs).expect("cse");
+        let values = table.evaluate(&inputs).expect("evaluate");
+        let after: Vec<i64> = outputs.iter().map(|o| o.evaluate(&values)).collect();
+        assert_eq!(reference, after);
+    }
+
+    #[test]
+    fn no_sharing_means_no_new_signals() {
+        let mut table = SignalTable::with_inputs(4);
+        let mut outputs = vec![
+            LinearExpr::from_weight_row(&[1, 0, 0, 0]),
+            LinearExpr::from_weight_row(&[0, -1, 0, 0]),
+            LinearExpr::from_weight_row(&[0, 0, 1, 0]),
+        ];
+        let outcome = eliminate(&mut table, &mut outputs).expect("cse");
+        assert_eq!(outcome.new_signals, 0);
+        assert_eq!(table.derived(), 0);
+    }
+
+    #[test]
+    fn negated_occurrences_share_the_same_signal() {
+        let mut table = SignalTable::with_inputs(2);
+        let mut outputs = vec![
+            LinearExpr::from_weight_row(&[1, -1]),
+            LinearExpr::from_weight_row(&[-1, 1]),
+        ];
+        let outcome = eliminate(&mut table, &mut outputs).expect("cse");
+        assert_eq!(outcome.new_signals, 1);
+        assert_eq!(outputs[0].len(), 1);
+        assert_eq!(outputs[1].len(), 1);
+        // The two outputs reference the same signal with opposite signs.
+        let s = outputs[0].iter().next().expect("term").0;
+        assert_eq!(outputs[0].sign(s), Some(1));
+        assert_eq!(outputs[1].sign(s), Some(-1));
+    }
+
+    #[test]
+    fn cse_is_deterministic() {
+        let rows = equation1_rows();
+        let run = || {
+            let mut table = SignalTable::with_inputs(6);
+            let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+            eliminate(&mut table, &mut outputs).expect("cse");
+            (table, outputs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dense_random_slice_gets_a_meaningful_reduction() {
+        // 64 outputs over a 3x3 patch at 50% density: plenty of shared pairs.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let rows: Vec<Vec<i8>> = (0..64)
+            .map(|_| (0..9).map(|_| [0i8, 1, -1][rng.gen_range(0..3)]).collect())
+            .collect();
+        let mut table = SignalTable::with_inputs(9);
+        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let before = value_construction_ops(&table, &outputs);
+        eliminate(&mut table, &mut outputs).expect("cse");
+        let after = value_construction_ops(&table, &outputs);
+        assert!(after < before, "no reduction: {before} -> {after}");
+        assert!((after as f64) < 0.9 * before as f64, "weak reduction: {before} -> {after}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_cse_preserves_semantics(
+            seed in any::<u64>(),
+            outputs_n in 2usize..12,
+            patch in 2usize..10,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let rows: Vec<Vec<i8>> = (0..outputs_n)
+                .map(|_| (0..patch).map(|_| [0i8, 0, 1, -1][rng.gen_range(0..4)]).collect())
+                .collect();
+            let inputs: Vec<i64> = (0..patch).map(|_| rng.gen_range(-50i64..50)).collect();
+            let mut table = SignalTable::with_inputs(patch);
+            let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+            let before: Vec<i64> = {
+                let values = table.evaluate(&inputs).expect("evaluate");
+                outputs.iter().map(|o| o.evaluate(&values)).collect()
+            };
+            eliminate(&mut table, &mut outputs).expect("cse");
+            let values = table.evaluate(&inputs).expect("evaluate");
+            let after: Vec<i64> = outputs.iter().map(|o| o.evaluate(&values)).collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

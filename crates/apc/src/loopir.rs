@@ -1,0 +1,272 @@
+//! A small loop-nest IR modelling the transformation sequence of Fig. 3b–d.
+//!
+//! The interesting work of the compiler happens on the DFG (constant folding, CSE,
+//! code generation), but the *enabling* transformations of the paper are classic
+//! loop transformations on the convolution loop nest: loop interchange to move the
+//! output-channel loop inward, full unrolling of the three innermost loops, and loop
+//! fission over the input-channel loop. This module models those transformations
+//! explicitly so that their effect on code size and on the exposed redundancy can be
+//! inspected and tested, exactly mirroring the figure.
+
+use crate::{ApcError, Result};
+use serde::{Deserialize, Serialize};
+use tnn::model::ConvLayerInfo;
+
+/// The six loop variables of a direct convolution (Fig. 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopVar {
+    /// Output feature map (output channel), extent `Cout`.
+    Ofm,
+    /// Input feature map (input channel), extent `Cin`.
+    Ifm,
+    /// Output row, extent `Hout`.
+    Oh,
+    /// Output column, extent `Wout`.
+    Ow,
+    /// Kernel row, extent `Fh`.
+    Kh,
+    /// Kernel column, extent `Fw`.
+    Kw,
+}
+
+impl LoopVar {
+    /// All variables in the naive loop order of Fig. 3b (outermost first).
+    pub const NAIVE_ORDER: [LoopVar; 6] =
+        [LoopVar::Ofm, LoopVar::Ifm, LoopVar::Oh, LoopVar::Ow, LoopVar::Kh, LoopVar::Kw];
+}
+
+/// One loop level of the nest: its variable, extent and whether it has been fully
+/// unrolled into the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopLevel {
+    /// The loop variable.
+    pub var: LoopVar,
+    /// The trip count of the loop.
+    pub extent: usize,
+    /// Whether the loop has been fully unrolled.
+    pub unrolled: bool,
+}
+
+/// A convolution loop nest undergoing the RTM-AP schedule transformations.
+///
+/// # Example
+///
+/// ```
+/// use apc::loopir::LoopNest;
+/// use tnn::model::vgg9;
+///
+/// let model = vgg9(0.85, 1);
+/// let layer = &model.conv_like_layers()[0];
+/// let mut nest = LoopNest::naive(layer);
+/// nest.apply_rtm_ap_schedule().expect("schedule");
+/// // After the schedule, each of the Cin bodies contains Cout*Fh*Fw statements and
+/// // iterates only over the output positions.
+/// assert_eq!(nest.fissioned_bodies(), layer.cin);
+/// assert_eq!(nest.statements_per_body(), layer.cout * 3 * 3);
+/// assert_eq!(nest.remaining_trip_count(), layer.output_hw.0 * layer.output_hw.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopNest {
+    levels: Vec<LoopLevel>,
+    fissioned_over: Option<LoopVar>,
+}
+
+impl LoopNest {
+    /// Builds the naive loop nest of Fig. 3b for a convolution layer.
+    pub fn naive(layer: &ConvLayerInfo) -> Self {
+        let extent = |var: LoopVar| match var {
+            LoopVar::Ofm => layer.cout,
+            LoopVar::Ifm => layer.cin,
+            LoopVar::Oh => layer.output_hw.0,
+            LoopVar::Ow => layer.output_hw.1,
+            LoopVar::Kh => layer.kernel.0,
+            LoopVar::Kw => layer.kernel.1,
+        };
+        LoopNest {
+            levels: LoopVar::NAIVE_ORDER
+                .iter()
+                .map(|&var| LoopLevel { var, extent: extent(var), unrolled: false })
+                .collect(),
+            fissioned_over: None,
+        }
+    }
+
+    /// The loop levels from outermost to innermost.
+    pub fn levels(&self) -> &[LoopLevel] {
+        &self.levels
+    }
+
+    /// The current loop order (outermost first).
+    pub fn order(&self) -> Vec<LoopVar> {
+        self.levels.iter().map(|l| l.var).collect()
+    }
+
+    fn position(&self, var: LoopVar) -> Result<usize> {
+        self.levels.iter().position(|l| l.var == var).ok_or(ApcError::InvalidArgument {
+            reason: format!("loop variable {var:?} is not part of the nest"),
+        })
+    }
+
+    /// Interchanges two loops of the nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApcError::InvalidArgument`] if either variable is missing or if one
+    /// of them has already been unrolled.
+    pub fn interchange(&mut self, a: LoopVar, b: LoopVar) -> Result<()> {
+        let ia = self.position(a)?;
+        let ib = self.position(b)?;
+        if self.levels[ia].unrolled || self.levels[ib].unrolled {
+            return Err(ApcError::InvalidArgument {
+                reason: "cannot interchange loops that are already unrolled".to_string(),
+            });
+        }
+        self.levels.swap(ia, ib);
+        Ok(())
+    }
+
+    /// Fully unrolls a loop into the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApcError::InvalidArgument`] if the variable is missing.
+    pub fn unroll(&mut self, var: LoopVar) -> Result<()> {
+        let i = self.position(var)?;
+        self.levels[i].unrolled = true;
+        Ok(())
+    }
+
+    /// Splits the nest into independent bodies over `var` (loop fission after full
+    /// unrolling of the variable), as in Fig. 3d where each body handles one IFM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApcError::InvalidArgument`] if the variable is missing.
+    pub fn fission(&mut self, var: LoopVar) -> Result<()> {
+        let i = self.position(var)?;
+        self.levels[i].unrolled = true;
+        self.fissioned_over = Some(var);
+        Ok(())
+    }
+
+    /// Applies the full schedule of §IV-A: interchange `ofm` inward (third
+    /// innermost), unroll `ofm`, `kh`, `kw`, then fission over `ifm`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the individual transformations (cannot happen when
+    /// starting from [`LoopNest::naive`]).
+    pub fn apply_rtm_ap_schedule(&mut self) -> Result<()> {
+        // Naive order: ofm, ifm, oh, ow, kh, kw. Move ofm to the third innermost
+        // position (just before kh, kw) by swapping it step by step with ifm, oh, ow.
+        self.interchange(LoopVar::Ofm, LoopVar::Ifm)?;
+        self.interchange(LoopVar::Ofm, LoopVar::Oh)?;
+        self.interchange(LoopVar::Ofm, LoopVar::Ow)?;
+        self.unroll(LoopVar::Ofm)?;
+        self.unroll(LoopVar::Kh)?;
+        self.unroll(LoopVar::Kw)?;
+        self.fission(LoopVar::Ifm)?;
+        Ok(())
+    }
+
+    /// Number of statements inside one loop body: the product of the extents of all
+    /// unrolled loops except the fissioned one.
+    pub fn statements_per_body(&self) -> usize {
+        self.levels
+            .iter()
+            .filter(|l| l.unrolled && Some(l.var) != self.fissioned_over)
+            .map(|l| l.extent)
+            .product()
+    }
+
+    /// Number of independent loop bodies produced by fission (1 when the nest has not
+    /// been fissioned).
+    pub fn fissioned_bodies(&self) -> usize {
+        match self.fissioned_over {
+            Some(var) => self
+                .levels
+                .iter()
+                .find(|l| l.var == var)
+                .map(|l| l.extent)
+                .unwrap_or(1),
+            None => 1,
+        }
+    }
+
+    /// Trip count of the loops that remain rolled (the `Hout*Wout` SIMD dimension
+    /// after the full schedule).
+    pub fn remaining_trip_count(&self) -> usize {
+        self.levels.iter().filter(|l| !l.unrolled).map(|l| l.extent).product()
+    }
+
+    /// Code-size estimate: total statements across all bodies. This is the overhead
+    /// the paper accepts in exchange for exposing redundancy; it is what the CSE pass
+    /// subsequently reduces.
+    pub fn code_size(&self) -> usize {
+        self.statements_per_body() * self.fissioned_bodies()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::{resnet18, vgg9};
+
+    fn first_conv() -> ConvLayerInfo {
+        vgg9(0.85, 1).conv_like_layers()[0].clone()
+    }
+
+    #[test]
+    fn naive_nest_matches_figure_3b() {
+        let layer = first_conv();
+        let nest = LoopNest::naive(&layer);
+        assert_eq!(nest.order(), LoopVar::NAIVE_ORDER.to_vec());
+        assert_eq!(nest.statements_per_body(), 1);
+        assert_eq!(nest.fissioned_bodies(), 1);
+        assert_eq!(
+            nest.remaining_trip_count() as u64,
+            layer.macs(),
+            "the naive nest visits every MAC once"
+        );
+    }
+
+    #[test]
+    fn schedule_moves_ofm_to_third_innermost() {
+        let layer = first_conv();
+        let mut nest = LoopNest::naive(&layer);
+        nest.apply_rtm_ap_schedule().expect("schedule");
+        let order = nest.order();
+        assert_eq!(order[3..], [LoopVar::Ofm, LoopVar::Kh, LoopVar::Kw]);
+        assert_eq!(order[0], LoopVar::Ifm);
+    }
+
+    #[test]
+    fn schedule_exposes_weight_slice_redundancy() {
+        let layer = first_conv();
+        let mut nest = LoopNest::naive(&layer);
+        nest.apply_rtm_ap_schedule().expect("schedule");
+        assert_eq!(nest.statements_per_body(), layer.cout * layer.kernel.0 * layer.kernel.1);
+        assert_eq!(nest.fissioned_bodies(), layer.cin);
+        assert_eq!(nest.remaining_trip_count(), layer.output_positions());
+        assert_eq!(nest.code_size(), (layer.cout * layer.cin * layer.kernel.0 * layer.kernel.1));
+    }
+
+    #[test]
+    fn code_size_grows_with_unrolling_as_the_paper_warns() {
+        let layer = resnet18(0.8, 1).conv_like_layers()[5].clone();
+        let naive = LoopNest::naive(&layer);
+        let mut scheduled = naive.clone();
+        scheduled.apply_rtm_ap_schedule().expect("schedule");
+        assert!(scheduled.code_size() > naive.code_size());
+        // The code size equals the total number of weights of the layer.
+        assert_eq!(scheduled.code_size(), layer.weights.len());
+    }
+
+    #[test]
+    fn invalid_transformations_are_rejected() {
+        let layer = first_conv();
+        let mut nest = LoopNest::naive(&layer);
+        nest.unroll(LoopVar::Kh).expect("unroll");
+        assert!(nest.interchange(LoopVar::Kh, LoopVar::Kw).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! The compilation pipeline (Fig. 3a): options, per-layer driver and results.
+
+use crate::alloc::allocate;
+use crate::bitwidth::signal_widths;
+use crate::codegen::{self, GeneratedSlice};
+use crate::dfg::{Dfg, WeightSlice};
+use crate::layout::{CamGeometry, LayerLayout};
+use crate::{CompileStats, Result};
+use ap::{ApProgram, CostModel};
+use cam::CamTechnology;
+use serde::{Deserialize, Serialize};
+use tnn::model::ConvLayerInfo;
+
+/// Options controlling the compilation flow.
+///
+/// The two evaluated configurations of the paper map onto these options: `unroll`
+/// (loop unrolling, constant weight folding and custom integer types) is
+/// [`CompilerOptions::unroll_only`]; `unroll+CSE` (all optimisations of Fig. 3a) is
+/// the default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Target CAM geometry.
+    pub geometry: CamGeometry,
+    /// Activation precision in bits (the paper evaluates 4 and 8).
+    pub act_bits: u8,
+    /// Whether to run common subexpression elimination.
+    pub enable_cse: bool,
+    /// Columns reserved for CSE temporaries.
+    pub temp_budget: usize,
+    /// Whether to retain the full instruction streams (needed for functional
+    /// simulation; disabled by default to keep memory bounded on large networks).
+    pub keep_programs: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            geometry: CamGeometry::default(),
+            act_bits: 4,
+            enable_cse: true,
+            temp_budget: 32,
+            keep_programs: false,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// The `unroll` configuration of the paper: constant folding and narrow types but
+    /// no CSE.
+    pub fn unroll_only() -> Self {
+        CompilerOptions { enable_cse: false, ..CompilerOptions::default() }
+    }
+
+    /// Returns a copy with a different activation precision.
+    #[must_use]
+    pub fn with_act_bits(mut self, act_bits: u8) -> Self {
+        self.act_bits = act_bits;
+        self
+    }
+
+    /// Returns a copy that retains the generated instruction streams.
+    #[must_use]
+    pub fn with_programs(mut self) -> Self {
+        self.keep_programs = true;
+        self
+    }
+}
+
+/// One compiled (input channel, output tile) slice retained for functional
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSlice {
+    /// Input channel (absolute index within the layer).
+    pub channel: usize,
+    /// Index of the resident channel within its channel group (selects the domain
+    /// offset of its activation bits).
+    pub channel_in_group: usize,
+    /// Output tile index.
+    pub tile: usize,
+    /// The generated instruction stream.
+    pub program: ApProgram,
+}
+
+/// The result of compiling one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledLayer {
+    /// Layer name (matches the model definition).
+    pub name: String,
+    /// Number of input channels.
+    pub cin: usize,
+    /// Number of output channels.
+    pub cout: usize,
+    /// Kernel size.
+    pub kernel: (usize, usize),
+    /// Output positions (`Hout·Wout`).
+    pub output_positions: usize,
+    /// The CAM placement of the layer.
+    pub layout: LayerLayout,
+    /// Aggregated statistics over all slices.
+    pub stats: CompileStats,
+    /// The per-slice instruction streams (only when
+    /// [`CompilerOptions::keep_programs`] was set).
+    pub slices: Option<Vec<CompiledSlice>>,
+}
+
+impl CompiledLayer {
+    /// Number of arrays (row groups) this layer occupies in parallel — the quantity
+    /// reported in the `#Arrays` column of Table II is the maximum of this value over
+    /// the network's layers.
+    pub fn arrays(&self) -> usize {
+        self.layout.row_groups
+    }
+}
+
+/// The per-layer compilation driver.
+///
+/// # Example
+///
+/// ```
+/// use apc::{CompilerOptions, LayerCompiler};
+/// use tnn::model::vgg9;
+///
+/// let model = vgg9(0.9, 3);
+/// let layers = model.conv_like_layers();
+/// let with_cse = LayerCompiler::new(CompilerOptions::default()).compile(&layers[1]).expect("compile");
+/// let without = LayerCompiler::new(CompilerOptions::unroll_only()).compile(&layers[1]).expect("compile");
+/// assert!(with_cse.stats.counted_adds_subs <= without.stats.counted_adds_subs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCompiler {
+    options: CompilerOptions,
+}
+
+impl LayerCompiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: CompilerOptions) -> Self {
+        LayerCompiler { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles one layer into per-slice AP programs and aggregated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApcError::DoesNotFit`](crate::ApcError::DoesNotFit) when the layer
+    /// cannot be placed on the configured geometry, or an internal error for
+    /// malformed inputs.
+    pub fn compile(&self, layer: &ConvLayerInfo) -> Result<CompiledLayer> {
+        let options = &self.options;
+        let layout = LayerLayout::for_layer(options.geometry, options.act_bits, layer, options.temp_budget)?;
+        // Cost accounting uses a single-row model: bit counts per row scale linearly
+        // with the number of active rows and are multiplied by the accelerator model.
+        let per_row_model = CostModel::new(CamTechnology::default(), 1);
+
+        let mut stats = CompileStats::new();
+        let mut slices = if options.keep_programs { Some(Vec::new()) } else { None };
+
+        for tile in 0..layout.output_tiles {
+            let range = layout.tile_range(tile, layer.cout);
+            if range.is_empty() {
+                continue;
+            }
+            // Accumulator-clearing prologue, once per tile.
+            let prologue = codegen::tile_prologue(&layout, range.len());
+            let prologue_cost = prologue.cost(&per_row_model);
+            stats.total_cycles += prologue_cost.stats.compute_cycles();
+            stats.written_bits_per_row += prologue_cost.stats.written_bits;
+
+            for channel in 0..layer.cin {
+                let channel_in_group = channel % layout.channels_per_group;
+                let slice = WeightSlice::from_layer_channel(layer, channel, range.clone())?;
+                stats.nonzero_weights += slice.nonzeros() as u64;
+
+                let mut dfg = Dfg::from_slice(&slice);
+                let baseline_ops = dfg.op_count().total() as u64;
+                stats.baseline_adds_subs += baseline_ops;
+
+                if options.enable_cse {
+                    dfg.apply_cse()?;
+                }
+                let mut widths = signal_widths(&dfg, options.act_bits);
+                let mut allocation = allocate(&dfg);
+                if allocation.temp_columns_used > layout.temp_budget {
+                    // Fall back to the un-CSE'd slice rather than spilling temporaries.
+                    dfg = Dfg::from_slice(&slice);
+                    widths = signal_widths(&dfg, options.act_bits);
+                    allocation = allocate(&dfg);
+                    stats.cse_fallbacks += 1;
+                }
+                let generated = codegen::generate(&dfg, &widths, &allocation, &layout, channel_in_group)?;
+                self.accumulate(&mut stats, &dfg, &generated, &per_row_model, &layout);
+                if let Some(slices) = slices.as_mut() {
+                    slices.push(CompiledSlice {
+                        channel,
+                        channel_in_group,
+                        tile,
+                        program: generated.program,
+                    });
+                }
+            }
+        }
+
+        Ok(CompiledLayer {
+            name: layer.name.clone(),
+            cin: layer.cin,
+            cout: layer.cout,
+            kernel: layer.kernel,
+            output_positions: layer.output_positions(),
+            layout,
+            stats,
+            slices,
+        })
+    }
+
+    fn accumulate(
+        &self,
+        stats: &mut CompileStats,
+        dfg: &Dfg,
+        generated: &GeneratedSlice,
+        per_row_model: &CostModel,
+        layout: &LayerLayout,
+    ) {
+        let cost = generated.program.cost(per_row_model);
+        // Instructions whose destination lies in the accumulator-column region are
+        // the local part of the accumulation phase; everything else is the
+        // channel-wise DFG phase (the split reported in Fig. 4 of the paper).
+        let mut acc_cost = cam::CamStats::new();
+        for instruction in generated.program.iter() {
+            let is_accumulation = instruction
+                .destinations()
+                .iter()
+                .any(|d| d.col >= layout.acc_col_start);
+            if is_accumulation {
+                acc_cost += per_row_model.instruction_cost(instruction).stats;
+            }
+        }
+        stats.counted_adds_subs += generated.counted_ops;
+        stats.accumulate_ops += generated.accumulate_ops;
+        stats.in_place += generated.in_place;
+        stats.out_of_place += generated.out_of_place;
+        stats.cse_signals += dfg.signals.derived() as u64;
+        stats.total_cycles += cost.stats.compute_cycles();
+        stats.accumulation_cycles += acc_cost.compute_cycles();
+        stats.accumulation_searched_bits_per_row += acc_cost.searched_bits;
+        stats.accumulation_written_bits_per_row += acc_cost.written_bits;
+        stats.searched_bits_per_row += cost.stats.searched_bits;
+        stats.written_bits_per_row += cost.stats.written_bits;
+        stats.io_bits_per_row += (layout.patch_size as u64) * layout.act_bits as u64;
+        stats.max_temp_columns = stats.max_temp_columns.max(generated.temp_columns_used as u64);
+        stats.slices += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::{vgg9, ModelGraph};
+
+    fn small_model() -> ModelGraph {
+        vgg9(0.85, 7)
+    }
+
+    #[test]
+    fn cse_reduces_adds_on_a_real_layer() {
+        let model = small_model();
+        let layer = &model.conv_like_layers()[1]; // 64 -> 64, 3x3 on 32x32
+        let with_cse = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
+        let without = LayerCompiler::new(CompilerOptions::unroll_only()).compile(layer).expect("compile");
+        assert!(with_cse.stats.counted_adds_subs < without.stats.counted_adds_subs);
+        assert_eq!(without.stats.counted_adds_subs, without.stats.baseline_adds_subs);
+        assert!(with_cse.stats.cse_reduction() > 0.05, "reduction {}", with_cse.stats.cse_reduction());
+        // Cheaper in ops means cheaper in cycles, too.
+        assert!(with_cse.stats.total_cycles < without.stats.total_cycles);
+    }
+
+    #[test]
+    fn four_bit_activations_are_cheaper_than_eight_bit() {
+        let model = small_model();
+        let layer = &model.conv_like_layers()[1];
+        let four = LayerCompiler::new(CompilerOptions::default().with_act_bits(4)).compile(layer).expect("compile");
+        let eight = LayerCompiler::new(CompilerOptions::default().with_act_bits(8)).compile(layer).expect("compile");
+        assert_eq!(four.stats.counted_adds_subs, eight.stats.counted_adds_subs);
+        assert!(four.stats.total_cycles < eight.stats.total_cycles);
+        assert!(four.layout.channels_per_group > eight.layout.channels_per_group);
+    }
+
+    #[test]
+    fn op_counts_scale_with_sparsity() {
+        let dense_model = vgg9(0.5, 11);
+        let sparse_model = vgg9(0.9, 11);
+        let compiler = LayerCompiler::new(CompilerOptions::default());
+        let dense = compiler.compile(&dense_model.conv_like_layers()[1]).expect("compile");
+        let sparse = compiler.compile(&sparse_model.conv_like_layers()[1]).expect("compile");
+        assert!(sparse.stats.counted_adds_subs < dense.stats.counted_adds_subs);
+        assert!(sparse.stats.nonzero_weights < dense.stats.nonzero_weights);
+    }
+
+    #[test]
+    fn layer_metadata_is_propagated() {
+        let model = small_model();
+        let layer = &model.conv_like_layers()[0];
+        let compiled = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
+        assert_eq!(compiled.name, layer.name);
+        assert_eq!(compiled.cin, layer.cin);
+        assert_eq!(compiled.cout, layer.cout);
+        assert_eq!(compiled.output_positions, 32 * 32);
+        assert_eq!(compiled.arrays(), 4);
+        assert_eq!(compiled.stats.slices, (layer.cin * compiled.layout.output_tiles) as u64);
+        assert!(compiled.slices.is_none());
+    }
+
+    #[test]
+    fn keep_programs_retains_every_slice() {
+        let model = small_model();
+        let layer = &model.conv_like_layers()[0];
+        let compiled = LayerCompiler::new(CompilerOptions::default().with_programs())
+            .compile(layer)
+            .expect("compile");
+        let slices = compiled.slices.expect("programs retained");
+        assert_eq!(slices.len(), layer.cin * compiled.layout.output_tiles);
+        assert!(slices.iter().all(|s| !s.program.is_empty() || s.channel >= layer.cin));
+    }
+
+    #[test]
+    fn in_place_fraction_is_high() {
+        let model = small_model();
+        let layer = &model.conv_like_layers()[1];
+        let compiled = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
+        assert!(compiled.stats.in_place_fraction() > 0.5, "fraction {}", compiled.stats.in_place_fraction());
+    }
+}

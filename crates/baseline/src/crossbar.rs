@@ -1,0 +1,252 @@
+//! DNN+NeuroSim-style RRAM crossbar baseline (the `[14]` rows of Table II).
+//!
+//! The model follows the standard analog compute-in-memory organisation: every layer
+//! is flattened so the filter taps become crossbar rows and the output channels
+//! (bit-sliced over multi-level cells) become crossbar columns; inputs are streamed
+//! bit-serially; every activation of a 256×256 array triggers a column read and a
+//! set of analog-to-digital conversions; partial sums are combined by shift-and-add
+//! units; and the interconnect/peripherals account for roughly 41 % of the energy, as
+//! the paper quotes for DNN+NeuroSim.
+
+use serde::{Deserialize, Serialize};
+use tnn::model::{ConvLayerInfo, ModelGraph};
+
+/// Device and circuit figures of merit of the crossbar baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarTechnology {
+    /// Rows of one crossbar array.
+    pub array_rows: usize,
+    /// Columns of one crossbar array.
+    pub array_cols: usize,
+    /// Weight precision in bits.
+    pub weight_bits: u8,
+    /// Bits stored per RRAM cell.
+    pub cell_bits: u8,
+    /// ADC resolution in bits.
+    pub adc_bits: u8,
+    /// Number of ADC conversions per array activation (column mux sharing).
+    pub adcs_per_activation: usize,
+    /// Energy of one ADC conversion, in picojoules.
+    pub adc_energy_pj: f64,
+    /// Energy of reading/activating one array once, in picojoules.
+    pub array_read_pj: f64,
+    /// Energy of the digital shift-and-add accumulation per array activation, in
+    /// picojoules.
+    pub accumulation_pj: f64,
+    /// Latency of one array activation (row drive, settle, ADC conversion, mux
+    /// cycling), in nanoseconds.
+    pub activation_latency_ns: f64,
+    /// Fraction of the total energy spent on buffers, digital peripherals and the
+    /// interconnect (the paper quotes 41 % communication share for DNN+NeuroSim).
+    pub interconnect_share: f64,
+}
+
+impl Default for CrossbarTechnology {
+    fn default() -> Self {
+        CrossbarTechnology {
+            array_rows: 256,
+            array_cols: 256,
+            weight_bits: 8,
+            cell_bits: 2,
+            adc_bits: 5,
+            adcs_per_activation: 32,
+            adc_energy_pj: 2.5,
+            array_read_pj: 30.0,
+            accumulation_pj: 10.0,
+            activation_latency_ns: 82.0,
+            interconnect_share: 0.41,
+        }
+    }
+}
+
+/// Per-layer and total results of the crossbar model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarReport {
+    /// Network name.
+    pub name: String,
+    /// Activation precision in bits.
+    pub act_bits: u8,
+    /// Per-layer energy in femtojoules (same order as the model's weighted layers).
+    pub layer_energy_fj: Vec<f64>,
+    /// Per-layer latency in nanoseconds.
+    pub layer_latency_ns: Vec<f64>,
+    /// Per-layer names.
+    pub layer_names: Vec<String>,
+    /// Number of 256×256 crossbar arrays needed to hold the weights.
+    pub arrays: usize,
+}
+
+impl CrossbarReport {
+    /// Total energy per inference in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.layer_energy_fj.iter().sum::<f64>() * 1e-9
+    }
+
+    /// Total latency per inference in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.layer_latency_ns.iter().sum::<f64>() * 1e-6
+    }
+
+    /// Interconnect/peripheral share assumed by the model.
+    pub fn interconnect_share(&self, tech: &CrossbarTechnology) -> f64 {
+        tech.interconnect_share
+    }
+}
+
+/// The analytical crossbar accelerator model.
+///
+/// # Example
+///
+/// ```
+/// use baseline::CrossbarModel;
+/// use tnn::model::vgg9;
+///
+/// let model = CrossbarModel::default();
+/// let report = model.evaluate(&vgg9(0.85, 1), 4);
+/// assert!(report.energy_uj() > 0.0);
+/// assert!(report.latency_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrossbarModel {
+    tech: CrossbarTechnology,
+}
+
+impl CrossbarModel {
+    /// Creates a model with explicit technology figures.
+    pub fn new(tech: CrossbarTechnology) -> Self {
+        CrossbarModel { tech }
+    }
+
+    /// The technology figures in use.
+    pub fn technology(&self) -> &CrossbarTechnology {
+        &self.tech
+    }
+
+    /// Arrays needed to store one layer's weights.
+    fn layer_arrays(&self, layer: &ConvLayerInfo) -> usize {
+        let rows = layer.cin * layer.kernel.0 * layer.kernel.1;
+        let weight_cols = layer.cout * (self.tech.weight_bits as usize).div_ceil(self.tech.cell_bits as usize);
+        rows.div_ceil(self.tech.array_rows) * weight_cols.div_ceil(self.tech.array_cols)
+    }
+
+    /// Evaluates one layer, returning `(energy_fj, latency_ns)`.
+    pub fn evaluate_layer(&self, layer: &ConvLayerInfo, act_bits: u8) -> (f64, f64) {
+        let tech = &self.tech;
+        let arrays = self.layer_arrays(layer) as f64;
+        let positions = layer.output_positions() as f64;
+        // Bit-serial input streaming: one activation of every mapped array per output
+        // position per input bit.
+        let activations = positions * arrays * act_bits as f64;
+        let compute_pj = activations
+            * (tech.adcs_per_activation as f64 * tech.adc_energy_pj + tech.array_read_pj + tech.accumulation_pj);
+        let total_pj = compute_pj / (1.0 - tech.interconnect_share).max(0.01);
+        // Arrays of one layer operate in parallel; output positions and input bits are
+        // streamed sequentially.
+        let latency_ns = positions * act_bits as f64 * tech.activation_latency_ns;
+        (total_pj * 1e3, latency_ns)
+    }
+
+    /// Evaluates every weighted layer of a model.
+    pub fn evaluate(&self, model: &ModelGraph, act_bits: u8) -> CrossbarReport {
+        let layers = model.conv_like_layers();
+        let mut layer_energy_fj = Vec::with_capacity(layers.len());
+        let mut layer_latency_ns = Vec::with_capacity(layers.len());
+        let mut layer_names = Vec::with_capacity(layers.len());
+        let mut arrays = 0usize;
+        for layer in &layers {
+            let (energy, latency) = self.evaluate_layer(layer, act_bits);
+            layer_energy_fj.push(energy);
+            layer_latency_ns.push(latency);
+            layer_names.push(layer.name.clone());
+            arrays += self.layer_arrays(layer);
+        }
+        CrossbarReport {
+            name: model.name().to_string(),
+            act_bits,
+            layer_energy_fj,
+            layer_latency_ns,
+            layer_names,
+            arrays,
+        }
+    }
+
+    /// Per-component energy breakdown of one layer in femtojoules:
+    /// `(array, adc, accumulation, peripherals_and_interconnect)`.
+    pub fn layer_breakdown(&self, layer: &ConvLayerInfo, act_bits: u8) -> (f64, f64, f64, f64) {
+        let tech = &self.tech;
+        let arrays = self.layer_arrays(layer) as f64;
+        let activations = layer.output_positions() as f64 * arrays * act_bits as f64;
+        let array = activations * tech.array_read_pj * 1e3;
+        let adc = activations * tech.adcs_per_activation as f64 * tech.adc_energy_pj * 1e3;
+        let accumulation = activations * tech.accumulation_pj * 1e3;
+        let compute = array + adc + accumulation;
+        let peripherals = compute * tech.interconnect_share / (1.0 - tech.interconnect_share).max(0.01);
+        (array, adc, accumulation, peripherals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::{resnet18, vgg9};
+
+    #[test]
+    fn resnet18_lands_in_the_papers_range() {
+        let model = CrossbarModel::default();
+        let resnet = resnet18(0.8, 1);
+        let four = model.evaluate(&resnet, 4);
+        let eight = model.evaluate(&resnet, 8);
+        // Paper (Table II, [14]): 104.92 uJ / 9.56 ms at 4-bit, 199.9 uJ / 12.2 ms at 8-bit.
+        assert!(four.energy_uj() > 50.0 && four.energy_uj() < 200.0, "4-bit {:.1} uJ", four.energy_uj());
+        assert!(eight.energy_uj() > 120.0 && eight.energy_uj() < 400.0, "8-bit {:.1} uJ", eight.energy_uj());
+        assert!(four.latency_ms() > 4.0 && four.latency_ms() < 20.0, "4-bit {:.2} ms", four.latency_ms());
+        assert!(eight.latency_ms() > four.latency_ms());
+        assert!(eight.energy_uj() > four.energy_uj());
+    }
+
+    #[test]
+    fn vgg9_is_much_cheaper_than_resnet18() {
+        let model = CrossbarModel::default();
+        let vgg = model.evaluate(&vgg9(0.85, 1), 4);
+        let resnet = model.evaluate(&resnet18(0.8, 1), 4);
+        assert!(vgg.energy_uj() < resnet.energy_uj() / 4.0);
+        assert!(vgg.latency_ms() < resnet.latency_ms() / 4.0);
+        // Paper: 19.55 uJ / 1.06 ms — we accept the same order of magnitude.
+        assert!(vgg.energy_uj() > 2.0 && vgg.energy_uj() < 60.0, "{:.1} uJ", vgg.energy_uj());
+        assert!(vgg.latency_ms() > 0.2 && vgg.latency_ms() < 4.0, "{:.2} ms", vgg.latency_ms());
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let model = CrossbarModel::default();
+        let vgg = vgg9(0.85, 1);
+        let layer = &vgg.conv_like_layers()[1];
+        let (array, adc, acc, periph) = model.layer_breakdown(layer, 4);
+        let (total, _) = model.evaluate_layer(layer, 4);
+        assert!((array + adc + acc + periph - total).abs() / total < 1e-6);
+        // The interconnect/peripheral share matches the configured 41%.
+        assert!((periph / total - 0.41).abs() < 0.02);
+    }
+
+    #[test]
+    fn weight_precision_drives_array_count() {
+        let model = CrossbarModel::default();
+        let resnet = resnet18(0.8, 1);
+        let report = model.evaluate(&resnet, 4);
+        // Our convention counts every array needed to store the 8-bit weights in
+        // 2-bit cells (hundreds for ResNet-18); the paper's "41" counts arrays per
+        // concurrently mapped layer group. Either way the count must scale with the
+        // weight volume and precision.
+        assert!(report.arrays > 100, "arrays {}", report.arrays);
+        let low_precision = CrossbarModel::new(CrossbarTechnology { weight_bits: 2, ..Default::default() });
+        assert!(low_precision.evaluate(&resnet, 4).arrays < report.arrays);
+    }
+
+    #[test]
+    fn serde_round_trip_of_technology() {
+        let tech = CrossbarTechnology::default();
+        let json = serde_json::to_string(&tech).expect("serialize");
+        let back: CrossbarTechnology = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(tech, back);
+    }
+}

@@ -1,0 +1,153 @@
+//! DeepCAM-style baseline (the `[4]` row of Table II).
+//!
+//! DeepCAM computes approximate dot products entirely inside large CAM arrays by
+//! hashing activations and weights and measuring match-line discharge timing. It is
+//! extremely energy efficient on small networks, but (a) it relies on large arrays
+//! (up to 512×1024), (b) its energy efficiency does not scale to deeper networks,
+//! and (c) the approximation costs accuracy on complex tasks — the three caveats the
+//! paper raises when comparing against it.
+
+use serde::{Deserialize, Serialize};
+use tnn::model::ModelGraph;
+
+/// Results of the DeepCAM analytical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepCamReport {
+    /// Network name.
+    pub name: String,
+    /// Hash length in bits.
+    pub hash_length: u8,
+    /// Energy per inference in microjoules.
+    pub energy_uj: f64,
+    /// Latency per inference in milliseconds.
+    pub latency_ms: f64,
+    /// Number of CAM arrays.
+    pub arrays: usize,
+    /// Estimated top-1 accuracy drop (in percentage points) versus the
+    /// full-precision software model.
+    pub accuracy_drop_points: f64,
+}
+
+/// Analytical model of a DeepCAM-style accelerator.
+///
+/// # Example
+///
+/// ```
+/// use baseline::DeepCamModel;
+/// use tnn::model::vgg11;
+///
+/// let model = DeepCamModel::default();
+/// let report = model.evaluate(&vgg11(0.85, 1));
+/// assert!(report.energy_uj > 0.0);
+/// assert!(report.accuracy_drop_points > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeepCamModel {
+    /// Hash length in bits (longer hashes are more accurate but more expensive).
+    pub hash_length: u8,
+    /// Rows of one DeepCAM array.
+    pub array_rows: usize,
+    /// Columns of one DeepCAM array.
+    pub array_cols: usize,
+    /// Energy of one hashed CAM search per MAC-equivalent, in femtojoules.
+    pub energy_per_mac_fj: f64,
+    /// Throughput in MAC-equivalents per nanosecond for a small network.
+    pub macs_per_ns: f64,
+    /// Factor by which efficiency degrades per order of magnitude of model size
+    /// beyond a LeNet-class network (the scalability issue noted in §V-A).
+    pub scaling_penalty_per_decade: f64,
+}
+
+impl Default for DeepCamModel {
+    fn default() -> Self {
+        DeepCamModel {
+            hash_length: 16,
+            array_rows: 512,
+            array_cols: 1024,
+            energy_per_mac_fj: 1.2,
+            macs_per_ns: 400.0,
+            scaling_penalty_per_decade: 2.4,
+        }
+    }
+}
+
+impl DeepCamModel {
+    /// Creates the default configuration (512×1024 arrays, 16-bit hashes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates a model. Energy scales super-linearly with model size beyond the
+    /// LeNet-class baseline, and the accuracy drop grows with task complexity (proxy:
+    /// number of weighted layers and classes).
+    pub fn evaluate(&self, model: &ModelGraph) -> DeepCamReport {
+        let macs = model.total_macs().max(1) as f64;
+        let reference_macs = 1.0e7; // LeNet-class workload where DeepCAM shines.
+        let decades = (macs / reference_macs).log10().max(0.0);
+        let penalty = self.scaling_penalty_per_decade.powf(decades);
+        let hash_factor = self.hash_length as f64 / 16.0;
+        let energy_uj = macs * self.energy_per_mac_fj * hash_factor * penalty * 1e-9;
+        let latency_ms = macs / (self.macs_per_ns / penalty.max(1.0)) * 1e-6;
+        let weights = model.total_weights().max(1) as f64;
+        let arrays = (weights * self.hash_length as f64
+            / (self.array_rows as f64 * self.array_cols as f64))
+            .ceil() as usize;
+        let classes = model
+            .conv_like_layers()
+            .last()
+            .map(|l| l.cout)
+            .unwrap_or(10) as f64;
+        // Approximation error grows with task complexity and shrinks with hash length.
+        let accuracy_drop_points =
+            (classes.log2() + decades) * (16.0 / self.hash_length as f64).max(0.5);
+        DeepCamReport {
+            name: model.name().to_string(),
+            hash_length: self.hash_length,
+            energy_uj,
+            latency_ms,
+            arrays: arrays.max(1),
+            accuracy_drop_points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::{resnet18, vgg11};
+
+    #[test]
+    fn vgg11_is_cheap_but_inaccurate() {
+        let model = DeepCamModel::default();
+        let report = model.evaluate(&vgg11(0.85, 1));
+        // Paper row [4]: sub-microjoule energies for VGG-11/CIFAR-10 and a drop from
+        // 93.6% to 90.0% top-1 (about 3.6 points).
+        assert!(report.energy_uj < 20.0, "energy {}", report.energy_uj);
+        assert!(report.accuracy_drop_points > 1.0, "drop {}", report.accuracy_drop_points);
+    }
+
+    #[test]
+    fn efficiency_does_not_scale_to_resnet18() {
+        let model = DeepCamModel::default();
+        let vgg = model.evaluate(&vgg11(0.85, 1));
+        let resnet = model.evaluate(&resnet18(0.8, 1));
+        let vgg_per_mac = vgg.energy_uj / vgg11(0.85, 1).total_macs() as f64;
+        let resnet_per_mac = resnet.energy_uj / resnet18(0.8, 1).total_macs() as f64;
+        assert!(
+            resnet_per_mac > 1.5 * vgg_per_mac,
+            "per-MAC energy should degrade with scale: {resnet_per_mac} vs {vgg_per_mac}"
+        );
+        assert!(resnet.accuracy_drop_points > vgg.accuracy_drop_points);
+    }
+
+    #[test]
+    fn longer_hashes_cost_more_but_are_more_accurate() {
+        let short = DeepCamModel { hash_length: 8, ..Default::default() };
+        let long = DeepCamModel { hash_length: 32, ..Default::default() };
+        let model = vgg11(0.85, 1);
+        let short_report = short.evaluate(&model);
+        let long_report = long.evaluate(&model);
+        assert!(long_report.energy_uj > short_report.energy_uj);
+        assert!(long_report.accuracy_drop_points < short_report.accuracy_drop_points);
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! in-place vs out-of-place operation mix, activation precision, and CAM geometry.
+//!
+//! Run with `cargo run -p camdnn-bench --bin ablation --release`.
+
+use apc::layout::CamGeometry;
+use apc::{CompilerOptions, LayerCompiler};
+use camdnn::{ArchConfig, FullStackPipeline};
+use tnn::model::vgg9;
+
+fn main() {
+    let model = vgg9(0.9, 5);
+
+    println!("== In-place vs out-of-place instruction mix (VGG-9 conv layers) ==");
+    let compiler = LayerCompiler::new(CompilerOptions::default());
+    for layer in model.conv_like_layers().iter().take(6) {
+        let compiled = compiler.compile(layer).expect("compile");
+        println!(
+            "  {:<10} in-place {:7}  out-of-place {:7}  ({:4.1}% in place, 8 vs 10 cycles/bit)",
+            layer.name,
+            compiled.stats.in_place,
+            compiled.stats.out_of_place,
+            compiled.stats.in_place_fraction() * 100.0
+        );
+    }
+
+    println!("\n== Activation precision (energy / latency / resident channels per cell) ==");
+    for act_bits in [2u8, 4, 6, 8] {
+        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run().expect("pipeline");
+        println!(
+            "  {act_bits} bits: {:8.2} uJ  {:7.3} ms  {:2} channels/cell",
+            report.rtm_ap.energy_uj(),
+            report.rtm_ap.latency_ms(),
+            64 / act_bits as usize
+        );
+    }
+
+    println!("\n== CAM geometry (rows per array) ==");
+    for rows in [128usize, 256, 512] {
+        let geometry = CamGeometry { rows, cols: 256, domains: 64 };
+        let report = FullStackPipeline::new(model.clone())
+            .with_arch(ArchConfig::default().with_geometry(geometry))
+            .with_compiler_options(CompilerOptions { geometry, ..CompilerOptions::default() })
+            .run()
+            .expect("pipeline");
+        println!(
+            "  {rows:4} rows: {:8.2} uJ  {:7.3} ms  {:3} arrays",
+            report.rtm_ap.energy_uj(),
+            report.rtm_ap.latency_ms(),
+            report.rtm_ap.arrays()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the accuracy columns of Table II on the offline-trainable substitute
+//! task (see DESIGN.md), and demonstrates the bit-exactness of the AP against the
+//! quantized software model.
+//!
+//! Run with `cargo run -p camdnn-bench --bin accuracy --release`.
+
+use camdnn::verify::verify_random_layer;
+use tnn::train::accuracy_experiment;
+
+fn main() {
+    println!("Accuracy experiment (synthetic blob task, ternary MLP)\n");
+    println!("{:<8} {:>8} {:>8} {:>8}", "seed", "FP", "8-bit", "4-bit");
+    let mut sums = [0.0f64; 3];
+    let runs = 5;
+    for seed in 0..runs {
+        let (fp, q8, q4) = accuracy_experiment(100 + seed).expect("accuracy experiment");
+        println!("{:<8} {:>7.1}% {:>7.1}% {:>7.1}%", seed, fp * 100.0, q8 * 100.0, q4 * 100.0);
+        sums[0] += fp;
+        sums[1] += q8;
+        sums[2] += q4;
+    }
+    println!(
+        "{:<8} {:>7.1}% {:>7.1}% {:>7.1}%",
+        "mean",
+        sums[0] / runs as f64 * 100.0,
+        sums[1] / runs as f64 * 100.0,
+        sums[2] / runs as f64 * 100.0
+    );
+
+    println!("\nBit-exactness of the associative processor vs the quantized reference:");
+    for (label, cin, cout, kernel, act_bits) in [
+        ("3x3 conv, 4-bit", 3usize, 8usize, 3usize, 4u8),
+        ("3x3 conv, 8-bit", 2, 6, 3, 8),
+        ("1x1 conv, 4-bit", 8, 8, 1, 4),
+    ] {
+        let report = verify_random_layer(cin, cout, kernel, 6, act_bits, 0.8, 7).expect("verify");
+        println!(
+            "  {label:<18} {} positions x {} outputs -> {}",
+            report.positions_checked,
+            report.outputs_checked,
+            if report.is_bit_exact() { "bit-exact" } else { "MISMATCH" }
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the §V-C endurance analysis: with at most two column writes per
+//! operation spread over 256 columns, the hottest racetrack location is rewritten
+//! about every 100 ns, giving a ~31-year lifetime at 10^16 write cycles.
+//!
+//! Run with `cargo run -p camdnn-bench --bin endurance --release`.
+
+use camdnn_bench::evaluate;
+use rtm::endurance::{column_rewrite_interval_ns, EnduranceReport};
+use rtm::RtmTechnology;
+use tnn::model::vgg9;
+
+fn main() {
+    println!("Write endurance of the RTM-AP (paper: ~31 years)\n");
+    let tech = RtmTechnology::default();
+
+    println!("Analytical worst case (2 column writes/op, 0.8 ns in-place op):");
+    for columns in [128usize, 256, 512] {
+        let interval = column_rewrite_interval_ns(columns, 2.0, 0.8);
+        let report = EnduranceReport::from_write_interval(&tech, interval);
+        println!(
+            "  {columns:4} columns -> rewrite every {:6.1} ns -> {:5.1} years",
+            report.write_interval_ns, report.lifetime_years
+        );
+    }
+
+    let report = evaluate(vgg9(0.9, 3), 4);
+    println!(
+        "\nWorkload-derived estimate (VGG-9, 4-bit): rewrite every {:.1} ns -> {:.1} years",
+        report.rtm_ap.endurance.write_interval_ns, report.rtm_ap.endurance.lifetime_years
+    );
+}

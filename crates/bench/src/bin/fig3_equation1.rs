@@ -1,0 +1,42 @@
+//! Regenerates the Fig. 3 / Eq. 1 walk-through: the 6×6 ternary matrix-vector
+//! product that the paper reduces from 19 to 7 operations with CSE, plus the Table I
+//! cycle counts of the underlying lookup tables.
+//!
+//! Run with `cargo run -p camdnn-bench --bin fig3_equation1 --release`.
+
+use ap::{Lut, LutKind};
+use apc::dfg::Dfg;
+
+fn main() {
+    println!("Table I — lookup-table cycle counts per processed bit");
+    for kind in [LutKind::AddInPlace, LutKind::SubInPlace, LutKind::AddOutOfPlace, LutKind::SubOutOfPlace] {
+        let lut = Lut::of(kind);
+        println!("  {:?}: {} passes -> {} cycles/bit", kind, lut.passes().len(), lut.cycles_per_bit());
+    }
+
+    println!("\nEquation 1 — operation count before and after CSE (paper: 19 -> 7)");
+    let mut dfg = Dfg::equation1();
+    let before = dfg.op_count();
+    let outcome = dfg.apply_cse().expect("cse");
+    let after = dfg.op_count();
+    println!("  non-zero weights          : 20");
+    println!("  ops before CSE            : {}", before.total());
+    println!("  shared signals introduced : {}", outcome.new_signals);
+    println!("  ops after CSE             : {}", after.total());
+    println!(
+        "  reduction                 : {:.0}%",
+        (1.0 - after.total() as f64 / before.total() as f64) * 100.0
+    );
+
+    println!("\nShared signals and remaining output expressions:");
+    for (id, def) in dfg.signals.iter().skip(dfg.signals.inputs()) {
+        println!("  x{id} = {def:?}");
+    }
+    for (o, expr) in dfg.outputs.iter().enumerate() {
+        let terms: Vec<String> = expr
+            .iter()
+            .map(|(s, sign)| format!("{}x{s}", if sign > 0 { "+" } else { "-" }))
+            .collect();
+        println!("  y{o} = {}", if terms.is_empty() { "0".to_string() } else { terms.join(" ") });
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates Fig. 4: layer-by-layer energy and latency of ResNet-18 for the
+//! `unroll` and `unroll+CSE` configurations next to the crossbar baseline, broken
+//! into DFG / accumulation / peripherals / data-movement components.
+//!
+//! Run with `cargo run -p camdnn-bench --bin fig4 --release`.
+
+use accel::{AcceleratorModel, ArchConfig};
+use apc::{CompilerOptions, LayerCompiler};
+use baseline::CrossbarModel;
+use tnn::model::resnet18;
+
+fn main() {
+    let act_bits = 4u8;
+    let model = resnet18(0.8, 7);
+    let layers = model.conv_like_layers();
+    let accelerator = AcceleratorModel::new(ArchConfig::default());
+    let crossbar = CrossbarModel::default();
+    let cse = LayerCompiler::new(CompilerOptions::default().with_act_bits(act_bits));
+    let unroll = LayerCompiler::new(CompilerOptions::unroll_only().with_act_bits(act_bits));
+
+    println!("Fig. 4 — ResNet-18 layer-by-layer comparison (4-bit activations)\n");
+    println!(
+        "{:<28} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "layer", "unroll[uJ]", "cse[uJ]", "xbar[uJ]", "unroll[us]", "cse[us]", "xbar[us]", "dfg%", "accum%", "move%"
+    );
+
+    let mut totals = [0.0f64; 6];
+    for layer in &layers {
+        let compiled_cse = cse.compile(layer).expect("compile");
+        let compiled_unroll = unroll.compile(layer).expect("compile");
+        let report_cse = accelerator.simulate_layer(&compiled_cse);
+        let report_unroll = accelerator.simulate_layer(&compiled_unroll);
+        let (xbar_energy, xbar_latency) = crossbar.evaluate_layer(layer, act_bits);
+
+        let e_cse = report_cse.energy.total_fj() * 1e-9;
+        let e_unroll = report_unroll.energy.total_fj() * 1e-9;
+        let e_xbar = xbar_energy * 1e-9;
+        let l_cse = report_cse.latency.total_ns() * 1e-3;
+        let l_unroll = report_unroll.latency.total_ns() * 1e-3;
+        let l_xbar = xbar_latency * 1e-3;
+        totals[0] += e_unroll;
+        totals[1] += e_cse;
+        totals[2] += e_xbar;
+        totals[3] += l_unroll;
+        totals[4] += l_cse;
+        totals[5] += l_xbar;
+
+        let total = report_cse.energy.total_fj().max(1.0);
+        println!(
+            "{:<28} | {:>9.2} {:>9.2} {:>9.2} | {:>9.1} {:>9.1} {:>9.1} | {:>7.1}% {:>7.1}% {:>7.1}%",
+            layer.name,
+            e_unroll,
+            e_cse,
+            e_xbar,
+            l_unroll,
+            l_cse,
+            l_xbar,
+            report_cse.energy.dfg_fj / total * 100.0,
+            report_cse.energy.accumulation_fj / total * 100.0,
+            report_cse.energy.data_movement_fj / total * 100.0,
+        );
+    }
+    println!(
+        "\ntotals: unroll {:.1} uJ / {:.2} ms, unroll+CSE {:.1} uJ / {:.2} ms, crossbar {:.1} uJ / {:.2} ms",
+        totals[0],
+        totals[3] * 1e-3,
+        totals[1],
+        totals[4] * 1e-3,
+        totals[2],
+        totals[5] * 1e-3
+    );
+}

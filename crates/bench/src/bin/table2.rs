@@ -1,0 +1,33 @@
+//! Regenerates Table II: accuracy-preserving energy, latency, array counts and
+//! add/sub counts for ResNet-18/ImageNet and VGG-9/VGG-11/CIFAR-10 at 4- and 8-bit
+//! activations, next to the crossbar baseline.
+//!
+//! Run with `cargo run -p camdnn-bench --bin table2 --release`.
+
+use camdnn_bench::{evaluate, table2_header, table2_row};
+use tnn::model::{resnet18, vgg11, vgg9};
+use tnn::train::accuracy_experiment;
+
+fn main() {
+    println!("Table II — RTM-AP (unroll+CSE) vs DNN+NeuroSim-style crossbar\n");
+    println!("{}", table2_header());
+
+    let workloads: Vec<(&str, tnn::model::ModelGraph)> = vec![
+        ("ResNet18/ImageNet .80", resnet18(0.8, 7)),
+        ("VGG-9/CIFAR10   .85", vgg9(0.85, 3)),
+        ("VGG-9/CIFAR10   .90", vgg9(0.90, 3)),
+        ("VGG-11/CIFAR10  .85", vgg11(0.85, 3)),
+        ("VGG-11/CIFAR10  .90", vgg11(0.90, 3)),
+    ];
+    for (label, model) in workloads {
+        for act_bits in [4u8, 8] {
+            let report = evaluate(model.clone(), act_bits);
+            println!("{}", table2_row(label, &report));
+        }
+    }
+
+    println!("\nAccuracy columns (synthetic-task substitute, see DESIGN.md):");
+    let (fp, q8, q4) = accuracy_experiment(21).expect("accuracy experiment");
+    println!("  full precision: {:.1}%   ternary + 8-bit: {:.1}%   ternary + 4-bit: {:.1}%", fp * 100.0, q8 * 100.0, q4 * 100.0);
+    println!("  (the AP itself is bit-exact against the quantized software model — see the bit_exactness tests)");
+}

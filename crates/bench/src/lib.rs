@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in `src/bin/` that
+//! prints the corresponding rows or series; see DESIGN.md §4 for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+use camdnn::{FullStackPipeline, PipelineReport};
+use tnn::model::ModelGraph;
+
+/// Runs the full pipeline (RTM-AP with and without CSE, crossbar and DeepCAM
+/// baselines) for one workload at one activation precision.
+///
+/// # Panics
+///
+/// Panics when the model cannot be compiled for the default geometry — the bundled
+/// workloads always can.
+pub fn evaluate(model: ModelGraph, act_bits: u8) -> PipelineReport {
+    FullStackPipeline::new(model)
+        .with_activation_bits(act_bits)
+        .run()
+        .expect("the bundled workloads compile on the default geometry")
+}
+
+/// Formats a Table II row header.
+pub fn table2_header() -> String {
+    format!(
+        "{:<22} {:>5} {:>5} | {:>10} {:>9} {:>7} | {:>12} {:>12} | {:>12} {:>10}",
+        "network/dataset", "spars", "act", "energy[uJ]", "lat[ms]", "arrays", "adds(unroll)K", "adds(cse)K", "xbar E[uJ]", "xbar L[ms]"
+    )
+}
+
+/// Formats one Table II row from a pipeline report.
+pub fn table2_row(label: &str, report: &PipelineReport) -> String {
+    format!(
+        "{:<22} {:>5.2} {:>4}b | {:>10.2} {:>9.3} {:>7} | {:>13.0} {:>12.0} | {:>12.2} {:>10.2}",
+        label,
+        report.sparsity,
+        report.rtm_ap.act_bits,
+        report.rtm_ap.energy_uj(),
+        report.rtm_ap.latency_ms(),
+        report.rtm_ap.arrays(),
+        report.rtm_ap_unroll.adds_subs_k(),
+        report.rtm_ap.adds_subs_k(),
+        report.crossbar.energy_uj(),
+        report.crossbar.latency_ms(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::vgg9;
+
+    #[test]
+    fn helpers_produce_printable_rows() {
+        let report = evaluate(vgg9(0.9, 1), 4);
+        let row = table2_row("VGG-9/CIFAR10", &report);
+        assert!(row.contains("VGG-9"));
+        assert!(table2_header().contains("energy"));
+    }
+}

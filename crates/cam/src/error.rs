@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CAM array model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CamError {
+    /// A row index exceeded the array height.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// A column index exceeded the array width.
+    ColumnOutOfRange {
+        /// Requested column.
+        col: usize,
+        /// Number of columns in the array.
+        cols: usize,
+    },
+    /// A domain (bit position inside a cell) exceeded the cell depth.
+    DomainOutOfRange {
+        /// Requested domain.
+        domain: usize,
+        /// Domains per cell.
+        domains: usize,
+    },
+    /// The array was constructed with a zero dimension.
+    EmptyGeometry {
+        /// Which dimension was zero.
+        what: &'static str,
+    },
+    /// A tag vector of the wrong length was supplied.
+    TagLengthMismatch {
+        /// Expected length (number of rows).
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// A value does not fit in the requested bit width.
+    ValueOverflow {
+        /// The value that was supplied.
+        value: i64,
+        /// The requested width in bits.
+        width: u8,
+    },
+    /// An error bubbled up from the racetrack-memory device model.
+    Device(rtm::RtmError),
+}
+
+impl fmt::Display for CamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for array with {rows} rows")
+            }
+            CamError::ColumnOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range for array with {cols} columns")
+            }
+            CamError::DomainOutOfRange { domain, domains } => {
+                write!(f, "domain {domain} out of range for cells with {domains} domains")
+            }
+            CamError::EmptyGeometry { what } => write!(f, "{what} must be non-zero"),
+            CamError::TagLengthMismatch { expected, found } => {
+                write!(f, "tag vector length {found} does not match row count {expected}")
+            }
+            CamError::ValueOverflow { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits (two's complement)")
+            }
+            CamError::Device(err) => write!(f, "racetrack device error: {err}"),
+        }
+    }
+}
+
+impl Error for CamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CamError::Device(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtm::RtmError> for CamError {
+    fn from(err: rtm::RtmError) -> Self {
+        CamError::Device(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_indices() {
+        let err = CamError::RowOutOfRange { row: 300, rows: 256 };
+        assert!(err.to_string().contains("300"));
+        assert!(err.to_string().contains("256"));
+    }
+
+    #[test]
+    fn device_error_is_wrapped_with_source() {
+        let inner = rtm::RtmError::EmptyGeometry { what: "number of domains" };
+        let err = CamError::from(inner.clone());
+        assert_eq!(err, CamError::Device(inner));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CamError>();
+    }
+}

@@ -1,0 +1,111 @@
+use serde::{Deserialize, Serialize};
+
+/// A masked search (or write) key: the set of columns to compare (or write) together
+/// with the bit expected (or written) in each.
+///
+/// Columns not mentioned in the key are masked out — they neither participate in the
+/// match nor get written. This mirrors the mask/key registers of the associative
+/// processor in Fig. 2c of the paper.
+///
+/// # Example
+///
+/// ```
+/// use cam::SearchKey;
+///
+/// let key = SearchKey::new().with(0, true).with(3, false);
+/// assert_eq!(key.len(), 2);
+/// assert_eq!(key.bit(0), Some(true));
+/// assert_eq!(key.bit(1), None); // masked
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchKey {
+    entries: Vec<(usize, bool)>,
+}
+
+impl SearchKey {
+    /// Creates an empty (fully masked) key.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style addition of a `(column, bit)` pair. If the column was already
+    /// present its bit is replaced.
+    #[must_use]
+    pub fn with(mut self, col: usize, bit: bool) -> Self {
+        self.set(col, bit);
+        self
+    }
+
+    /// Adds or replaces a `(column, bit)` pair.
+    pub fn set(&mut self, col: usize, bit: bool) {
+        if let Some(entry) = self.entries.iter_mut().find(|(c, _)| *c == col) {
+            entry.1 = bit;
+        } else {
+            self.entries.push((col, bit));
+        }
+    }
+
+    /// Number of unmasked columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when every column is masked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The expected bit for `col`, or `None` when the column is masked.
+    pub fn bit(&self, col: usize) -> Option<bool> {
+        self.entries.iter().find(|(c, _)| *c == col).map(|(_, b)| *b)
+    }
+
+    /// Iterates over the `(column, bit)` pairs of the key.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Largest column index referenced by the key, if any.
+    pub fn max_column(&self) -> Option<usize> {
+        self.entries.iter().map(|(c, _)| *c).max()
+    }
+}
+
+impl FromIterator<(usize, bool)> for SearchKey {
+    fn from_iter<I: IntoIterator<Item = (usize, bool)>>(iter: I) -> Self {
+        let mut key = SearchKey::new();
+        for (col, bit) in iter {
+            key.set(col, bit);
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_and_replaces() {
+        let key = SearchKey::new().with(1, true).with(2, false).with(1, false);
+        assert_eq!(key.len(), 2);
+        assert_eq!(key.bit(1), Some(false));
+        assert_eq!(key.bit(2), Some(false));
+        assert_eq!(key.max_column(), Some(2));
+    }
+
+    #[test]
+    fn empty_key_masks_everything() {
+        let key = SearchKey::new();
+        assert!(key.is_empty());
+        assert_eq!(key.bit(0), None);
+        assert_eq!(key.max_column(), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let key: SearchKey = [(0, true), (5, false)].into_iter().collect();
+        assert_eq!(key.len(), 2);
+        assert_eq!(key.iter().count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+use crate::CamTechnology;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Cycle- and energy-relevant event counters collected by a [`CamArray`](crate::CamArray).
+///
+/// The counters are raw event counts; [`CamStats::energy_fj`] and
+/// [`CamStats::latency_ns`] convert them into physical quantities using a
+/// [`CamTechnology`].
+///
+/// # Example
+///
+/// ```
+/// use cam::{CamStats, CamTechnology};
+///
+/// let mut stats = CamStats::default();
+/// stats.search_cycles = 8;
+/// stats.searched_bits = 8 * 3 * 256;
+/// let tech = CamTechnology::default();
+/// assert!(stats.energy_fj(&tech) > 0.0);
+/// assert!(stats.latency_ns(&tech) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamStats {
+    /// Number of parallel search cycles issued.
+    pub search_cycles: u64,
+    /// Total key-bit comparisons performed (key bits × rows, summed over searches).
+    pub searched_bits: u64,
+    /// Number of parallel write cycles issued.
+    pub write_cycles: u64,
+    /// Total bits written (write bits × tagged rows, summed over writes).
+    pub written_bits: u64,
+    /// Total bits read out through the sense amplifiers (I/O, not compute).
+    pub read_bits: u64,
+    /// Number of read-out operations.
+    pub read_ops: u64,
+    /// Number of lockstep domain-wall shift steps (racetrack accesses).
+    pub shifts: u64,
+    /// Bits written while staging input data into the array (I/O, not compute).
+    pub io_written_bits: u64,
+}
+
+impl CamStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of compute cycles (searches + writes).
+    pub fn compute_cycles(&self) -> u64 {
+        self.search_cycles + self.write_cycles
+    }
+
+    /// Dynamic energy in femtojoules for these counters under `tech`.
+    pub fn energy_fj(&self, tech: &CamTechnology) -> f64 {
+        self.searched_bits as f64 * tech.search_energy_per_bit_fj
+            + self.written_bits as f64 * tech.write_energy_per_bit_fj
+            + self.io_written_bits as f64 * tech.write_energy_per_bit_fj
+            + self.read_bits as f64 * tech.read_energy_per_bit_fj
+            + (self.search_cycles + self.write_cycles) as f64 * tech.controller_energy_per_cycle_fj
+    }
+
+    /// Serial latency in nanoseconds for these counters under `tech`.
+    ///
+    /// Shift latency is not included here: shifts overlap with the search/write
+    /// pipeline when processing sequential domains, matching the execution model of
+    /// the paper. Use [`CamStats::shifts`] with an
+    /// [`RtmTechnology`](rtm::RtmTechnology) to study the non-overlapped case.
+    pub fn latency_ns(&self, tech: &CamTechnology) -> f64 {
+        self.search_cycles as f64 * tech.search_latency_ns
+            + self.write_cycles as f64 * tech.write_latency_ns
+            + self.read_ops as f64 * tech.read_latency_ns
+    }
+
+    /// Returns `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == CamStats::default()
+    }
+}
+
+impl Add for CamStats {
+    type Output = CamStats;
+
+    fn add(self, rhs: CamStats) -> CamStats {
+        CamStats {
+            search_cycles: self.search_cycles + rhs.search_cycles,
+            searched_bits: self.searched_bits + rhs.searched_bits,
+            write_cycles: self.write_cycles + rhs.write_cycles,
+            written_bits: self.written_bits + rhs.written_bits,
+            read_bits: self.read_bits + rhs.read_bits,
+            read_ops: self.read_ops + rhs.read_ops,
+            shifts: self.shifts + rhs.shifts,
+            io_written_bits: self.io_written_bits + rhs.io_written_bits,
+        }
+    }
+}
+
+impl AddAssign for CamStats {
+    fn add_assign(&mut self, rhs: CamStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(CamStats::new().is_empty());
+    }
+
+    #[test]
+    fn energy_is_monotonic_in_counts() {
+        let tech = CamTechnology::default();
+        let mut small = CamStats::new();
+        small.search_cycles = 1;
+        small.searched_bits = 3 * 256;
+        let mut big = small;
+        big.search_cycles = 10;
+        big.searched_bits = 30 * 256;
+        assert!(big.energy_fj(&tech) > small.energy_fj(&tech));
+    }
+
+    #[test]
+    fn latency_counts_cycles() {
+        let tech = CamTechnology::default();
+        let mut stats = CamStats::new();
+        stats.search_cycles = 4;
+        stats.write_cycles = 4;
+        let expected = 4.0 * tech.search_latency_ns + 4.0 * tech.write_latency_ns;
+        assert!((stats.latency_ns(&tech) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let mut a = CamStats::new();
+        a.search_cycles = 2;
+        a.written_bits = 7;
+        let mut b = CamStats::new();
+        b.search_cycles = 3;
+        b.shifts = 5;
+        let c = a + b;
+        assert_eq!(c.search_cycles, 5);
+        assert_eq!(c.written_bits, 7);
+        assert_eq!(c.shifts, 5);
+        assert_eq!(c.compute_cycles(), 5);
+    }
+}

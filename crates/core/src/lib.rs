@@ -1,0 +1,38 @@
+//! `camdnn` — full-stack CAM-only DNN inference.
+//!
+//! This is the top-level crate of the reproduction of *Full-Stack Optimization for
+//! CAM-Only DNN Inference* (DATE 2024). It ties together:
+//!
+//! * [`tnn`] — ternary-weight quantized networks (VGG-9, VGG-11, ResNet-18),
+//! * [`apc`] — the compilation flow that turns them into associative-processor
+//!   programs (loop transformations, constant folding, CSE, bitwidth annotation,
+//!   column allocation, in-/out-of-place code generation),
+//! * [`ap`] / [`cam`] / [`rtm`] — the RTM-based associative-processor substrate,
+//! * [`accel`] — the bank/tile/AP accelerator model that produces energy, latency,
+//!   data-movement and endurance reports, and
+//! * [`baseline`] — the DNN+NeuroSim-style crossbar and DeepCAM-style comparison
+//!   points of Table II.
+//!
+//! The main entry point is [`FullStackPipeline`]:
+//!
+//! ```
+//! use camdnn::FullStackPipeline;
+//! use tnn::model::vgg9;
+//!
+//! let report = FullStackPipeline::new(vgg9(0.9, 1)).run().expect("pipeline");
+//! assert!(report.rtm_ap.energy_uj() > 0.0);
+//! assert!(report.crossbar.energy_uj() > report.rtm_ap.energy_uj() * 0.1);
+//! println!("{}", report.table_row());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pipeline;
+pub mod verify;
+
+pub use pipeline::{FullStackPipeline, PipelineReport};
+
+pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};
+pub use apc::{CompiledLayer, CompilerOptions, LayerCompiler};
+pub use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};

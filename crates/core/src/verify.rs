@@ -1,0 +1,197 @@
+//! Bit-exactness verification: the mechanism behind the paper's "retains software
+//! accuracy" claim.
+//!
+//! The associative processor computes exact integer arithmetic, so the accelerator's
+//! outputs must be *identical* to the reference quantized inference. This module
+//! compiles a layer with retained instruction streams, executes them on the
+//! functional (bit-level) AP model, and compares every partial sum against the
+//! reference integer convolution.
+
+use ap::{ApController, Operand};
+use apc::{CompilerOptions, LayerCompiler};
+use cam::CamArray;
+use tnn::im2col::{im2col_channel, Im2colSpec};
+use tnn::layer::Conv2d;
+use tnn::model::ConvLayerInfo;
+use tnn::{Tensor, TernaryTensor};
+
+/// Outcome of a functional verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationReport {
+    /// Output positions (CAM rows) checked.
+    pub positions_checked: usize,
+    /// Output channels checked.
+    pub outputs_checked: usize,
+    /// Number of mismatching values (0 for a bit-exact implementation).
+    pub mismatches: usize,
+}
+
+impl VerificationReport {
+    /// Returns `true` when every checked value matched the reference exactly.
+    pub fn is_bit_exact(&self) -> bool {
+        self.mismatches == 0 && self.positions_checked > 0 && self.outputs_checked > 0
+    }
+}
+
+/// Compiles `layer`, executes its slice programs on the functional AP and compares
+/// the accumulated outputs against the reference integer convolution of `input`.
+///
+/// Only the first output tile and the first row group (up to the CAM height) are
+/// executed — enough to establish bit-exactness without simulating millions of rows
+/// at bit level.
+///
+/// # Errors
+///
+/// Returns an error when compilation fails, the functional execution fails, or the
+/// layer/input shapes are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use camdnn::verify::verify_layer;
+/// use tnn::model::ConvLayerInfo;
+/// use tnn::{Tensor, TernaryTensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let weights = TernaryTensor::random(vec![4, 2, 3, 3], 0.6, 1);
+/// let layer = ConvLayerInfo {
+///     node_id: 0,
+///     name: "demo".into(),
+///     cin: 2,
+///     cout: 4,
+///     kernel: (3, 3),
+///     stride: 1,
+///     padding: 1,
+///     input_hw: (6, 6),
+///     output_hw: (6, 6),
+///     weights,
+/// };
+/// let input = Tensor::from_vec(vec![2, 6, 6], (0..72).map(|v| v % 16).collect())?;
+/// let report = verify_layer(&layer, &input, 4)?;
+/// assert!(report.is_bit_exact());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_layer(
+    layer: &ConvLayerInfo,
+    input: &Tensor<i64>,
+    act_bits: u8,
+) -> Result<VerificationReport, Box<dyn std::error::Error>> {
+    let options = CompilerOptions::default().with_act_bits(act_bits).with_programs();
+    let compiled = LayerCompiler::new(options).compile(layer)?;
+    let layout = &compiled.layout;
+    let slices = compiled.slices.as_ref().ok_or("compiler did not retain programs")?;
+
+    // Reference: the integer convolution of the full layer.
+    let conv = Conv2d::new(layer.name.clone(), layer.weights.clone(), layer.stride, layer.padding)?;
+    let reference = tnn::infer::conv2d(input, &conv)?;
+
+    // Functional AP: first row group only.
+    let positions = layer.output_positions().min(layout.geometry.rows);
+    let spec = Im2colSpec {
+        fh: layer.kernel.0,
+        fw: layer.kernel.1,
+        stride: layer.stride,
+        padding: layer.padding,
+    };
+    let array = CamArray::new(
+        layout.geometry.rows,
+        layout.geometry.cols,
+        layout.geometry.domains,
+        cam::CamTechnology::default(),
+    )?;
+    let mut controller = ApController::new(array);
+
+    // Clear the accumulators of tile 0.
+    let tile_outputs = layout.tile_range(0, layer.cout).len();
+    controller.run(&apc::codegen::tile_prologue(layout, tile_outputs))?;
+
+    // Process every input channel: stage its im2col columns at the channel's domain
+    // offset, then run its slice program for tile 0.
+    for slice in slices.iter().filter(|s| s.tile == 0) {
+        let patches = im2col_channel(input, slice.channel, spec)?;
+        for k in 0..layout.patch_size {
+            let mut column = vec![0i64; layout.geometry.rows];
+            for (position, value) in column.iter_mut().enumerate().take(positions) {
+                *value = *patches.get(&[k, position])?;
+            }
+            let operand = Operand::new(k, layout.channel_domain_base(slice.channel_in_group), act_bits, false);
+            controller.load_column(&operand, &column)?;
+        }
+        controller.run(&slice.program)?;
+    }
+
+    // Compare the accumulators against the reference partial sums.
+    let mut mismatches = 0usize;
+    let (hout, wout) = layer.output_hw;
+    for output in 0..tile_outputs {
+        let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
+        let values = controller.read_column(&acc)?;
+        for position in 0..positions {
+            let expected = *reference.get(&[output, position / wout.max(1), position % wout.max(1)])?;
+            if values[position] != expected {
+                mismatches += 1;
+            }
+        }
+    }
+    let _ = hout;
+    Ok(VerificationReport { positions_checked: positions, outputs_checked: tile_outputs, mismatches })
+}
+
+/// Convenience: builds a small random layer plus input and verifies it.
+///
+/// # Errors
+///
+/// Propagates errors from [`verify_layer`].
+pub fn verify_random_layer(
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    hw: usize,
+    act_bits: u8,
+    sparsity: f64,
+    seed: u64,
+) -> Result<VerificationReport, Box<dyn std::error::Error>> {
+    let weights = TernaryTensor::random(vec![cout, cin, kernel, kernel], sparsity, seed);
+    let layer = ConvLayerInfo {
+        node_id: 0,
+        name: format!("random_{cin}x{cout}x{kernel}"),
+        cin,
+        cout,
+        kernel: (kernel, kernel),
+        stride: 1,
+        padding: kernel / 2,
+        input_hw: (hw, hw),
+        output_hw: (hw, hw),
+        weights,
+    };
+    let max_activation = (1i64 << act_bits) - 1;
+    let data: Vec<i64> = (0..cin * hw * hw).map(|i| (i as i64 * 7 + seed as i64) % (max_activation + 1)).collect();
+    let input = Tensor::from_vec(vec![cin, hw, hw], data)?;
+    verify_layer(&layer, &input, act_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_conv_layer_is_bit_exact() {
+        let report = verify_random_layer(3, 8, 3, 6, 4, 0.7, 11).expect("verify");
+        assert!(report.is_bit_exact(), "{report:?}");
+        assert_eq!(report.positions_checked, 36);
+        assert_eq!(report.outputs_checked, 8);
+    }
+
+    #[test]
+    fn one_by_one_convolutions_are_bit_exact() {
+        let report = verify_random_layer(4, 6, 1, 5, 4, 0.5, 3).expect("verify");
+        assert!(report.is_bit_exact(), "{report:?}");
+    }
+
+    #[test]
+    fn eight_bit_activations_are_bit_exact() {
+        let report = verify_random_layer(2, 4, 3, 4, 8, 0.6, 9).expect("verify");
+        assert!(report.is_bit_exact(), "{report:?}");
+    }
+}

@@ -1,0 +1,219 @@
+use crate::{AccessStats, Nanowire, Result, RtmError};
+
+/// A domain-wall block cluster (DBC): a group of nanowires shifted in lockstep.
+///
+/// Grouping tracks into DBCs is how racetrack memories expose word-level parallelism:
+/// one shift operation moves the domain walls of every track in the cluster, so the
+/// bits at the same index of every track become accessible together. The RTM-AP
+/// accelerator uses one DBC per CAM column group so that the bit-serial execution of
+/// all SIMD rows advances in a single shift.
+///
+/// # Example
+///
+/// ```
+/// use rtm::DomainBlockCluster;
+///
+/// # fn main() -> Result<(), rtm::RtmError> {
+/// let mut dbc = DomainBlockCluster::new(4, 16, 1)?;
+/// dbc.write_word(3, &[true, false, true, true])?;
+/// assert_eq!(dbc.read_word(3)?, vec![true, false, true, true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainBlockCluster {
+    tracks: Vec<Nanowire>,
+    position: usize,
+    /// Shifts are shared by the whole cluster, so they are counted here rather than
+    /// per track.
+    cluster_shifts: u64,
+}
+
+impl DomainBlockCluster {
+    /// Creates a cluster of `tracks` nanowires, each with `domains` bits and `ports`
+    /// access ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::EmptyGeometry`] if any dimension is zero.
+    pub fn new(tracks: usize, domains: usize, ports: usize) -> Result<Self> {
+        if tracks == 0 {
+            return Err(RtmError::EmptyGeometry { what: "number of tracks" });
+        }
+        let tracks = (0..tracks)
+            .map(|_| Nanowire::new(domains, ports))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DomainBlockCluster { tracks, position: 0, cluster_shifts: 0 })
+    }
+
+    /// Builds a cluster from existing nanowires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::EmptyGeometry`] if `tracks` is empty and
+    /// [`RtmError::MismatchedTrackLength`] if the tracks differ in length.
+    pub fn from_tracks(tracks: Vec<Nanowire>) -> Result<Self> {
+        let first_len = tracks.first().map(Nanowire::len).ok_or(RtmError::EmptyGeometry {
+            what: "number of tracks",
+        })?;
+        if let Some(bad) = tracks.iter().find(|t| t.len() != first_len) {
+            return Err(RtmError::MismatchedTrackLength { expected: first_len, found: bad.len() });
+        }
+        Ok(DomainBlockCluster { tracks, position: 0, cluster_shifts: 0 })
+    }
+
+    /// Number of tracks in the cluster.
+    pub fn tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Number of domains per track.
+    pub fn domains(&self) -> usize {
+        self.tracks[0].len()
+    }
+
+    /// Domain index currently aligned with the ports.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Total number of lockstep shift operations performed by the cluster.
+    pub fn cluster_shifts(&self) -> u64 {
+        self.cluster_shifts
+    }
+
+    /// Aligns domain `index` of every track with the access ports, charging the shift
+    /// distance once for the whole cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
+    pub fn align(&mut self, index: usize) -> Result<()> {
+        if index >= self.domains() {
+            return Err(RtmError::DomainOutOfRange { index, len: self.domains() });
+        }
+        let distance = self.tracks[0].shift_distance(index);
+        self.cluster_shifts += distance as u64;
+        for track in &mut self.tracks {
+            track.align(index)?;
+        }
+        self.position = index;
+        Ok(())
+    }
+
+    /// Reads the bit at `index` from every track (one bit per track, i.e. a "word"
+    /// across the cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
+    pub fn read_word(&mut self, index: usize) -> Result<Vec<bool>> {
+        self.align(index)?;
+        Ok(self.tracks.iter_mut().map(Nanowire::read_aligned).collect())
+    }
+
+    /// Writes one bit per track at domain `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds, or
+    /// [`RtmError::MismatchedTrackLength`] if `word` does not have one bit per track.
+    pub fn write_word(&mut self, index: usize, word: &[bool]) -> Result<()> {
+        if word.len() != self.tracks.len() {
+            return Err(RtmError::MismatchedTrackLength {
+                expected: self.tracks.len(),
+                found: word.len(),
+            });
+        }
+        self.align(index)?;
+        for (track, &bit) in self.tracks.iter_mut().zip(word) {
+            track.write_aligned(bit);
+        }
+        Ok(())
+    }
+
+    /// Returns a reference to an individual track.
+    pub fn track(&self, index: usize) -> Option<&Nanowire> {
+        self.tracks.get(index)
+    }
+
+    /// Returns a mutable reference to an individual track.
+    pub fn track_mut(&mut self, index: usize) -> Option<&mut Nanowire> {
+        self.tracks.get_mut(index)
+    }
+
+    /// Aggregated access statistics across all tracks, with shift counts replaced by
+    /// the cluster-level (lockstep) shift count.
+    pub fn stats(&self) -> AccessStats {
+        let mut total = AccessStats::new();
+        for track in &self.tracks {
+            let s = track.stats();
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.max_writes_per_domain = total.max_writes_per_domain.max(s.max_writes_per_domain);
+        }
+        total.shifts = self.cluster_shifts;
+        total
+    }
+
+    /// Resets all access counters.
+    pub fn reset_stats(&mut self) {
+        self.cluster_shifts = 0;
+        for track in &mut self.tracks {
+            track.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_tracks() {
+        assert!(matches!(
+            DomainBlockCluster::new(0, 8, 1),
+            Err(RtmError::EmptyGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut dbc = DomainBlockCluster::new(3, 8, 1).expect("geometry");
+        dbc.write_word(5, &[true, false, true]).expect("write");
+        assert_eq!(dbc.read_word(5).expect("read"), vec![true, false, true]);
+    }
+
+    #[test]
+    fn wrong_word_width_is_rejected() {
+        let mut dbc = DomainBlockCluster::new(3, 8, 1).expect("geometry");
+        assert!(dbc.write_word(0, &[true, false]).is_err());
+    }
+
+    #[test]
+    fn lockstep_shift_is_counted_once_per_cluster() {
+        let mut dbc = DomainBlockCluster::new(16, 32, 1).expect("geometry");
+        dbc.align(10).expect("align");
+        assert_eq!(dbc.cluster_shifts(), 10);
+        assert_eq!(dbc.stats().shifts, 10);
+    }
+
+    #[test]
+    fn from_tracks_checks_lengths() {
+        let a = Nanowire::new(8, 1).expect("wire");
+        let b = Nanowire::new(9, 1).expect("wire");
+        assert!(matches!(
+            DomainBlockCluster::from_tracks(vec![a, b]),
+            Err(RtmError::MismatchedTrackLength { .. })
+        ));
+        assert!(DomainBlockCluster::from_tracks(vec![]).is_err());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut dbc = DomainBlockCluster::new(2, 8, 1).expect("geometry");
+        dbc.write_word(4, &[true, true]).expect("write");
+        dbc.reset_stats();
+        assert!(dbc.stats().is_empty());
+    }
+}

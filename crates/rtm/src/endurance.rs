@@ -1,0 +1,116 @@
+//! Write-endurance modelling for racetrack memories.
+//!
+//! RTM endures roughly 10^16 write cycles per location (paper §V-C), the best among
+//! the non-volatile technologies considered. This module turns the write activity of
+//! an inference workload into the wear-out estimate quoted in the paper
+//! (≈31 years when the same column is rewritten about every 100 ns).
+
+use crate::RtmTechnology;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the write stress applied to the most-written memory location during a
+/// workload, together with the resulting lifetime estimate.
+///
+/// # Example
+///
+/// ```
+/// use rtm::endurance::EnduranceReport;
+/// use rtm::RtmTechnology;
+///
+/// // Paper scenario: worst case, one write to the same location every ~100 ns.
+/// let report = EnduranceReport::from_write_interval(&RtmTechnology::default(), 100.0);
+/// assert!(report.lifetime_years > 25.0 && report.lifetime_years < 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceReport {
+    /// Average interval between writes to the most-stressed location, in nanoseconds.
+    pub write_interval_ns: f64,
+    /// Writes per second to the most-stressed location.
+    pub writes_per_second: f64,
+    /// Endurance limit of the technology (write cycles).
+    pub endurance_cycles: f64,
+    /// Estimated lifetime in years.
+    pub lifetime_years: f64,
+}
+
+impl EnduranceReport {
+    /// Builds a report from the mean interval (in nanoseconds) between writes to the
+    /// hottest location.
+    pub fn from_write_interval(tech: &RtmTechnology, write_interval_ns: f64) -> Self {
+        let writes_per_second = if write_interval_ns > 0.0 { 1.0e9 / write_interval_ns } else { 0.0 };
+        EnduranceReport {
+            write_interval_ns,
+            writes_per_second,
+            endurance_cycles: tech.endurance_cycles,
+            lifetime_years: tech.lifetime_years(writes_per_second),
+        }
+    }
+
+    /// Builds a report from an observed workload: `hottest_location_writes` writes to
+    /// the most-stressed location over a runtime of `runtime_ns` nanoseconds.
+    ///
+    /// Returns a report with infinite lifetime when no writes were observed.
+    pub fn from_workload(tech: &RtmTechnology, hottest_location_writes: u64, runtime_ns: f64) -> Self {
+        if hottest_location_writes == 0 || runtime_ns <= 0.0 {
+            return EnduranceReport {
+                write_interval_ns: f64::INFINITY,
+                writes_per_second: 0.0,
+                endurance_cycles: tech.endurance_cycles,
+                lifetime_years: f64::INFINITY,
+            };
+        }
+        let interval = runtime_ns / hottest_location_writes as f64;
+        Self::from_write_interval(tech, interval)
+    }
+}
+
+/// Estimates the write interval of the hottest CAM column under the paper's
+/// execution model.
+///
+/// §V-C argues that each in-place or out-of-place operation writes at most two
+/// columns once, and because execution is spread over `columns` columns, a specific
+/// column is rewritten only about every `columns / writes_per_op` operations. Given
+/// the per-operation latency this yields the mean rewrite interval in nanoseconds.
+pub fn column_rewrite_interval_ns(columns: usize, writes_per_op: f64, op_latency_ns: f64) -> f64 {
+    if writes_per_op <= 0.0 || columns == 0 {
+        return f64::INFINITY;
+    }
+    let ops_between_rewrites = columns as f64 / writes_per_op;
+    ops_between_rewrites * op_latency_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_yields_about_31_years() {
+        // 256 columns, 2 column writes per op, op latency ~0.8 ns ⇒ rewrite every ~102 ns.
+        let interval = column_rewrite_interval_ns(256, 2.0, 0.8);
+        assert!(interval > 90.0 && interval < 120.0, "interval {interval}");
+        let report = EnduranceReport::from_write_interval(&RtmTechnology::default(), interval);
+        assert!(report.lifetime_years > 25.0 && report.lifetime_years < 40.0,
+            "lifetime {}", report.lifetime_years);
+    }
+
+    #[test]
+    fn zero_writes_means_infinite_lifetime() {
+        let report = EnduranceReport::from_workload(&RtmTechnology::default(), 0, 1.0e9);
+        assert!(report.lifetime_years.is_infinite());
+        assert_eq!(report.writes_per_second, 0.0);
+    }
+
+    #[test]
+    fn workload_report_matches_interval_report() {
+        let tech = RtmTechnology::default();
+        let by_interval = EnduranceReport::from_write_interval(&tech, 200.0);
+        let by_workload = EnduranceReport::from_workload(&tech, 5_000_000, 1.0e9);
+        assert!((by_interval.lifetime_years - by_workload.lifetime_years).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_infinite() {
+        assert!(column_rewrite_interval_ns(0, 2.0, 1.0).is_infinite());
+        assert!(column_rewrite_interval_ns(256, 0.0, 1.0).is_infinite());
+    }
+}

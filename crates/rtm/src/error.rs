@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the racetrack-memory device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtmError {
+    /// The requested domain index is outside of the nanowire.
+    DomainOutOfRange {
+        /// Requested domain index.
+        index: usize,
+        /// Number of domains in the track.
+        len: usize,
+    },
+    /// A nanowire or cluster was constructed with zero domains or zero tracks.
+    EmptyGeometry {
+        /// Human-readable description of which dimension was empty.
+        what: &'static str,
+    },
+    /// The requested access port does not exist.
+    PortOutOfRange {
+        /// Requested port index.
+        index: usize,
+        /// Number of access ports.
+        ports: usize,
+    },
+    /// Tracks of different lengths were grouped into one cluster.
+    MismatchedTrackLength {
+        /// Length of the first track.
+        expected: usize,
+        /// Length of the offending track.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtmError::DomainOutOfRange { index, len } => {
+                write!(f, "domain index {index} out of range for track with {len} domains")
+            }
+            RtmError::EmptyGeometry { what } => write!(f, "{what} must be non-zero"),
+            RtmError::PortOutOfRange { index, ports } => {
+                write!(f, "access port {index} out of range ({ports} ports)")
+            }
+            RtmError::MismatchedTrackLength { expected, found } => {
+                write!(f, "all tracks in a cluster must have the same length (expected {expected}, found {found})")
+            }
+        }
+    }
+}
+
+impl Error for RtmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = RtmError::DomainOutOfRange { index: 70, len: 64 };
+        let msg = err.to_string();
+        assert!(msg.contains("70"));
+        assert!(msg.contains("64"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtmError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Racetrack-memory (RTM) device model.
+//!
+//! Racetrack memory stores data as magnetic domains along a nanowire (a *track*).
+//! A track holds up to ~100 bits, and a small number of *access ports* can read or
+//! write the domain that is currently aligned with them. Accessing an arbitrary
+//! domain therefore requires *shifting* the domain walls until the desired domain
+//! sits under a port, which costs time, energy, and wear.
+//!
+//! This crate provides the device-level substrate used by the RTM-based
+//! content-addressable memories ([`cam`]) and associative processors ([`ap`]) of the
+//! CAM-only DNN inference stack:
+//!
+//! * [`Nanowire`] — a single track with shift/read/write operations and endurance
+//!   counters,
+//! * [`DomainBlockCluster`] — a group of tracks shifted in lockstep (DBC),
+//! * [`RtmTechnology`] — the timing/energy figures of merit,
+//! * [`AccessStats`] / [`endurance`] — accounting used by the accelerator-level
+//!   reports (shift counts, write endurance, estimated lifetime).
+//!
+//! # Example
+//!
+//! ```
+//! use rtm::{Nanowire, RtmTechnology};
+//!
+//! # fn main() -> Result<(), rtm::RtmError> {
+//! let tech = RtmTechnology::default();
+//! let mut wire = Nanowire::new(64, 1)?;
+//! wire.write_at(3, true)?;           // shifts to domain 3, then writes
+//! assert!(wire.read_at(3)?);
+//! let stats = wire.stats();
+//! assert!(stats.shifts > 0);
+//! let energy = tech.shift_energy_fj * stats.shifts as f64;
+//! assert!(energy > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`cam`]: https://docs.rs/cam
+//! [`ap`]: https://docs.rs/ap
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dbc;
+mod error;
+pub mod endurance;
+mod nanowire;
+mod stats;
+mod technology;
+
+pub use dbc::DomainBlockCluster;
+pub use error::RtmError;
+pub use nanowire::Nanowire;
+pub use stats::AccessStats;
+pub use technology::RtmTechnology;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RtmError>;

@@ -1,0 +1,318 @@
+use crate::{AccessStats, Result, RtmError};
+
+/// A single racetrack nanowire (track) storing one bit per magnetic domain.
+///
+/// The wire has a fixed number of domains and one or more access ports. Reading or
+/// writing a particular domain first requires shifting the domain walls so the
+/// target domain is aligned with the nearest access port; the number of shift steps
+/// is recorded in the wire's [`AccessStats`].
+///
+/// In the RTM-AP accelerator each CAM *cell* is one nanowire: the bits of a multi-bit
+/// operand (and, contiguously, the bits of further input channels) are stored along
+/// the track, and bit-serial processing walks the track one domain at a time, which
+/// is exactly the sequential access pattern RTM is fastest at.
+///
+/// # Example
+///
+/// ```
+/// use rtm::Nanowire;
+///
+/// # fn main() -> Result<(), rtm::RtmError> {
+/// let mut wire = Nanowire::new(8, 1)?;
+/// wire.write_at(5, true)?;
+/// assert!(wire.read_at(5)?);
+/// assert!(!wire.read_at(0)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nanowire {
+    domains: Vec<bool>,
+    /// Writes received by each domain (endurance tracking).
+    write_counts: Vec<u64>,
+    /// Domain index currently aligned with port 0. Ports are assumed equidistant.
+    position: usize,
+    ports: usize,
+    stats: AccessStats,
+}
+
+impl Nanowire {
+    /// Creates a nanowire with `domains` zero-initialised bits and `ports` access ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::EmptyGeometry`] if `domains` or `ports` is zero.
+    pub fn new(domains: usize, ports: usize) -> Result<Self> {
+        if domains == 0 {
+            return Err(RtmError::EmptyGeometry { what: "number of domains" });
+        }
+        if ports == 0 {
+            return Err(RtmError::EmptyGeometry { what: "number of access ports" });
+        }
+        Ok(Nanowire {
+            domains: vec![false; domains],
+            write_counts: vec![0; domains],
+            position: 0,
+            ports,
+            stats: AccessStats::new(),
+        })
+    }
+
+    /// Creates a nanowire whose domains are initialised from `bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::EmptyGeometry`] if `bits` is empty or `ports` is zero.
+    pub fn from_bits(bits: &[bool], ports: usize) -> Result<Self> {
+        let mut wire = Self::new(bits.len().max(1), ports)?;
+        if bits.is_empty() {
+            return Err(RtmError::EmptyGeometry { what: "number of domains" });
+        }
+        wire.domains.copy_from_slice(bits);
+        Ok(wire)
+    }
+
+    /// Number of domains (storable bits) in the track.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Returns `true` if the wire has no domains. Construction prevents this, so the
+    /// method exists only to satisfy the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Number of access ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Domain index currently aligned with access port 0.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Access counters collected so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets the access counters without touching the stored data.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::new();
+    }
+
+    /// Shift distance (number of one-domain moves) required to align `index` with the
+    /// nearest access port, given the current position.
+    ///
+    /// With `p` equidistant ports on a track of `n` domains, a domain is at most
+    /// `n / (2p)` shifts away; this model charges the minimal absolute distance.
+    pub fn shift_distance(&self, index: usize) -> usize {
+        let n = self.domains.len();
+        let segment = n.div_ceil(self.ports);
+        let raw = index.abs_diff(self.position);
+        // Another port may be closer: the best case is the distance modulo the
+        // port-to-port spacing, folded into the shorter direction.
+        let folded = raw % segment;
+        folded.min(segment - folded.min(segment))
+    }
+
+    /// Shifts the domain walls so that domain `index` is aligned with a port and
+    /// records the shift cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
+    pub fn align(&mut self, index: usize) -> Result<()> {
+        if index >= self.domains.len() {
+            return Err(RtmError::DomainOutOfRange { index, len: self.domains.len() });
+        }
+        let distance = self.shift_distance(index);
+        self.stats.shifts += distance as u64;
+        self.position = index;
+        Ok(())
+    }
+
+    /// Reads the domain at `index`, shifting first if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
+    pub fn read_at(&mut self, index: usize) -> Result<bool> {
+        self.align(index)?;
+        self.stats.reads += 1;
+        Ok(self.domains[index])
+    }
+
+    /// Writes `value` to the domain at `index`, shifting first if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
+    pub fn write_at(&mut self, index: usize, value: bool) -> Result<()> {
+        self.align(index)?;
+        self.stats.writes += 1;
+        self.write_counts[index] += 1;
+        self.stats.max_writes_per_domain =
+            self.stats.max_writes_per_domain.max(self.write_counts[index]);
+        self.domains[index] = value;
+        Ok(())
+    }
+
+    /// Reads the domain currently aligned with port 0 without shifting.
+    pub fn read_aligned(&mut self) -> bool {
+        self.stats.reads += 1;
+        self.domains[self.position]
+    }
+
+    /// Writes the domain currently aligned with port 0 without shifting.
+    pub fn write_aligned(&mut self, value: bool) {
+        self.stats.writes += 1;
+        self.write_counts[self.position] += 1;
+        self.stats.max_writes_per_domain =
+            self.stats.max_writes_per_domain.max(self.write_counts[self.position]);
+        self.domains[self.position] = value;
+    }
+
+    /// Returns the stored bit pattern without affecting position or statistics.
+    ///
+    /// This is a simulator convenience (a real device cannot observe all domains at
+    /// once); functional checks in tests use it to compare against expected contents.
+    pub fn snapshot(&self) -> &[bool] {
+        &self.domains
+    }
+
+    /// Per-domain write counts (endurance bookkeeping).
+    pub fn write_counts(&self) -> &[u64] {
+        &self.write_counts
+    }
+
+    /// Loads `bits` into the track starting at domain `offset`, counting one write per
+    /// domain. Used to stage input feature maps into the CAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtmError::DomainOutOfRange`] if the data does not fit.
+    pub fn load(&mut self, offset: usize, bits: &[bool]) -> Result<()> {
+        let end = offset + bits.len();
+        if end > self.domains.len() {
+            return Err(RtmError::DomainOutOfRange { index: end.saturating_sub(1), len: self.domains.len() });
+        }
+        for (i, &bit) in bits.iter().enumerate() {
+            self.write_at(offset + i, bit)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_empty_geometry() {
+        assert!(matches!(Nanowire::new(0, 1), Err(RtmError::EmptyGeometry { .. })));
+        assert!(matches!(Nanowire::new(8, 0), Err(RtmError::EmptyGeometry { .. })));
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut wire = Nanowire::new(16, 1).expect("geometry");
+        wire.write_at(7, true).expect("write");
+        wire.write_at(8, false).expect("write");
+        assert!(wire.read_at(7).expect("read"));
+        assert!(!wire.read_at(8).expect("read"));
+    }
+
+    #[test]
+    fn out_of_range_access_is_rejected() {
+        let mut wire = Nanowire::new(4, 1).expect("geometry");
+        assert!(matches!(wire.read_at(4), Err(RtmError::DomainOutOfRange { .. })));
+        assert!(matches!(wire.write_at(100, true), Err(RtmError::DomainOutOfRange { .. })));
+    }
+
+    #[test]
+    fn sequential_access_costs_one_shift_per_step() {
+        let mut wire = Nanowire::new(32, 1).expect("geometry");
+        for i in 0..32 {
+            wire.read_at(i).expect("read");
+        }
+        // Starting aligned at 0, walking 0..31 costs 31 shifts in total.
+        assert_eq!(wire.stats().shifts, 31);
+        assert_eq!(wire.stats().reads, 32);
+    }
+
+    #[test]
+    fn random_access_costs_more_shifts_than_sequential() {
+        let mut seq = Nanowire::new(64, 1).expect("geometry");
+        for i in 0..64 {
+            seq.read_at(i).expect("read");
+        }
+        let mut random = Nanowire::new(64, 1).expect("geometry");
+        for i in 0..32 {
+            random.read_at(i).expect("read");
+            random.read_at(63 - i).expect("read");
+        }
+        assert!(random.stats().shifts > seq.stats().shifts);
+    }
+
+    #[test]
+    fn multiple_ports_reduce_shift_distance() {
+        let single = Nanowire::new(64, 1).expect("geometry");
+        let quad = Nanowire::new(64, 4).expect("geometry");
+        assert!(quad.shift_distance(40) <= single.shift_distance(40));
+    }
+
+    #[test]
+    fn write_counts_track_endurance() {
+        let mut wire = Nanowire::new(8, 1).expect("geometry");
+        for _ in 0..5 {
+            wire.write_at(3, true).expect("write");
+        }
+        wire.write_at(2, false).expect("write");
+        assert_eq!(wire.write_counts()[3], 5);
+        assert_eq!(wire.write_counts()[2], 1);
+        assert_eq!(wire.stats().max_writes_per_domain, 5);
+    }
+
+    #[test]
+    fn load_writes_contiguously() {
+        let mut wire = Nanowire::new(8, 1).expect("geometry");
+        wire.load(2, &[true, false, true]).expect("load");
+        assert_eq!(wire.snapshot()[2..5], [true, false, true]);
+        assert!(wire.load(6, &[true; 4]).is_err());
+    }
+
+    #[test]
+    fn from_bits_preserves_content() {
+        let bits = [true, true, false, true];
+        let wire = Nanowire::from_bits(&bits, 1).expect("from_bits");
+        assert_eq!(wire.snapshot(), &bits);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_read_returns_last_written(len in 1usize..100, writes in proptest::collection::vec((0usize..100, any::<bool>()), 1..50)) {
+            let mut wire = Nanowire::new(len, 1).expect("geometry");
+            let mut model = vec![false; len];
+            for (idx, value) in writes {
+                let idx = idx % len;
+                wire.write_at(idx, value).expect("write");
+                model[idx] = value;
+            }
+            for i in 0..len {
+                prop_assert_eq!(wire.read_at(i).expect("read"), model[i]);
+            }
+        }
+
+        #[test]
+        fn prop_shift_distance_bounded_by_segment(len in 1usize..128, ports in 1usize..4, idx in 0usize..128) {
+            let wire = Nanowire::new(len, ports).expect("geometry");
+            let idx = idx % len;
+            let segment = len.div_ceil(ports);
+            prop_assert!(wire.shift_distance(idx) <= segment);
+        }
+    }
+}

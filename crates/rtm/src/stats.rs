@@ -1,0 +1,92 @@
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counters for the accesses performed on a nanowire or cluster.
+///
+/// The accelerator-level cost model converts these counts into energy and latency
+/// using an [`RtmTechnology`](crate::RtmTechnology).
+///
+/// # Example
+///
+/// ```
+/// use rtm::AccessStats;
+///
+/// let a = AccessStats { shifts: 3, reads: 1, writes: 1, max_writes_per_domain: 1 };
+/// let b = AccessStats { shifts: 2, reads: 0, writes: 4, max_writes_per_domain: 2 };
+/// let total = a + b;
+/// assert_eq!(total.shifts, 5);
+/// assert_eq!(total.writes, 5);
+/// assert_eq!(total.max_writes_per_domain, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Number of one-position domain-wall shifts.
+    pub shifts: u64,
+    /// Number of domain reads through an access port.
+    pub reads: u64,
+    /// Number of domain writes through an access port.
+    pub writes: u64,
+    /// Largest number of writes that any single domain has received (endurance proxy).
+    pub max_writes_per_domain: u64,
+}
+
+impl AccessStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of port operations (reads + writes), excluding shifts.
+    pub fn port_operations(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Returns `true` when no accesses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shifts == 0 && self.reads == 0 && self.writes == 0
+    }
+}
+
+impl Add for AccessStats {
+    type Output = AccessStats;
+
+    fn add(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            shifts: self.shifts + rhs.shifts,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            max_writes_per_domain: self.max_writes_per_domain.max(rhs.max_writes_per_domain),
+        }
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let stats = AccessStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.port_operations(), 0);
+    }
+
+    #[test]
+    fn addition_accumulates_and_maxes() {
+        let a = AccessStats { shifts: 1, reads: 2, writes: 3, max_writes_per_domain: 3 };
+        let b = AccessStats { shifts: 10, reads: 20, writes: 30, max_writes_per_domain: 1 };
+        let mut c = a;
+        c += b;
+        assert_eq!(c.shifts, 11);
+        assert_eq!(c.reads, 22);
+        assert_eq!(c.writes, 33);
+        assert_eq!(c.max_writes_per_domain, 3);
+        assert_eq!(c.port_operations(), 55);
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic datasets used for the accuracy experiments.
+//!
+//! The paper evaluates accuracy on CIFAR-10 and ImageNet with models trained by
+//! BIPROP; neither the datasets nor the trained checkpoints are available offline, so
+//! the accuracy experiments of this reproduction run on a synthetic, offline-trainable
+//! classification task instead (see DESIGN.md for the substitution argument). Images
+//! are small gray-scale patterns whose class determines the position and orientation
+//! of a bright blob, plus Gaussian noise.
+
+use crate::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One labelled sample: a `(1, size, size)` floating-point image and its class index.
+pub type Sample = (Tensor<f32>, usize);
+
+/// Generator for the synthetic blob-classification task.
+///
+/// # Example
+///
+/// ```
+/// use tnn::dataset::SyntheticBlobs;
+///
+/// let dataset = SyntheticBlobs::new(8, 3, 0.15);
+/// let samples = dataset.generate(32, 7);
+/// assert_eq!(samples.len(), 32);
+/// assert!(samples.iter().all(|(image, label)| image.shape() == [1, 8, 8] && *label < 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticBlobs {
+    size: usize,
+    classes: usize,
+    noise: f32,
+}
+
+impl SyntheticBlobs {
+    /// Creates a generator for `classes` classes of `size × size` images with
+    /// additive Gaussian-ish noise of standard deviation `noise`.
+    pub fn new(size: usize, classes: usize, noise: f32) -> Self {
+        SyntheticBlobs { size, classes, noise }
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of input features per image (`size * size`).
+    pub fn features(&self) -> usize {
+        self.size * self.size
+    }
+
+    /// Generates `count` labelled samples deterministically from `seed`.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| {
+                let label = i % self.classes;
+                (self.sample_for_class(label, &mut rng), label)
+            })
+            .collect()
+    }
+
+    fn sample_for_class(&self, label: usize, rng: &mut ChaCha8Rng) -> Tensor<f32> {
+        let mut data = vec![0.0f32; self.size * self.size];
+        // Each class places its blob at a distinct angle around the image centre.
+        let angle = (label as f32 / self.classes as f32) * std::f32::consts::TAU;
+        let centre = (self.size as f32 - 1.0) / 2.0;
+        let radius = self.size as f32 / 4.0;
+        let cy = centre + radius * angle.sin();
+        let cx = centre + radius * angle.cos();
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dy = y as f32 - cy;
+                let dx = x as f32 - cx;
+                let value = (-(dy * dy + dx * dx) / 4.0).exp();
+                // Box-Muller-free noise: sum of uniforms is close enough to Gaussian here.
+                let noise: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * self.noise;
+                data[y * self.size + x] = (value + noise).max(0.0);
+            }
+        }
+        Tensor::from_vec(vec![1, self.size, self.size], data).expect("generated data matches shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_balanced() {
+        let dataset = SyntheticBlobs::new(8, 4, 0.1);
+        let a = dataset.generate(40, 3);
+        let b = dataset.generate(40, 3);
+        assert_eq!(a.len(), b.len());
+        for ((img_a, label_a), (img_b, label_b)) in a.iter().zip(&b) {
+            assert_eq!(label_a, label_b);
+            assert_eq!(img_a.as_slice(), img_b.as_slice());
+        }
+        for class in 0..4 {
+            assert_eq!(a.iter().filter(|(_, l)| *l == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // The mean images of two classes must differ substantially more than the
+        // noise level, otherwise the accuracy experiment is meaningless.
+        let dataset = SyntheticBlobs::new(8, 3, 0.1);
+        let samples = dataset.generate(90, 5);
+        let mean_image = |class: usize| -> Vec<f32> {
+            let imgs: Vec<_> = samples.iter().filter(|(_, l)| *l == class).collect();
+            let mut mean = vec![0.0f32; 64];
+            for (img, _) in &imgs {
+                for (m, v) in mean.iter_mut().zip(img.as_slice()) {
+                    *m += v / imgs.len() as f32;
+                }
+            }
+            mean
+        };
+        let a = mean_image(0);
+        let b = mean_image(1);
+        let distance: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(distance > 1.0, "class means too close: {distance}");
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let dataset = SyntheticBlobs::new(10, 5, 0.0);
+        assert_eq!(dataset.size(), 10);
+        assert_eq!(dataset.classes(), 5);
+        assert_eq!(dataset.features(), 100);
+    }
+}

@@ -1,0 +1,188 @@
+//! The im2col transformation (Fig. 1 of the paper).
+//!
+//! To vectorise a convolution on the associative processor, every sliding window of
+//! the input feature map is laid out as a column: the patch offsets (`fh*fw`) become
+//! CAM columns and the output positions (`Hout*Wout`) become CAM rows. The functions
+//! here produce exactly that layout from a `(C, H, W)` activation tensor.
+
+use crate::{Result, Tensor, TnnError};
+
+/// Parameters of a sliding-window extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2colSpec {
+    /// Kernel height.
+    pub fh: usize,
+    /// Kernel width.
+    pub fw: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Im2colSpec {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_hw(&self, input_hw: (usize, usize)) -> (usize, usize) {
+        let h = (input_hw.0 + 2 * self.padding).saturating_sub(self.fh) / self.stride + 1;
+        let w = (input_hw.1 + 2 * self.padding).saturating_sub(self.fw) / self.stride + 1;
+        (h, w)
+    }
+}
+
+/// Extracts the im2col matrix of a single channel.
+///
+/// The result has shape `[fh * fw, hout * wout]`: element `(k, p)` is the activation
+/// at patch offset `k` of output position `p` (zero for padded positions). This is
+/// the per-input-channel layout the RTM-AP stores: patch offsets map to CAM columns,
+/// output positions to CAM rows (§IV-B).
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if `input` is not a 3-D `(C, H, W)`
+/// tensor or `channel` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use tnn::im2col::{im2col_channel, Im2colSpec};
+/// use tnn::Tensor;
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i64>>())?;
+/// let spec = Im2colSpec { fh: 2, fw: 2, stride: 1, padding: 0 };
+/// let cols = im2col_channel(&input, 0, spec)?;
+/// assert_eq!(cols.shape(), &[4, 4]);
+/// // First output position sees the top-left 2x2 patch 1,2,4,5.
+/// assert_eq!(*cols.get(&[0, 0])?, 1);
+/// assert_eq!(*cols.get(&[3, 0])?, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn im2col_channel(input: &Tensor<i64>, channel: usize, spec: Im2colSpec) -> Result<Tensor<i64>> {
+    if input.ndim() != 3 {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("im2col expects a (C, H, W) tensor, got {:?}", input.shape()),
+        });
+    }
+    let (channels, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    if channel >= channels {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("channel {channel} out of range for {channels} channels"),
+        });
+    }
+    let (hout, wout) = spec.output_hw((height, width));
+    let mut out = Tensor::zeros(vec![spec.fh * spec.fw, hout * wout]);
+    for oh in 0..hout {
+        for ow in 0..wout {
+            let position = oh * wout + ow;
+            for kh in 0..spec.fh {
+                for kw in 0..spec.fw {
+                    let ih = (oh * spec.stride + kh) as isize - spec.padding as isize;
+                    let iw = (ow * spec.stride + kw) as isize - spec.padding as isize;
+                    let value = if ih >= 0 && iw >= 0 && (ih as usize) < height && (iw as usize) < width {
+                        *input.get(&[channel, ih as usize, iw as usize])?
+                    } else {
+                        0
+                    };
+                    *out.get_mut(&[kh * spec.fw + kw, position])? = value;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts the full im2col matrix across all channels, shaped
+/// `[cin * fh * fw, hout * wout]` with the channel index varying slowest.
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if `input` is not a 3-D `(C, H, W)` tensor.
+pub fn im2col(input: &Tensor<i64>, spec: Im2colSpec) -> Result<Tensor<i64>> {
+    if input.ndim() != 3 {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("im2col expects a (C, H, W) tensor, got {:?}", input.shape()),
+        });
+    }
+    let channels = input.shape()[0];
+    let (hout, wout) = spec.output_hw((input.shape()[1], input.shape()[2]));
+    let patch = spec.fh * spec.fw;
+    let mut out = Tensor::zeros(vec![channels * patch, hout * wout]);
+    for channel in 0..channels {
+        let single = im2col_channel(input, channel, spec)?;
+        for k in 0..patch {
+            for p in 0..hout * wout {
+                *out.get_mut(&[channel * patch + k, p])? = *single.get(&[k, p])?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(c: usize, h: usize, w: usize) -> Tensor<i64> {
+        Tensor::from_vec(vec![c, h, w], (0..(c * h * w) as i64).collect()).expect("shape")
+    }
+
+    #[test]
+    fn identity_kernel_is_a_flatten() {
+        let input = ramp(1, 3, 3);
+        let spec = Im2colSpec { fh: 1, fw: 1, stride: 1, padding: 0 };
+        let cols = im2col_channel(&input, 0, spec).expect("im2col");
+        assert_eq!(cols.shape(), &[1, 9]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn padding_produces_zeros_at_the_border() {
+        let input = ramp(1, 2, 2);
+        let spec = Im2colSpec { fh: 3, fw: 3, stride: 1, padding: 1 };
+        let cols = im2col_channel(&input, 0, spec).expect("im2col");
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Output position 0 (top-left): the centre of the 3x3 patch is input (0,0)=0,
+        // and the top-left patch offset falls entirely in the padding.
+        assert_eq!(*cols.get(&[0, 0]).expect("get"), 0);
+        assert_eq!(*cols.get(&[4, 0]).expect("get"), 0);
+        assert_eq!(*cols.get(&[8, 0]).expect("get"), 3);
+    }
+
+    #[test]
+    fn stride_skips_positions() {
+        let input = ramp(1, 4, 4);
+        let spec = Im2colSpec { fh: 2, fw: 2, stride: 2, padding: 0 };
+        let cols = im2col_channel(&input, 0, spec).expect("im2col");
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Second output position starts at column 2 of the input.
+        assert_eq!(*cols.get(&[0, 1]).expect("get"), 2);
+    }
+
+    #[test]
+    fn multi_channel_layout_stacks_channels() {
+        let input = ramp(2, 3, 3);
+        let spec = Im2colSpec { fh: 2, fw: 2, stride: 1, padding: 0 };
+        let cols = im2col(&input, spec).expect("im2col");
+        assert_eq!(cols.shape(), &[2 * 4, 4]);
+        // Channel 1 starts at row 4 and its first element is input[1][0][0] = 9.
+        assert_eq!(*cols.get(&[4, 0]).expect("get"), 9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let flat = Tensor::from_vec(vec![4], vec![0i64; 4]).expect("shape");
+        let spec = Im2colSpec { fh: 1, fw: 1, stride: 1, padding: 0 };
+        assert!(im2col(&flat, spec).is_err());
+        let input = ramp(1, 3, 3);
+        assert!(im2col_channel(&input, 2, spec).is_err());
+    }
+
+    #[test]
+    fn output_size_matches_conv_arithmetic() {
+        let spec = Im2colSpec { fh: 7, fw: 7, stride: 2, padding: 3 };
+        assert_eq!(spec.output_hw((224, 224)), (112, 112));
+        let spec = Im2colSpec { fh: 3, fw: 3, stride: 1, padding: 1 };
+        assert_eq!(spec.output_hw((56, 56)), (56, 56));
+    }
+}

@@ -1,0 +1,369 @@
+//! Reference integer inference engine.
+//!
+//! This is the software ground truth of the stack: the associative processor must
+//! produce *bit-identical* partial sums, which is how the paper's "retains software
+//! accuracy" claim is verified in this reproduction (see DESIGN.md). The engine
+//! executes the model graph on `i64` activations with ternary weights, so every
+//! multiply is a `+x`, `-x` or nothing.
+
+use crate::layer::{Conv2d, LayerOp, Linear};
+use crate::model::{ModelGraph, Source};
+use crate::{Result, Tensor, TnnError};
+
+/// Direct ternary convolution of a `(C, H, W)` integer tensor.
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if the input is not 3-D or its channel
+/// count does not match the layer.
+///
+/// # Example
+///
+/// ```
+/// use tnn::infer::conv2d;
+/// use tnn::layer::Conv2d;
+/// use tnn::{Tensor, TernaryTensor};
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let weights = TernaryTensor::from_vec(vec![1, 1, 2, 2], vec![1, -1, 0, 1])?;
+/// let conv = Conv2d::new("toy", weights, 1, 0)?;
+/// let input = Tensor::from_vec(vec![1, 2, 2], vec![5, 3, 2, 7])?;
+/// let output = conv2d(&input, &conv)?;
+/// assert_eq!(output.as_slice(), &[5 - 3 + 7]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(input: &Tensor<i64>, layer: &Conv2d) -> Result<Tensor<i64>> {
+    if input.ndim() != 3 {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("convolution expects a (C, H, W) tensor, got {:?}", input.shape()),
+        });
+    }
+    let (cin, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    if cin != layer.cin() {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("layer '{}' expects {} channels, input has {cin}", layer.name, layer.cin()),
+        });
+    }
+    let (fh, fw) = layer.kernel();
+    let (hout, wout) = layer.output_hw((height, width));
+    let mut output = Tensor::zeros(vec![layer.cout(), hout, wout]);
+    for ofm in 0..layer.cout() {
+        for oh in 0..hout {
+            for ow in 0..wout {
+                let mut acc: i64 = 0;
+                for ifm in 0..cin {
+                    for kh in 0..fh {
+                        for kw in 0..fw {
+                            let ih = (oh * layer.stride + kh) as isize - layer.padding as isize;
+                            let iw = (ow * layer.stride + kw) as isize - layer.padding as isize;
+                            if ih < 0 || iw < 0 || ih as usize >= height || iw as usize >= width {
+                                continue;
+                            }
+                            let weight = layer.weights.get(&[ofm, ifm, kh, kw])?;
+                            if weight == 0 {
+                                continue;
+                            }
+                            let x = *input.get(&[ifm, ih as usize, iw as usize])?;
+                            if weight > 0 {
+                                acc += x;
+                            } else {
+                                acc -= x;
+                            }
+                        }
+                    }
+                }
+                *output.get_mut(&[ofm, oh, ow])? = acc;
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Ternary fully connected layer applied to the flattened input.
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if the flattened input length does not
+/// match the layer's input features.
+pub fn linear(input: &Tensor<i64>, layer: &Linear) -> Result<Tensor<i64>> {
+    let flat = input.as_slice();
+    if flat.len() != layer.in_features() {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!(
+                "layer '{}' expects {} features, input has {}",
+                layer.name,
+                layer.in_features(),
+                flat.len()
+            ),
+        });
+    }
+    let mut output = Tensor::zeros(vec![layer.out_features(), 1, 1]);
+    for out_idx in 0..layer.out_features() {
+        let mut acc = 0i64;
+        for (in_idx, &x) in flat.iter().enumerate() {
+            match layer.weights.get(&[out_idx, in_idx])? {
+                1 => acc += x,
+                -1 => acc -= x,
+                _ => {}
+            }
+        }
+        *output.get_mut(&[out_idx, 0, 0])? = acc;
+    }
+    Ok(output)
+}
+
+/// Max pooling with a square window.
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if the input is not 3-D.
+pub fn max_pool2d(input: &Tensor<i64>, kernel: usize, stride: usize) -> Result<Tensor<i64>> {
+    if input.ndim() != 3 {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("pooling expects a (C, H, W) tensor, got {:?}", input.shape()),
+        });
+    }
+    let (channels, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let hout = (height.saturating_sub(kernel)) / stride + 1;
+    let wout = (width.saturating_sub(kernel)) / stride + 1;
+    let mut output = Tensor::zeros(vec![channels, hout, wout]);
+    for c in 0..channels {
+        for oh in 0..hout {
+            for ow in 0..wout {
+                let mut best = i64::MIN;
+                for kh in 0..kernel {
+                    for kw in 0..kernel {
+                        let value = *input.get(&[c, oh * stride + kh, ow * stride + kw])?;
+                        best = best.max(value);
+                    }
+                }
+                *output.get_mut(&[c, oh, ow])? = best;
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Global average pooling (integer mean, rounded toward zero).
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] if the input is not 3-D.
+pub fn global_avg_pool(input: &Tensor<i64>) -> Result<Tensor<i64>> {
+    if input.ndim() != 3 {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("pooling expects a (C, H, W) tensor, got {:?}", input.shape()),
+        });
+    }
+    let (channels, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let count = (height * width) as i64;
+    let mut output = Tensor::zeros(vec![channels, 1, 1]);
+    for c in 0..channels {
+        let mut sum = 0i64;
+        for h in 0..height {
+            for w in 0..width {
+                sum += *input.get(&[c, h, w])?;
+            }
+        }
+        *output.get_mut(&[c, 0, 0])? = if count == 0 { 0 } else { sum / count };
+    }
+    Ok(output)
+}
+
+/// Rectified linear unit.
+pub fn relu(input: &Tensor<i64>) -> Tensor<i64> {
+    input.map(|&v| v.max(0))
+}
+
+/// Dynamic requantization: shifts the tensor right just enough for its maximum
+/// absolute value to fit into `bits` unsigned bits, returning the shifted tensor and
+/// the shift amount that was applied.
+pub fn requantize(input: &Tensor<i64>, bits: u8) -> (Tensor<i64>, u32) {
+    let max = input.max_abs();
+    let limit = (1i64 << bits) - 1;
+    let mut shift = 0u32;
+    while (max >> shift) > limit {
+        shift += 1;
+    }
+    (input.map(|&v| (v >> shift).clamp(0, limit)), shift)
+}
+
+/// Element-wise addition of two tensors of identical shape.
+///
+/// # Errors
+///
+/// Returns [`TnnError::IncompatibleShapes`] when the shapes differ.
+pub fn add(a: &Tensor<i64>, b: &Tensor<i64>) -> Result<Tensor<i64>> {
+    if a.shape() != b.shape() {
+        return Err(TnnError::IncompatibleShapes {
+            reason: format!("cannot add tensors of shapes {:?} and {:?}", a.shape(), b.shape()),
+        });
+    }
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+/// The result of running the reference engine over a model graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceTrace {
+    /// Output tensor of every node, in graph order.
+    pub node_outputs: Vec<Tensor<i64>>,
+}
+
+impl InferenceTrace {
+    /// The final node's output (the model output / logits).
+    pub fn output(&self) -> Option<&Tensor<i64>> {
+        self.node_outputs.last()
+    }
+
+    /// Index of the largest logit of the final output (the predicted class).
+    pub fn predicted_class(&self) -> Option<usize> {
+        self.output().and_then(|logits| {
+            logits
+                .as_slice()
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &v)| v)
+                .map(|(i, _)| i)
+        })
+    }
+}
+
+/// Runs the reference integer inference over the whole model graph.
+///
+/// The activation precision of `Requantize` nodes is taken from the graph; callers
+/// who want to evaluate a different precision can pass `act_bits_override`.
+///
+/// # Errors
+///
+/// Returns an error when a layer's shape expectations are violated.
+pub fn run(model: &ModelGraph, input: &Tensor<i64>, act_bits_override: Option<u8>) -> Result<InferenceTrace> {
+    let mut outputs: Vec<Tensor<i64>> = Vec::with_capacity(model.nodes().len());
+    for node in model.nodes() {
+        let fetch = |source: &Source| -> &Tensor<i64> {
+            match source {
+                Source::Input => input,
+                Source::Node(i) => &outputs[*i],
+            }
+        };
+        let first = node.inputs.first().map(fetch).ok_or_else(|| TnnError::MalformedGraph {
+            reason: "node without inputs".to_string(),
+        })?;
+        let result = match &node.op {
+            LayerOp::Conv2d(conv) => conv2d(first, conv)?,
+            LayerOp::Linear(fc) => linear(first, fc)?,
+            LayerOp::MaxPool2d { kernel, stride } => max_pool2d(first, *kernel, *stride)?,
+            LayerOp::GlobalAvgPool => global_avg_pool(first)?,
+            LayerOp::Relu => relu(first),
+            LayerOp::Requantize { bits } => requantize(first, act_bits_override.unwrap_or(*bits)).0,
+            LayerOp::Add => {
+                let second = node.inputs.get(1).map(fetch).ok_or_else(|| TnnError::MalformedGraph {
+                    reason: "add node needs two inputs".to_string(),
+                })?;
+                add(first, second)?
+            }
+        };
+        outputs.push(result);
+    }
+    Ok(InferenceTrace { node_outputs: outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::vgg9;
+    use crate::TernaryTensor;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv_matches_hand_computation() {
+        let weights = TernaryTensor::from_vec(vec![2, 1, 2, 2], vec![1, 0, 0, -1, 1, 1, 1, 1]).expect("weights");
+        let conv = Conv2d::new("toy", weights, 1, 0).expect("conv");
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i64>>()).expect("input");
+        let out = conv2d(&input, &conv).expect("conv");
+        assert_eq!(out.shape(), &[2, 2, 2]);
+        // Filter 0 computes x[0][0] - x[1][1] for each patch.
+        assert_eq!(*out.get(&[0, 0, 0]).expect("get"), 1 - 5);
+        assert_eq!(*out.get(&[0, 1, 1]).expect("get"), 5 - 9);
+        // Filter 1 sums the whole patch.
+        assert_eq!(*out.get(&[1, 0, 0]).expect("get"), 1 + 2 + 4 + 5);
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let weights = TernaryTensor::random(vec![2, 3, 3, 3], 0.5, 0);
+        let conv = Conv2d::new("bad", weights, 1, 1).expect("conv");
+        let input = Tensor::zeros(vec![1, 4, 4]);
+        assert!(conv2d(&input, &conv).is_err());
+    }
+
+    #[test]
+    fn linear_matches_matrix_vector_product() {
+        let weights = TernaryTensor::from_vec(vec![2, 3], vec![1, -1, 0, 0, 1, 1]).expect("weights");
+        let fc = Linear::new("fc", weights).expect("linear");
+        let input = Tensor::from_vec(vec![3, 1, 1], vec![10, 3, 7]).expect("input");
+        let out = linear(&input, &fc).expect("linear");
+        assert_eq!(out.as_slice(), &[7, 10]);
+    }
+
+    #[test]
+    fn pooling_and_relu_behave() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![-5, 2, 7, 1]).expect("input");
+        let pooled = max_pool2d(&input, 2, 2).expect("pool");
+        assert_eq!(pooled.as_slice(), &[7]);
+        assert_eq!(relu(&input).as_slice(), &[0, 2, 7, 1]);
+        let avg = global_avg_pool(&input).expect("avg");
+        assert_eq!(avg.as_slice(), &[1]); // (-5 + 2 + 7 + 1) / 4
+    }
+
+    #[test]
+    fn requantize_fits_target_bits() {
+        let input = Tensor::from_vec(vec![4], vec![0, 100, 260, 1023]).expect("input");
+        let (q, shift) = requantize(&input, 8);
+        assert!(shift >= 2);
+        assert!(q.as_slice().iter().all(|&v| v >= 0 && v <= 255));
+        let (q4, _) = requantize(&input, 4);
+        assert!(q4.as_slice().iter().all(|&v| v >= 0 && v <= 15));
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let a = Tensor::from_vec(vec![2], vec![1i64, 2]).expect("a");
+        let b = Tensor::from_vec(vec![2], vec![10i64, 20]).expect("b");
+        assert_eq!(add(&a, &b).expect("add").as_slice(), &[11, 22]);
+        let c = Tensor::from_vec(vec![3], vec![0i64; 3]).expect("c");
+        assert!(add(&a, &c).is_err());
+    }
+
+    #[test]
+    fn full_graph_runs_on_a_small_model() {
+        // Shrink VGG-9 spatially by feeding the CIFAR input directly; this exercises
+        // conv, relu, requantize, pooling and the fully connected classifier.
+        let model = vgg9(0.95, 9);
+        let input = Tensor::full(vec![3, 32, 32], 3i64);
+        let trace = run(&model, &input, Some(4)).expect("run");
+        assert_eq!(trace.node_outputs.len(), model.nodes().len());
+        let logits = trace.output().expect("output");
+        assert_eq!(logits.as_slice().len(), 10);
+        assert!(trace.predicted_class().is_some());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_conv_linearity_in_input(scale in 1i64..4) {
+            // Ternary convolution is linear: conv(k * x) = k * conv(x).
+            let weights = TernaryTensor::random(vec![2, 2, 3, 3], 0.5, 11);
+            let conv = Conv2d::new("lin", weights, 1, 1).expect("conv");
+            let base = Tensor::from_vec(vec![2, 5, 5], (0..50i64).collect()).expect("input");
+            let scaled = base.map(|&v| v * scale);
+            let out_base = conv2d(&base, &conv).expect("conv");
+            let out_scaled = conv2d(&scaled, &conv).expect("conv");
+            for (a, b) in out_base.as_slice().iter().zip(out_scaled.as_slice()) {
+                prop_assert_eq!(a * scale, *b);
+            }
+        }
+    }
+}

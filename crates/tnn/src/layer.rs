@@ -1,0 +1,227 @@
+//! Layer definitions for ternary-weight networks.
+//!
+//! Layers carry the static information the compiler and the accelerator mapping need
+//! (weights, strides, padding) and are executed by the reference integer inference
+//! engine in [`infer`](crate::infer).
+
+use crate::{Result, TernaryTensor, TnnError};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution with ternary weights.
+///
+/// Weights are stored as `[cout, cin, fh, fw]`.
+///
+/// # Example
+///
+/// ```
+/// use tnn::layer::Conv2d;
+/// use tnn::TernaryTensor;
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let weights = TernaryTensor::random(vec![8, 3, 3, 3], 0.8, 1);
+/// let conv = Conv2d::new("stem", weights, 1, 1)?;
+/// assert_eq!(conv.output_hw((32, 32)), (32, 32));
+/// assert_eq!(conv.cout(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Human-readable layer name (used in per-layer reports).
+    pub name: String,
+    /// Ternary weights `[cout, cin, fh, fw]`.
+    pub weights: TernaryTensor,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TnnError::InvalidArgument`] if the weights are not 4-dimensional or
+    /// the stride is zero.
+    pub fn new(name: impl Into<String>, weights: TernaryTensor, stride: usize, padding: usize) -> Result<Self> {
+        if weights.shape().len() != 4 {
+            return Err(TnnError::InvalidArgument {
+                reason: format!("convolution weights must be 4-D, got {:?}", weights.shape()),
+            });
+        }
+        if stride == 0 {
+            return Err(TnnError::InvalidArgument { reason: "stride must be non-zero".to_string() });
+        }
+        Ok(Conv2d { name: name.into(), weights, stride, padding })
+    }
+
+    /// Number of output channels.
+    pub fn cout(&self) -> usize {
+        self.weights.shape()[0]
+    }
+
+    /// Number of input channels.
+    pub fn cin(&self) -> usize {
+        self.weights.shape()[1]
+    }
+
+    /// Kernel height and width.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.weights.shape()[2], self.weights.shape()[3])
+    }
+
+    /// Output spatial size for a given input spatial size.
+    pub fn output_hw(&self, input_hw: (usize, usize)) -> (usize, usize) {
+        let (fh, fw) = self.kernel();
+        let h = (input_hw.0 + 2 * self.padding).saturating_sub(fh) / self.stride + 1;
+        let w = (input_hw.1 + 2 * self.padding).saturating_sub(fw) / self.stride + 1;
+        (h, w)
+    }
+
+    /// Number of multiply-accumulate operations for a given input spatial size.
+    pub fn macs(&self, input_hw: (usize, usize)) -> u64 {
+        let (h, w) = self.output_hw(input_hw);
+        let (fh, fw) = self.kernel();
+        (self.cout() * self.cin() * fh * fw * h * w) as u64
+    }
+}
+
+/// A fully connected layer with ternary weights, stored as `[out_features, in_features]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Ternary weights `[out_features, in_features]`.
+    pub weights: TernaryTensor,
+}
+
+impl Linear {
+    /// Creates a fully connected layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TnnError::InvalidArgument`] if the weights are not 2-dimensional.
+    pub fn new(name: impl Into<String>, weights: TernaryTensor) -> Result<Self> {
+        if weights.shape().len() != 2 {
+            return Err(TnnError::InvalidArgument {
+                reason: format!("linear weights must be 2-D, got {:?}", weights.shape()),
+            });
+        }
+        Ok(Linear { name: name.into(), weights })
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weights.shape()[0]
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weights.shape()[1]
+    }
+}
+
+/// One operation of the model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerOp {
+    /// Ternary 2-D convolution.
+    Conv2d(Conv2d),
+    /// Ternary fully connected layer (applied to the flattened input).
+    Linear(Linear),
+    /// Max pooling with a square window.
+    MaxPool2d {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling down to 1×1 per channel (integer mean).
+    GlobalAvgPool,
+    /// Rectified linear unit.
+    Relu,
+    /// Dynamic requantization of activations down to `bits` unsigned bits.
+    ///
+    /// This models the fused activation-function + store step of the accelerator
+    /// (§IV-B) and stands in for the learned LSQ scales: the tensor is shifted right
+    /// just enough for its maximum to fit in `bits` bits.
+    Requantize {
+        /// Target activation width in bits.
+        bits: u8,
+    },
+    /// Element-wise addition of two inputs (residual connection).
+    Add,
+}
+
+impl LayerOp {
+    /// A short human-readable description of the operation.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LayerOp::Conv2d(_) => "conv2d",
+            LayerOp::Linear(_) => "linear",
+            LayerOp::MaxPool2d { .. } => "maxpool2d",
+            LayerOp::GlobalAvgPool => "global_avg_pool",
+            LayerOp::Relu => "relu",
+            LayerOp::Requantize { .. } => "requantize",
+            LayerOp::Add => "add",
+        }
+    }
+
+    /// Returns `true` when the operation carries ternary weights (convolution or
+    /// fully connected).
+    pub fn has_weights(&self) -> bool {
+        matches!(self, LayerOp::Conv2d(_) | LayerOp::Linear(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_math() {
+        let weights = TernaryTensor::random(vec![64, 3, 7, 7], 0.8, 0);
+        let conv = Conv2d::new("stem", weights, 2, 3).expect("conv");
+        assert_eq!(conv.cout(), 64);
+        assert_eq!(conv.cin(), 3);
+        assert_eq!(conv.kernel(), (7, 7));
+        assert_eq!(conv.output_hw((224, 224)), (112, 112));
+        assert_eq!(conv.macs((224, 224)), 64 * 3 * 7 * 7 * 112 * 112);
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_size() {
+        let weights = TernaryTensor::random(vec![16, 16, 3, 3], 0.5, 0);
+        let conv = Conv2d::new("body", weights, 1, 1).expect("conv");
+        assert_eq!(conv.output_hw((56, 56)), (56, 56));
+    }
+
+    #[test]
+    fn conv_rejects_bad_arguments() {
+        let weights = TernaryTensor::random(vec![16, 16, 3], 0.5, 0);
+        assert!(Conv2d::new("bad", weights, 1, 1).is_err());
+        let weights = TernaryTensor::random(vec![16, 16, 3, 3], 0.5, 0);
+        assert!(Conv2d::new("bad", weights, 0, 1).is_err());
+    }
+
+    #[test]
+    fn linear_shape_accessors() {
+        let weights = TernaryTensor::random(vec![10, 512], 0.8, 0);
+        let fc = Linear::new("classifier", weights).expect("linear");
+        assert_eq!(fc.out_features(), 10);
+        assert_eq!(fc.in_features(), 512);
+        assert!(Linear::new("bad", TernaryTensor::random(vec![10], 0.8, 0)).is_err());
+    }
+
+    #[test]
+    fn layer_op_classification() {
+        let conv = LayerOp::Conv2d(
+            Conv2d::new("c", TernaryTensor::random(vec![1, 1, 1, 1], 0.0, 0), 1, 0).expect("conv"),
+        );
+        assert!(conv.has_weights());
+        assert_eq!(conv.kind_name(), "conv2d");
+        assert!(!LayerOp::Relu.has_weights());
+        assert_eq!(LayerOp::Requantize { bits: 4 }.kind_name(), "requantize");
+    }
+}

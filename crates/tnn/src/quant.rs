@@ -1,0 +1,160 @@
+use crate::{Result, TnnError};
+use serde::{Deserialize, Serialize};
+
+/// A uniform, unsigned activation quantizer in the spirit of learned step size
+/// quantization (LSQ, Esser et al. 2019).
+///
+/// LSQ learns a per-layer step size during training; at inference time the effect is
+/// a plain uniform quantizer `q = clamp(round(x / step), 0, 2^bits - 1)`. The paper
+/// uses 4-bit and 8-bit activations; this type calibrates the step from data (the
+/// offline substitute for the learned value) and converts between real and quantized
+/// domains.
+///
+/// # Example
+///
+/// ```
+/// use tnn::Quantizer;
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let q = Quantizer::calibrate(4, &[0.0, 0.5, 1.0, 1.5, 3.0])?;
+/// assert_eq!(q.bits(), 4);
+/// assert_eq!(q.quantize(3.0), 15);          // full scale
+/// assert_eq!(q.quantize(-1.0), 0);          // clamped at zero (post-ReLU domain)
+/// let x = q.dequantize(q.quantize(1.5));
+/// assert!((x - 1.5).abs() < q.step());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: u8,
+    step: f32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with an explicit step size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TnnError::InvalidArgument`] if `bits` is outside `1..=16` or `step`
+    /// is not a positive finite number.
+    pub fn new(bits: u8, step: f32) -> Result<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(TnnError::InvalidArgument {
+                reason: format!("activation bit width {bits} must be in 1..=16"),
+            });
+        }
+        if !(step.is_finite() && step > 0.0) {
+            return Err(TnnError::InvalidArgument {
+                reason: format!("quantization step {step} must be positive and finite"),
+            });
+        }
+        Ok(Quantizer { bits, step })
+    }
+
+    /// Calibrates the step size from sample activations so that the maximum observed
+    /// value maps to the top of the quantized range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TnnError::InvalidArgument`] if `bits` is out of range or no positive
+    /// samples are provided.
+    pub fn calibrate(bits: u8, samples: &[f32]) -> Result<Self> {
+        let max = samples.iter().copied().fold(0.0f32, f32::max);
+        if max <= 0.0 {
+            return Err(TnnError::InvalidArgument {
+                reason: "calibration requires at least one positive activation sample".to_string(),
+            });
+        }
+        let levels = (1u32 << bits.min(16)) - 1;
+        Quantizer::new(bits, max / levels as f32)
+    }
+
+    /// The activation bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The quantization step size.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Largest representable quantized value (`2^bits - 1`).
+    pub fn max_level(&self) -> i64 {
+        (1i64 << self.bits) - 1
+    }
+
+    /// Quantizes a real activation into `[0, 2^bits - 1]`.
+    pub fn quantize(&self, value: f32) -> i64 {
+        let q = (value / self.step).round() as i64;
+        q.clamp(0, self.max_level())
+    }
+
+    /// Converts a quantized activation back to the real domain.
+    pub fn dequantize(&self, level: i64) -> f32 {
+        level as f32 * self.step
+    }
+
+    /// Quantizes a whole slice.
+    pub fn quantize_all(&self, values: &[f32]) -> Vec<i64> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_validates_arguments() {
+        assert!(Quantizer::new(0, 1.0).is_err());
+        assert!(Quantizer::new(17, 1.0).is_err());
+        assert!(Quantizer::new(4, 0.0).is_err());
+        assert!(Quantizer::new(4, f32::NAN).is_err());
+        assert!(Quantizer::new(8, 0.5).is_ok());
+    }
+
+    #[test]
+    fn calibration_maps_max_to_full_scale() {
+        let q = Quantizer::calibrate(8, &[0.1, 2.0, 1.3]).expect("calibrate");
+        assert_eq!(q.quantize(2.0), 255);
+        assert_eq!(q.quantize(0.0), 0);
+        assert!(Quantizer::calibrate(8, &[-1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn quantize_clamps_to_range() {
+        let q = Quantizer::new(4, 0.25).expect("new");
+        assert_eq!(q.quantize(100.0), 15);
+        assert_eq!(q.quantize(-3.0), 0);
+        assert_eq!(q.max_level(), 15);
+    }
+
+    #[test]
+    fn four_bits_keep_quantization_error_within_half_step() {
+        let q = Quantizer::calibrate(4, &[4.0]).expect("calibrate");
+        for i in 0..=40 {
+            let x = i as f32 * 0.1;
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.step() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_error_bounded(bits in 2u8..9, value in 0.0f32..10.0) {
+            let q = Quantizer::calibrate(bits, &[10.0]).expect("calibrate");
+            let err = (q.dequantize(q.quantize(value)) - value).abs();
+            prop_assert!(err <= q.step() / 2.0 + 1e-5);
+        }
+
+        #[test]
+        fn prop_quantized_values_in_range(bits in 1u8..9, value in -100.0f32..100.0) {
+            let q = Quantizer::new(bits, 0.37).expect("new");
+            let level = q.quantize(value);
+            prop_assert!(level >= 0 && level <= q.max_level());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! A tiny trainer for the accuracy experiments.
+//!
+//! The paper's accuracy columns (Table II) compare full-precision inference against
+//! ternary weights with 8-bit and 4-bit activations. We reproduce the *trend* on a
+//! task that can be trained offline: a two-layer MLP on the synthetic blob dataset.
+//! After full-precision training the weights are ternarized and the activations
+//! quantized, and the resulting integer network is exactly the kind of ternary
+//! MVM workload the RTM-AP executes.
+
+use crate::dataset::Sample;
+use crate::layer::Linear;
+use crate::model::{ModelGraph, Source};
+use crate::{Quantizer, Result, TernaryTensor, TnnError};
+use crate::layer::LayerOp;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A two-layer perceptron trained in full precision and evaluated in full precision,
+/// or with ternary weights and quantized activations.
+///
+/// # Example
+///
+/// ```
+/// use tnn::dataset::SyntheticBlobs;
+/// use tnn::train::Mlp;
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let data = SyntheticBlobs::new(8, 3, 0.1);
+/// let train = data.generate(120, 1);
+/// let test = data.generate(60, 2);
+/// let mut mlp = Mlp::new(64, 24, 3, 7)?;
+/// mlp.train(&train, 30, 0.1);
+/// let fp = mlp.accuracy_fp(&test);
+/// let q4 = mlp.accuracy_quantized(&test, 4)?;
+/// assert!(fp > 0.8);
+/// assert!(q4 > 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden_dim: usize,
+    classes: usize,
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates an MLP with small random weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TnnError::InvalidArgument`] if any dimension is zero.
+    pub fn new(input_dim: usize, hidden_dim: usize, classes: usize, seed: u64) -> Result<Self> {
+        if input_dim == 0 || hidden_dim == 0 || classes == 0 {
+            return Err(TnnError::InvalidArgument {
+                reason: "all MLP dimensions must be non-zero".to_string(),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scale1 = (2.0 / input_dim as f32).sqrt();
+        let scale2 = (2.0 / hidden_dim as f32).sqrt();
+        Ok(Mlp {
+            input_dim,
+            hidden_dim,
+            classes,
+            w1: (0..hidden_dim * input_dim).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            b1: vec![0.0; hidden_dim],
+            w2: (0..classes * hidden_dim).map(|_| rng.gen_range(-scale2..scale2)).collect(),
+            b2: vec![0.0; classes],
+        })
+    }
+
+    /// Number of input features.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut hidden = vec![0.0f32; self.hidden_dim];
+        for h in 0..self.hidden_dim {
+            let mut acc = self.b1[h];
+            for i in 0..self.input_dim {
+                acc += self.w1[h * self.input_dim + i] * x[i];
+            }
+            hidden[h] = acc.max(0.0);
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for c in 0..self.classes {
+            let mut acc = self.b2[c];
+            for h in 0..self.hidden_dim {
+                acc += self.w2[c * self.hidden_dim + h] * hidden[h];
+            }
+            logits[c] = acc;
+        }
+        (hidden, logits)
+    }
+
+    /// Trains the model with plain SGD and a softmax cross-entropy loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's feature count differs from `input_dim`.
+    pub fn train(&mut self, samples: &[Sample], epochs: usize, learning_rate: f32) {
+        for _ in 0..epochs {
+            for (image, label) in samples {
+                let x = image.as_slice();
+                assert_eq!(x.len(), self.input_dim, "sample feature count mismatch");
+                let (hidden, logits) = self.forward(x);
+                let probs = softmax(&logits);
+                // Output layer gradients.
+                let mut dlogits = probs;
+                dlogits[*label] -= 1.0;
+                let mut dhidden = vec![0.0f32; self.hidden_dim];
+                for c in 0..self.classes {
+                    for h in 0..self.hidden_dim {
+                        dhidden[h] += dlogits[c] * self.w2[c * self.hidden_dim + h];
+                        self.w2[c * self.hidden_dim + h] -= learning_rate * dlogits[c] * hidden[h];
+                    }
+                    self.b2[c] -= learning_rate * dlogits[c];
+                }
+                // Hidden layer gradients (ReLU mask).
+                for h in 0..self.hidden_dim {
+                    if hidden[h] <= 0.0 {
+                        continue;
+                    }
+                    for i in 0..self.input_dim {
+                        self.w1[h * self.input_dim + i] -= learning_rate * dhidden[h] * x[i];
+                    }
+                    self.b1[h] -= learning_rate * dhidden[h];
+                }
+            }
+        }
+    }
+
+    /// Classification accuracy of the full-precision model.
+    pub fn accuracy_fp(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(image, label)| {
+                let (_, logits) = self.forward(image.as_slice());
+                argmax(&logits) == *label
+            })
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Ternarizes the weights (threshold rule) and quantizes inputs and hidden
+    /// activations to `act_bits`, then reports the classification accuracy of the
+    /// resulting integer network — the network the RTM-AP executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the quantizer cannot be calibrated (empty sample set).
+    pub fn accuracy_quantized(&self, samples: &[Sample], act_bits: u8) -> Result<f64> {
+        if samples.is_empty() {
+            return Err(TnnError::InvalidArgument {
+                reason: "accuracy evaluation needs at least one sample".to_string(),
+            });
+        }
+        let (w1, w2) = self.ternary_weights()?;
+        let input_q = Quantizer::calibrate(
+            act_bits,
+            &samples.iter().flat_map(|(img, _)| img.as_slice().iter().copied()).collect::<Vec<_>>(),
+        )?;
+        // Calibrate the hidden quantizer from the integer hidden activations of the
+        // calibration set.
+        let mut hidden_samples = Vec::new();
+        for (image, _) in samples.iter().take(32) {
+            let x = input_q.quantize_all(image.as_slice());
+            let hidden = ternary_mvm(&w1, &x);
+            hidden_samples.extend(hidden.iter().map(|&v| v.max(0) as f32));
+        }
+        let hidden_q = Quantizer::calibrate(act_bits, &hidden_samples)?;
+
+        let correct = samples
+            .iter()
+            .filter(|(image, label)| {
+                let x = input_q.quantize_all(image.as_slice());
+                let hidden = ternary_mvm(&w1, &x);
+                let hidden_quantized: Vec<i64> =
+                    hidden.iter().map(|&v| hidden_q.quantize(v.max(0) as f32)).collect();
+                let logits = ternary_mvm(&w2, &hidden_quantized);
+                argmax_i64(&logits) == *label
+            })
+            .count();
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// The ternarized weight matrices `(w1, w2)` of the two layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the ternarization (cannot happen for a valid MLP).
+    pub fn ternary_weights(&self) -> Result<(TernaryTensor, TernaryTensor)> {
+        let w1 = TernaryTensor::from_float(vec![self.hidden_dim, self.input_dim], &self.w1, 0.7)?;
+        let w2 = TernaryTensor::from_float(vec![self.classes, self.hidden_dim], &self.w2, 0.7)?;
+        Ok((w1, w2))
+    }
+
+    /// Exports the ternarized, quantized MLP as a [`ModelGraph`] (two fully connected
+    /// layers with ReLU + requantization in between) so it can be compiled for the
+    /// RTM-AP like any other network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the ternarization.
+    pub fn to_model(&self, act_bits: u8) -> Result<ModelGraph> {
+        let (w1, w2) = self.ternary_weights()?;
+        let mut model = ModelGraph::new("mlp", (1, 1, self.input_dim));
+        let fc1 = model.add(LayerOp::Linear(Linear::new("fc1", w1)?), vec![Source::Input])?;
+        let relu = model.add(LayerOp::Relu, vec![Source::Node(fc1)])?;
+        let req = model.add(LayerOp::Requantize { bits: act_bits }, vec![Source::Node(relu)])?;
+        model.add(LayerOp::Linear(Linear::new("fc2", w2)?), vec![Source::Node(req)])?;
+        Ok(model)
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&v| v / sum).collect()
+}
+
+fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmax_i64(values: &[i64]) -> usize {
+    values.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+}
+
+/// Ternary matrix-vector multiply: only additions and subtractions.
+fn ternary_mvm(weights: &TernaryTensor, x: &[i64]) -> Vec<i64> {
+    let rows = weights.shape()[0];
+    let cols = weights.shape()[1];
+    let w = weights.as_slice();
+    (0..rows)
+        .map(|r| {
+            let mut acc = 0i64;
+            for (c, &xv) in x.iter().enumerate().take(cols) {
+                match w[r * cols + c] {
+                    1 => acc += xv,
+                    -1 => acc -= xv,
+                    _ => {}
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Runs the full accuracy experiment of Table II's accuracy columns on the synthetic
+/// task: returns `(fp_accuracy, accuracy_8bit, accuracy_4bit)`.
+///
+/// # Errors
+///
+/// Propagates calibration errors (cannot happen with the default dataset).
+pub fn accuracy_experiment(seed: u64) -> Result<(f64, f64, f64)> {
+    let dataset = crate::dataset::SyntheticBlobs::new(8, 3, 0.15);
+    let train = dataset.generate(240, seed);
+    let test = dataset.generate(120, seed + 1);
+    let mut mlp = Mlp::new(dataset.features(), 32, dataset.classes(), seed + 2)?;
+    mlp.train(&train, 40, 0.05);
+    let fp = mlp.accuracy_fp(&test);
+    let q8 = mlp.accuracy_quantized(&test, 8)?;
+    let q4 = mlp.accuracy_quantized(&test, 4)?;
+    Ok((fp, q8, q4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticBlobs;
+
+    #[test]
+    fn new_rejects_zero_dimensions() {
+        assert!(Mlp::new(0, 4, 2, 0).is_err());
+        assert!(Mlp::new(4, 0, 2, 0).is_err());
+        assert!(Mlp::new(4, 4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn training_improves_accuracy() {
+        let data = SyntheticBlobs::new(8, 3, 0.1);
+        let train = data.generate(150, 11);
+        let test = data.generate(60, 12);
+        let mut mlp = Mlp::new(64, 24, 3, 13).expect("mlp");
+        let before = mlp.accuracy_fp(&test);
+        mlp.train(&train, 30, 0.1);
+        let after = mlp.accuracy_fp(&test);
+        assert!(after > before.max(0.75), "before {before} after {after}");
+    }
+
+    #[test]
+    fn quantized_accuracy_tracks_full_precision() {
+        let (fp, q8, q4) = accuracy_experiment(21).expect("experiment");
+        assert!(fp > 0.85, "fp accuracy {fp}");
+        // The paper's claim: moderate activation quantization retains accuracy.
+        assert!(q8 >= fp - 0.15, "8-bit accuracy {q8} vs fp {fp}");
+        assert!(q4 >= fp - 0.20, "4-bit accuracy {q4} vs fp {fp}");
+    }
+
+    #[test]
+    fn exported_model_is_a_valid_graph() {
+        let mlp = Mlp::new(16, 8, 3, 5).expect("mlp");
+        let model = mlp.to_model(4).expect("model");
+        assert!(model.node_shapes().is_ok());
+        assert_eq!(model.conv_like_layers().len(), 2);
+    }
+
+    #[test]
+    fn ternary_mvm_matches_dense_reference() {
+        let weights = TernaryTensor::from_vec(vec![2, 3], vec![1, 0, -1, -1, 1, 0]).expect("weights");
+        let out = ternary_mvm(&weights, &[5, 7, 2]);
+        assert_eq!(out, vec![3, 2]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Design-space exploration: sweep the activation precision and the CAM geometry and
+//! observe how energy, latency and array count move. This is the ablation the paper
+//! motivates with its "custom integer types" and array-utilisation discussions.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use apc::layout::CamGeometry;
+use camdnn::{ArchConfig, CompilerOptions, FullStackPipeline};
+use tnn::model::vgg9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = vgg9(0.9, 5);
+
+    println!("== Activation-precision sweep (VGG-9, 256x256 arrays) ==");
+    for act_bits in [2u8, 4, 6, 8] {
+        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run()?;
+        println!(
+            "act={act_bits}b  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}  adds={:7.0}K",
+            report.rtm_ap.energy_uj(),
+            report.rtm_ap.latency_ms(),
+            report.rtm_ap.arrays(),
+            report.rtm_ap.adds_subs_k(),
+        );
+    }
+
+    println!("\n== CAM-geometry sweep (VGG-9, 4-bit activations) ==");
+    for rows in [128usize, 256, 512] {
+        let geometry = CamGeometry { rows, cols: 256, domains: 64 };
+        let arch = ArchConfig::default().with_geometry(geometry);
+        let options = CompilerOptions { geometry, ..CompilerOptions::default() };
+        let report = FullStackPipeline::new(model.clone())
+            .with_arch(arch)
+            .with_compiler_options(options)
+            .run()?;
+        println!(
+            "rows={rows:4}  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}",
+            report.rtm_ap.energy_uj(),
+            report.rtm_ap.latency_ms(),
+            report.rtm_ap.arrays(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Write-endurance analysis (§V-C of the paper): estimate how long the racetrack
+//! cells last under continuous inference, and how the answer depends on the column
+//! count the execution is spread over.
+//!
+//! Run with `cargo run --release --example endurance`.
+
+use camdnn::FullStackPipeline;
+use rtm::endurance::{column_rewrite_interval_ns, EnduranceReport};
+use rtm::RtmTechnology;
+use tnn::model::vgg9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Write endurance of the RTM-AP ==\n");
+
+    // The paper's analytical argument: at most two columns are written per
+    // operation, each taking 0.8-1.0 ns, and execution is spread over 256 columns,
+    // so the same column is rewritten roughly every ~100 ns.
+    let tech = RtmTechnology::default();
+    for columns in [64usize, 128, 256, 512] {
+        let interval = column_rewrite_interval_ns(columns, 2.0, 0.8);
+        let report = EnduranceReport::from_write_interval(&tech, interval);
+        println!(
+            "columns={columns:4}  rewrite interval={:7.1} ns  lifetime={:6.1} years",
+            report.write_interval_ns, report.lifetime_years
+        );
+    }
+
+    // The same estimate derived from an actual workload simulation.
+    let report = FullStackPipeline::new(vgg9(0.9, 1)).run()?;
+    println!(
+        "\nVGG-9 workload estimate: rewrite interval {:.1} ns -> lifetime {:.1} years",
+        report.rtm_ap.endurance.write_interval_ns, report.rtm_ap.endurance.lifetime_years
+    );
+    Ok(())
+}

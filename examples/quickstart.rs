@@ -1,0 +1,37 @@
+//! Quickstart: compile a tiny ternary convolution for the RTM-AP, prove that the
+//! associative processor reproduces the reference integer result bit-exactly, and
+//! print a first cost estimate.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use camdnn::verify::verify_random_layer;
+use camdnn::FullStackPipeline;
+use tnn::model::vgg9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== CAM-only DNN inference: quickstart ==\n");
+
+    // 1. Bit-exactness: a small ternary convolution executed bit-serially on the
+    //    functional associative processor must equal the reference integer result.
+    let report = verify_random_layer(3, 8, 3, 8, 4, 0.8, 42)?;
+    println!(
+        "functional AP vs reference conv: {} positions x {} outputs, {} mismatches -> {}",
+        report.positions_checked,
+        report.outputs_checked,
+        report.mismatches,
+        if report.is_bit_exact() { "bit-exact" } else { "MISMATCH" }
+    );
+
+    // 2. Full-stack cost estimate for VGG-9 on CIFAR-10-shaped inputs.
+    let pipeline = FullStackPipeline::new(vgg9(0.9, 1)).with_activation_bits(4);
+    let result = pipeline.run()?;
+    println!("\nVGG-9 (sparsity 0.90, 4-bit activations):");
+    println!("{}", result.table_row());
+    println!(
+        "CSE removes {:.1}% of the additions; RTM-AP improves energy by {:.1}x and latency by {:.1}x over the crossbar baseline.",
+        result.cse_reduction() * 100.0,
+        result.energy_improvement(),
+        result.latency_improvement()
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! ResNet-18 / ImageNet: the largest workload of the paper's evaluation (Table II,
+//! first block of rows). Prints the RTM-AP result at 4- and 8-bit activations next
+//! to the crossbar and DeepCAM baselines.
+//!
+//! Run with `cargo run --release --example resnet18_imagenet`.
+
+use camdnn::FullStackPipeline;
+use tnn::model::resnet18;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== ResNet-18 / ImageNet (synthetic ternary weights, sparsity 0.80) ==\n");
+    let model = resnet18(0.8, 7);
+    println!(
+        "model: {} weighted layers, {:.1}M weights, {:.2}G MACs, sparsity {:.2}\n",
+        model.conv_like_layers().len(),
+        model.total_weights() as f64 / 1e6,
+        model.total_macs() as f64 / 1e9,
+        model.overall_sparsity()
+    );
+
+    for act_bits in [4u8, 8] {
+        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run()?;
+        println!("-- {act_bits}-bit activations --");
+        println!("{}", report.table_row());
+        println!(
+            "   energy improvement {:.1}x, latency improvement {:.1}x, CSE reduction {:.1}%, data-movement share {:.1}%",
+            report.energy_improvement(),
+            report.latency_improvement(),
+            report.cse_reduction() * 100.0,
+            report.rtm_ap.data_movement_share() * 100.0,
+        );
+        println!(
+            "   DeepCAM baseline: {:.2} uJ, {:.2} ms, {} arrays, ~{:.1} accuracy points lost\n",
+            report.deepcam.energy_uj,
+            report.deepcam.latency_ms,
+            report.deepcam.arrays,
+            report.deepcam.accuracy_drop_points
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Integration test: monotonicity and consistency properties of the accelerator
+//! model that must hold regardless of calibration constants.
+
+use accel::{AcceleratorModel, ArchConfig, NetworkSimulator};
+use apc::{CompilerOptions, LayerCompiler};
+use tnn::model::vgg9;
+
+#[test]
+fn layer_energy_components_are_nonnegative_and_sum_to_total() {
+    let model = vgg9(0.85, 13);
+    let compiler = LayerCompiler::new(CompilerOptions::default());
+    let accelerator = AcceleratorModel::new(ArchConfig::default());
+    for layer in model.conv_like_layers().iter().take(6) {
+        let compiled = compiler.compile(layer).expect("compile");
+        let report = accelerator.simulate_layer(&compiled);
+        let energy = report.energy;
+        for component in [energy.dfg_fj, energy.accumulation_fj, energy.peripherals_fj, energy.data_movement_fj] {
+            assert!(component >= 0.0, "negative component in {}", layer.name);
+        }
+        let sum = energy.dfg_fj + energy.accumulation_fj + energy.peripherals_fj + energy.data_movement_fj;
+        assert!((sum - energy.total_fj()).abs() <= sum.max(1.0) * 1e-9);
+        assert!(report.latency.total_ns() > 0.0);
+        assert!(report.row_utilization > 0.0 && report.row_utilization <= 1.0);
+    }
+}
+
+#[test]
+fn doubling_the_interconnect_cost_only_raises_data_movement_energy() {
+    let model = vgg9(0.9, 13);
+    let compiler = LayerCompiler::new(CompilerOptions::default());
+    let layer = &model.conv_like_layers()[2];
+    let compiled = compiler.compile(layer).expect("compile");
+
+    let cheap = AcceleratorModel::new(ArchConfig::default());
+    let expensive = AcceleratorModel::new(ArchConfig {
+        interconnect_pj_per_bit: 2.0,
+        intra_tile_pj_per_bit: 0.2,
+        ..ArchConfig::default()
+    });
+    let cheap_report = cheap.simulate_layer(&compiled);
+    let expensive_report = expensive.simulate_layer(&compiled);
+    assert!(expensive_report.energy.data_movement_fj > cheap_report.energy.data_movement_fj);
+    assert!((expensive_report.energy.dfg_fj - cheap_report.energy.dfg_fj).abs() < 1e-6);
+}
+
+#[test]
+fn network_totals_equal_the_sum_of_layer_reports() {
+    let simulator = NetworkSimulator::new(ArchConfig::default(), CompilerOptions::default());
+    let report = simulator.simulate(&vgg9(0.9, 13)).expect("simulate");
+    let layer_sum: f64 = report.layers.iter().map(|l| l.energy.total_fj()).sum();
+    assert!((layer_sum * 1e-9 - report.energy_uj()).abs() < report.energy_uj() * 1e-9 + 1e-12);
+    let latency_sum: f64 = report.layers.iter().map(|l| l.latency.total_ns()).sum();
+    assert!((latency_sum * 1e-6 - report.latency_ms()).abs() < report.latency_ms() * 1e-9 + 1e-12);
+}
+
+#[test]
+fn unroll_configuration_never_beats_cse_on_cycles() {
+    let compiler_cse = LayerCompiler::new(CompilerOptions::default());
+    let compiler_unroll = LayerCompiler::new(CompilerOptions::unroll_only());
+    let model = vgg9(0.85, 13);
+    for layer in model.conv_like_layers().iter().take(4) {
+        let cse = compiler_cse.compile(layer).expect("compile");
+        let unroll = compiler_unroll.compile(layer).expect("compile");
+        assert!(
+            cse.stats.total_cycles <= unroll.stats.total_cycles,
+            "layer {}: CSE {} cycles vs unroll {}",
+            layer.name,
+            cse.stats.total_cycles,
+            unroll.stats.total_cycles
+        );
+    }
+}

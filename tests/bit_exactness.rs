@@ -1,0 +1,38 @@
+//! Integration test: the compiled associative-processor programs reproduce the
+//! reference integer convolution bit-exactly — the mechanism behind the paper's
+//! "retains software accuracy" claim.
+
+use camdnn::verify::verify_random_layer;
+
+#[test]
+fn three_by_three_convolutions_are_bit_exact_across_sparsities() {
+    for (seed, sparsity) in [(1u64, 0.5), (2, 0.8), (3, 0.9)] {
+        let report = verify_random_layer(3, 8, 3, 6, 4, sparsity, seed).expect("verify");
+        assert!(report.is_bit_exact(), "sparsity {sparsity}: {report:?}");
+    }
+}
+
+#[test]
+fn stem_like_convolution_with_large_kernel_is_bit_exact() {
+    let report = verify_random_layer(3, 6, 5, 6, 4, 0.8, 13).expect("verify");
+    assert!(report.is_bit_exact(), "{report:?}");
+}
+
+#[test]
+fn pointwise_downsample_convolution_is_bit_exact() {
+    let report = verify_random_layer(8, 8, 1, 5, 4, 0.8, 17).expect("verify");
+    assert!(report.is_bit_exact(), "{report:?}");
+}
+
+#[test]
+fn eight_bit_activations_are_bit_exact() {
+    let report = verify_random_layer(2, 6, 3, 5, 8, 0.7, 23).expect("verify");
+    assert!(report.is_bit_exact(), "{report:?}");
+}
+
+#[test]
+fn dense_ternary_layer_is_bit_exact() {
+    // Worst case for the arithmetic: almost no zeros, long accumulation chains.
+    let report = verify_random_layer(4, 6, 3, 5, 4, 0.1, 29).expect("verify");
+    assert!(report.is_bit_exact(), "{report:?}");
+}
