@@ -113,13 +113,22 @@ mod tests {
 
     #[test]
     fn hierarchy_counts_multiply() {
-        let config = ArchConfig { aps_per_tile: 2, tiles_per_bank: 3, banks: 5, ..Default::default() };
+        let config = ArchConfig {
+            aps_per_tile: 2,
+            tiles_per_bank: 3,
+            banks: 5,
+            ..Default::default()
+        };
         assert_eq!(config.total_aps(), 30);
     }
 
     #[test]
     fn with_geometry_replaces_only_geometry() {
-        let geometry = CamGeometry { rows: 128, cols: 128, domains: 32 };
+        let geometry = CamGeometry {
+            rows: 128,
+            cols: 128,
+            domains: 32,
+        };
         let config = ArchConfig::default().with_geometry(geometry);
         assert_eq!(config.geometry, geometry);
         assert_eq!(config.banks, ArchConfig::default().banks);

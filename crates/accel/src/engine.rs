@@ -35,17 +35,25 @@ impl AcceleratorModel {
         let stats = &layer.stats;
         let positions = layer.output_positions as f64;
         let rows = positions; // active rows across all row groups
-        // Channel groups beyond the configured limit stay resident in the same AP
-        // (additional patch column sets) and run sequentially, so only
-        // `effective_channel_groups` APs exchange partial sums.
-        let effective_channel_groups = layout.channel_groups.clamp(1, cfg.max_channel_groups.max(1));
+                              // Channel groups beyond the configured limit stay resident in the same AP
+                              // (additional patch column sets) and run sequentially, so only
+                              // `effective_channel_groups` APs exchange partial sums.
+        let effective_channel_groups = layout
+            .channel_groups
+            .clamp(1, cfg.max_channel_groups.max(1));
         let channel_groups = effective_channel_groups as f64;
         let row_groups = layout.row_groups.max(1) as f64;
 
         // --- Channel-wise DFG phase -------------------------------------------------
         let dfg_cycles = stats.total_cycles.saturating_sub(stats.accumulation_cycles) as f64;
-        let dfg_searched = stats.searched_bits_per_row.saturating_sub(stats.accumulation_searched_bits_per_row) as f64;
-        let dfg_written = stats.written_bits_per_row.saturating_sub(stats.accumulation_written_bits_per_row) as f64;
+        let dfg_searched = stats
+            .searched_bits_per_row
+            .saturating_sub(stats.accumulation_searched_bits_per_row)
+            as f64;
+        let dfg_written = stats
+            .written_bits_per_row
+            .saturating_sub(stats.accumulation_written_bits_per_row)
+            as f64;
         let dfg_energy = dfg_searched * rows * tech.search_energy_per_bit_fj
             + dfg_written * rows * tech.write_energy_per_bit_fj;
         // Each slice's cycles execute in every row-group copy of its channel group.
@@ -57,9 +65,12 @@ impl AcceleratorModel {
         let dfg_latency = dfg_cycles / channel_groups * tech.search_latency_ns;
 
         // --- Local accumulation (inside each AP) ------------------------------------
-        let local_acc_energy = stats.accumulation_searched_bits_per_row as f64 * rows * tech.search_energy_per_bit_fj
+        let local_acc_energy = stats.accumulation_searched_bits_per_row as f64
+            * rows
+            * tech.search_energy_per_bit_fj
             + stats.accumulation_written_bits_per_row as f64 * rows * tech.write_energy_per_bit_fj;
-        let local_acc_latency = stats.accumulation_cycles as f64 / channel_groups * tech.search_latency_ns;
+        let local_acc_latency =
+            stats.accumulation_cycles as f64 / channel_groups * tech.search_latency_ns;
 
         // --- Cross-AP accumulation (adder tree over channel groups) -----------------
         let merges = (effective_channel_groups.saturating_sub(1)) as f64;
@@ -84,7 +95,8 @@ impl AcceleratorModel {
         };
         // Activation fusion and requantisation of the finished outputs.
         let requant_cycles = layer.cout as f64 * 2.0 * layout.act_bits as f64;
-        let requant_energy = layer.cout as f64 * rows * layout.act_bits as f64 * tech.write_energy_per_bit_fj;
+        let requant_energy =
+            layer.cout as f64 * rows * layout.act_bits as f64 * tech.write_energy_per_bit_fj;
         let accumulation_energy = local_acc_energy + merge_add_energy + requant_energy;
         let accumulation_latency =
             local_acc_latency + merge_latency + requant_cycles * tech.search_latency_ns;
@@ -103,7 +115,8 @@ impl AcceleratorModel {
             + redistribution_bits * cfg.interconnect_pj_per_bit)
             * 1e3; // pJ -> fJ
         let parallel_links = (channel_groups / 2.0).max(1.0) * row_groups;
-        let data_movement_latency = interconnect_bits / cfg.interconnect_bits_per_ns / parallel_links;
+        let data_movement_latency =
+            interconnect_bits / cfg.interconnect_bits_per_ns / parallel_links;
 
         // --- Peripherals --------------------------------------------------------------
         // Controller/instruction cache plus the sense-amplifier energy of staging the
@@ -185,6 +198,11 @@ impl NetworkSimulator {
 
     /// Compiles and simulates every weighted layer of `model`.
     ///
+    /// Layer compilation — the hot path — runs in parallel through
+    /// [`LayerCompiler::compile_model`]; the per-layer accelerator reports are
+    /// then derived in network order, so the result is deterministic and
+    /// independent of the rayon worker count.
+    ///
     /// # Errors
     ///
     /// Propagates compilation errors (for example a layer that cannot be placed on
@@ -192,13 +210,12 @@ impl NetworkSimulator {
     pub fn simulate(&self, model: &ModelGraph) -> apc::Result<NetworkReport> {
         let compiler = LayerCompiler::new(self.compiler);
         let accelerator = AcceleratorModel::new(self.arch);
-        let mut layers = Vec::new();
-        let mut total_cycles = 0u64;
-        for layer in model.conv_like_layers() {
-            let compiled = compiler.compile(&layer)?;
-            total_cycles += compiled.stats.total_cycles;
-            layers.push(accelerator.simulate_layer(&compiled));
-        }
+        let compiled = compiler.compile_model(model)?;
+        let total_cycles: u64 = compiled.iter().map(|c| c.stats.total_cycles).sum();
+        let layers: Vec<LayerReport> = compiled
+            .iter()
+            .map(|c| accelerator.simulate_layer(c))
+            .collect();
         let total_latency: f64 = layers.iter().map(|l| l.latency.total_ns()).sum();
         let endurance = accelerator.endurance(total_latency, total_cycles);
         Ok(NetworkReport {
@@ -217,7 +234,11 @@ mod tests {
     use tnn::model::vgg9;
 
     fn simulate(act_bits: u8, cse: bool, sparsity: f64) -> NetworkReport {
-        let options = CompilerOptions { act_bits, enable_cse: cse, ..CompilerOptions::default() };
+        let options = CompilerOptions {
+            act_bits,
+            enable_cse: cse,
+            ..CompilerOptions::default()
+        };
         NetworkSimulator::new(ArchConfig::default(), options)
             .simulate(&vgg9(sparsity, 2))
             .expect("simulate")
@@ -271,7 +292,11 @@ mod tests {
     #[test]
     fn endurance_exceeds_a_decade() {
         let report = simulate(4, true, 0.9);
-        assert!(report.endurance.lifetime_years > 10.0, "lifetime {}", report.endurance.lifetime_years);
+        assert!(
+            report.endurance.lifetime_years > 10.0,
+            "lifetime {}",
+            report.endurance.lifetime_years
+        );
     }
 
     #[test]

@@ -154,12 +154,16 @@ impl NetworkReport {
 
     /// Summed energy breakdown over all layers.
     pub fn energy(&self) -> EnergyBreakdown {
-        self.layers.iter().fold(EnergyBreakdown::default(), |acc, l| acc + l.energy)
+        self.layers
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, l| acc + l.energy)
     }
 
     /// Summed latency breakdown over all layers.
     pub fn latency(&self) -> LatencyBreakdown {
-        self.layers.iter().fold(LatencyBreakdown::default(), |acc, l| acc + l.latency)
+        self.layers
+            .iter()
+            .fold(LatencyBreakdown::default(), |acc, l| acc + l.latency)
     }
 
     /// The `#Arrays` metric of Table II: the largest number of arrays any layer needs
@@ -186,8 +190,17 @@ mod tests {
     fn layer(name: &str, dfg: f64, dm: f64, arrays: usize, adds: u64) -> LayerReport {
         LayerReport {
             name: name.to_string(),
-            energy: EnergyBreakdown { dfg_fj: dfg, accumulation_fj: dfg / 4.0, peripherals_fj: dfg / 10.0, data_movement_fj: dm },
-            latency: LatencyBreakdown { dfg_ns: 100.0, accumulation_ns: 20.0, data_movement_ns: 5.0 },
+            energy: EnergyBreakdown {
+                dfg_fj: dfg,
+                accumulation_fj: dfg / 4.0,
+                peripherals_fj: dfg / 10.0,
+                data_movement_fj: dm,
+            },
+            latency: LatencyBreakdown {
+                dfg_ns: 100.0,
+                accumulation_ns: 20.0,
+                data_movement_ns: 5.0,
+            },
             arrays,
             parallel_aps: arrays,
             adds_subs: adds,
@@ -232,11 +245,20 @@ mod tests {
 
     #[test]
     fn breakdown_addition_is_componentwise() {
-        let a = EnergyBreakdown { dfg_fj: 1.0, accumulation_fj: 2.0, peripherals_fj: 3.0, data_movement_fj: 4.0 };
+        let a = EnergyBreakdown {
+            dfg_fj: 1.0,
+            accumulation_fj: 2.0,
+            peripherals_fj: 3.0,
+            data_movement_fj: 4.0,
+        };
         let mut b = a;
         b += a;
         assert!((b.total_fj() - 20.0).abs() < 1e-12);
-        let mut l = LatencyBreakdown { dfg_ns: 1.0, accumulation_ns: 2.0, data_movement_ns: 3.0 };
+        let mut l = LatencyBreakdown {
+            dfg_ns: 1.0,
+            accumulation_ns: 2.0,
+            data_movement_ns: 3.0,
+        };
         l += l;
         assert!((l.total_ns() - 12.0).abs() < 1e-12);
     }

@@ -80,7 +80,10 @@ impl ApController {
     /// or a wrapped CAM error.
     pub fn load_column(&mut self, operand: &Operand, values: &[i64]) -> Result<()> {
         if values.len() != self.array.rows() {
-            return Err(ApError::WrongValueCount { expected: self.array.rows(), found: values.len() });
+            return Err(ApError::WrongValueCount {
+                expected: self.array.rows(),
+                found: values.len(),
+            });
         }
         if !operand.signed {
             if let Some(&bad) = values.iter().find(|&&v| v < 0) {
@@ -89,7 +92,8 @@ impl ApController {
                 });
             }
         }
-        self.array.write_column_values(operand.col, operand.base, operand.width, values)?;
+        self.array
+            .write_column_values(operand.col, operand.base, operand.width, values)?;
         Ok(())
     }
 
@@ -99,9 +103,12 @@ impl ApController {
     ///
     /// Returns a wrapped CAM error when the operand is out of range.
     pub fn read_column(&mut self, operand: &Operand) -> Result<Vec<i64>> {
-        Ok(self
-            .array
-            .read_column_values(operand.col, operand.base, operand.width, operand.signed)?)
+        Ok(self.array.read_column_values(
+            operand.col,
+            operand.base,
+            operand.width,
+            operand.signed,
+        )?)
     }
 
     /// Executes a whole program in order.
@@ -153,11 +160,18 @@ impl ApController {
     fn clear_carry(&mut self, carry: CarrySlot) -> Result<()> {
         self.array.align_column(carry.col, carry.domain)?;
         let tags = TagVector::all_set(self.array.rows());
-        self.array.write_tagged(&tags, &SearchKey::new().with(carry.col, false))?;
+        self.array
+            .write_tagged(&tags, &SearchKey::new().with(carry.col, false))?;
         Ok(())
     }
 
-    fn binary_in_place(&mut self, a: &Operand, acc: &Operand, carry: CarrySlot, kind: LutKind) -> Result<()> {
+    fn binary_in_place(
+        &mut self,
+        a: &Operand,
+        acc: &Operand,
+        carry: CarrySlot,
+        kind: LutKind,
+    ) -> Result<()> {
         Self::validate_operand(a)?;
         Self::validate_operand(acc)?;
         if a.col == acc.col {
@@ -184,7 +198,9 @@ impl ApController {
                 None => lut.passes_with_constant_a(false),
             };
             for pass in passes {
-                let mut key = SearchKey::new().with(carry.col, pass.key_carry).with(acc.col, pass.key_b);
+                let mut key = SearchKey::new()
+                    .with(carry.col, pass.key_carry)
+                    .with(acc.col, pass.key_b);
                 if a_domain.is_some() {
                     key.set(a.col, pass.key_a);
                 }
@@ -305,7 +321,9 @@ impl ApController {
                 Some(domain) => {
                     self.array.align_column(src.col, domain)?;
                     for bit_value in [false, true] {
-                        let tags = self.array.search(&SearchKey::new().with(src.col, bit_value))?;
+                        let tags = self
+                            .array
+                            .search(&SearchKey::new().with(src.col, bit_value))?;
                         let mut pattern = SearchKey::new();
                         for dest in dests {
                             pattern.set(dest.col, bit_value);
@@ -331,7 +349,8 @@ impl ApController {
         for bit in 0..dst.width as usize {
             self.array.align_column(dst.col, dst.base + bit)?;
             let tags = TagVector::all_set(self.array.rows());
-            self.array.write_tagged(&tags, &SearchKey::new().with(dst.col, false))?;
+            self.array
+                .write_tagged(&tags, &SearchKey::new().with(dst.col, false))?;
         }
         Ok(())
     }
@@ -346,7 +365,9 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn controller(rows: usize, cols: usize, domains: usize) -> ApController {
-        ApController::new(CamArray::new(rows, cols, domains, CamTechnology::default()).expect("geometry"))
+        ApController::new(
+            CamArray::new(rows, cols, domains, CamTechnology::default()).expect("geometry"),
+        )
     }
 
     #[test]
@@ -356,7 +377,12 @@ mod tests {
         let acc = Operand::new(1, 0, 8, true);
         ap.load_column(&a, &[1, 7, 15, 0]).expect("load");
         ap.load_column(&acc, &[5, -3, 100, -128]).expect("load");
-        ap.execute(&ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(2, 0) }).expect("exec");
+        ap.execute(&ApInstruction::AddInPlace {
+            a,
+            acc,
+            carry: CarrySlot::new(2, 0),
+        })
+        .expect("exec");
         assert_eq!(ap.read_column(&acc).expect("read"), vec![6, 4, 115, -128]);
     }
 
@@ -367,7 +393,12 @@ mod tests {
         let acc = Operand::new(1, 0, 8, true);
         ap.load_column(&a, &[3, -7, 15]).expect("load");
         ap.load_column(&acc, &[10, 10, -20]).expect("load");
-        ap.execute(&ApInstruction::SubInPlace { a, acc, carry: CarrySlot::new(2, 0) }).expect("exec");
+        ap.execute(&ApInstruction::SubInPlace {
+            a,
+            acc,
+            carry: CarrySlot::new(2, 0),
+        })
+        .expect("exec");
         assert_eq!(ap.read_column(&acc).expect("read"), vec![7, 17, -35]);
     }
 
@@ -403,8 +434,13 @@ mod tests {
         let d = Operand::new(2, 0, 6, true);
         ap.load_column(&a, &[5, 0, 15]).expect("load");
         ap.load_column(&b, &[3, 9, 15]).expect("load");
-        ap.execute(&ApInstruction::SubOutOfPlace { a, b, dests: vec![d], carry: CarrySlot::new(4, 0) })
-            .expect("exec");
+        ap.execute(&ApInstruction::SubOutOfPlace {
+            a,
+            b,
+            dests: vec![d],
+            carry: CarrySlot::new(4, 0),
+        })
+        .expect("exec");
         assert_eq!(ap.read_column(&d).expect("read"), vec![-2, 9, 0]);
     }
 
@@ -415,7 +451,11 @@ mod tests {
         let d0 = Operand::new(1, 0, 5, true);
         let d1 = Operand::new(2, 4, 5, true);
         ap.load_column(&src, &[-7, 3, 15]).expect("load");
-        ap.execute(&ApInstruction::Copy { src, dests: vec![d0, d1] }).expect("exec");
+        ap.execute(&ApInstruction::Copy {
+            src,
+            dests: vec![d0, d1],
+        })
+        .expect("exec");
         assert_eq!(ap.read_column(&d0).expect("read"), vec![-7, 3, 15]);
         assert_eq!(ap.read_column(&d1).expect("read"), vec![-7, 3, 15]);
     }
@@ -435,7 +475,11 @@ mod tests {
         let a = Operand::new(0, 0, 4, false);
         let acc = Operand::new(0, 4, 4, true);
         let err = ap
-            .execute(&ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(1, 0) })
+            .execute(&ApInstruction::AddInPlace {
+                a,
+                acc,
+                carry: CarrySlot::new(1, 0),
+            })
             .expect_err("same column must be rejected");
         assert!(matches!(err, ApError::OperandConflict { .. }));
 
@@ -455,7 +499,10 @@ mod tests {
         let a = Operand::new(0, 0, 4, false);
         assert!(matches!(
             ap.load_column(&a, &[1, 2]),
-            Err(ApError::WrongValueCount { expected: 4, found: 2 })
+            Err(ApError::WrongValueCount {
+                expected: 4,
+                found: 2
+            })
         ));
     }
 
@@ -463,7 +510,10 @@ mod tests {
     fn unsigned_operand_rejects_negative_values() {
         let mut ap = controller(2, 2, 8);
         let a = Operand::new(0, 0, 4, false);
-        assert!(matches!(ap.load_column(&a, &[1, -1]), Err(ApError::InvalidOperand { .. })));
+        assert!(matches!(
+            ap.load_column(&a, &[1, -1]),
+            Err(ApError::InvalidOperand { .. })
+        ));
     }
 
     #[test]
@@ -473,7 +523,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut reference = vec![0i64; 8];
         let acc = Operand::new(6, 0, 12, true);
-        ap.execute(&ApInstruction::Clear { dst: acc }).expect("clear");
+        ap.execute(&ApInstruction::Clear { dst: acc })
+            .expect("clear");
         for col in 0..4 {
             let values: Vec<i64> = (0..8).map(|_| rng.gen_range(0..256)).collect();
             let op = Operand::new(col, 0, 8, false);
@@ -481,8 +532,12 @@ mod tests {
             for (r, v) in reference.iter_mut().zip(&values) {
                 *r += v;
             }
-            ap.execute(&ApInstruction::AddInPlace { a: op, acc, carry: CarrySlot::new(7, 0) })
-                .expect("exec");
+            ap.execute(&ApInstruction::AddInPlace {
+                a: op,
+                acc,
+                carry: CarrySlot::new(7, 0),
+            })
+            .expect("exec");
         }
         assert_eq!(ap.read_column(&acc).expect("read"), reference);
     }

@@ -222,8 +222,12 @@ mod tests {
             dests: vec![Operand::new(2, 0, 8, true)],
             carry: CarrySlot::new(3, 0),
         };
-        assert!(m.instruction_cost(&in_place).latency_ns < m.instruction_cost(&out_of_place).latency_ns);
-        assert!(m.instruction_cost(&in_place).energy_fj < m.instruction_cost(&out_of_place).energy_fj);
+        assert!(
+            m.instruction_cost(&in_place).latency_ns < m.instruction_cost(&out_of_place).latency_ns
+        );
+        assert!(
+            m.instruction_cost(&in_place).energy_fj < m.instruction_cost(&out_of_place).energy_fj
+        );
     }
 
     #[test]
@@ -239,7 +243,10 @@ mod tests {
             acc: Operand::new(1, 0, 12, true),
             carry: CarrySlot::new(2, 0),
         };
-        assert!(m.instruction_cost(&narrow).stats.compute_cycles() < m.instruction_cost(&wide).stats.compute_cycles());
+        assert!(
+            m.instruction_cost(&narrow).stats.compute_cycles()
+                < m.instruction_cost(&wide).stats.compute_cycles()
+        );
     }
 
     #[test]
@@ -273,7 +280,10 @@ mod tests {
         };
         let single = m.instruction_cost(&add);
         let program = m.program_cost([&add, &add, &add]);
-        assert_eq!(program.stats.compute_cycles(), 3 * single.stats.compute_cycles());
+        assert_eq!(
+            program.stats.compute_cycles(),
+            3 * single.stats.compute_cycles()
+        );
         assert!((program.latency_ns - 3.0 * single.latency_ns).abs() < 1e-9);
     }
 }

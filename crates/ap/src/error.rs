@@ -1,22 +1,24 @@
-use std::error::Error;
-use std::fmt;
+use thiserror::Error;
 
 /// Errors produced while building or executing associative-processor programs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
 pub enum ApError {
     /// An operand description is invalid (zero width, width above 63 bits, …).
+    #[error("invalid operand: {reason}")]
     InvalidOperand {
         /// Explanation of the problem.
         reason: String,
     },
     /// Two operands of one instruction overlap in a way the execution model forbids
     /// (for example the accumulator column also being the carry column).
+    #[error("operand conflict: {reason}")]
     OperandConflict {
         /// Explanation of the conflict.
         reason: String,
     },
     /// The number of values supplied for a column load does not match the row count.
+    #[error("expected {expected} values (one per row), found {found}")]
     WrongValueCount {
         /// Expected number of values (rows).
         expected: usize,
@@ -24,51 +26,30 @@ pub enum ApError {
         found: usize,
     },
     /// An error bubbled up from the CAM array.
-    Cam(cam::CamError),
-}
-
-impl fmt::Display for ApError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ApError::InvalidOperand { reason } => write!(f, "invalid operand: {reason}"),
-            ApError::OperandConflict { reason } => write!(f, "operand conflict: {reason}"),
-            ApError::WrongValueCount { expected, found } => {
-                write!(f, "expected {expected} values (one per row), found {found}")
-            }
-            ApError::Cam(err) => write!(f, "cam error: {err}"),
-        }
-    }
-}
-
-impl Error for ApError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            ApError::Cam(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<cam::CamError> for ApError {
-    fn from(err: cam::CamError) -> Self {
-        ApError::Cam(err)
-    }
+    #[error("cam error: {0}")]
+    Cam(#[from] cam::CamError),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_is_informative() {
-        let err = ApError::WrongValueCount { expected: 256, found: 4 };
+        let err = ApError::WrongValueCount {
+            expected: 256,
+            found: 4,
+        };
         assert!(err.to_string().contains("256"));
         assert!(err.to_string().contains("4"));
     }
 
     #[test]
     fn cam_errors_are_wrapped() {
-        let err = ApError::from(cam::CamError::EmptyGeometry { what: "number of rows" });
+        let err = ApError::from(cam::CamError::EmptyGeometry {
+            what: "number of rows",
+        });
         assert!(matches!(err, ApError::Cam(_)));
         assert!(Error::source(&err).is_some());
     }

@@ -152,7 +152,8 @@ impl ApInstruction {
             ApInstruction::AddInPlace { a, acc, .. } | ApInstruction::SubInPlace { a, acc, .. } => {
                 vec![*a, *acc]
             }
-            ApInstruction::AddOutOfPlace { a, b, .. } | ApInstruction::SubOutOfPlace { a, b, .. } => {
+            ApInstruction::AddOutOfPlace { a, b, .. }
+            | ApInstruction::SubOutOfPlace { a, b, .. } => {
                 vec![*a, *b]
             }
             ApInstruction::Copy { src, .. } => vec![*src],
@@ -179,7 +180,9 @@ mod tests {
         let add = sample_add();
         assert!(add.is_arithmetic());
         assert!(add.is_out_of_place());
-        let clear = ApInstruction::Clear { dst: Operand::new(0, 0, 4, false) };
+        let clear = ApInstruction::Clear {
+            dst: Operand::new(0, 0, 4, false),
+        };
         assert!(!clear.is_arithmetic());
         assert!(!clear.is_out_of_place());
     }

@@ -157,7 +157,11 @@ impl Lut {
     /// constant `a_bit` (used for zero- or sign-extension beyond the operand width).
     /// The `A` column is then removed from the search key by the executor.
     pub fn passes_with_constant_a(&self, a_bit: bool) -> Vec<LutEntry> {
-        self.passes.iter().copied().filter(|p| p.key_a == a_bit).collect()
+        self.passes
+            .iter()
+            .copied()
+            .filter(|p| p.key_a == a_bit)
+            .collect()
     }
 }
 
@@ -249,7 +253,11 @@ mod tests {
                 for a in [false, true] {
                     let (diff, bout) = full_sub(a, b, borrow);
                     let (got_borrow, got_diff) = apply(LutKind::SubInPlace, borrow, b, a);
-                    assert_eq!((got_diff, got_borrow), (diff, bout), "a={a} b={b} bin={borrow}");
+                    assert_eq!(
+                        (got_diff, got_borrow),
+                        (diff, bout),
+                        "a={a} b={b} bin={borrow}"
+                    );
                 }
             }
         }
@@ -262,7 +270,11 @@ mod tests {
                 for a in [false, true] {
                     let (diff, bout) = full_sub(a, b, borrow);
                     let (got_borrow, got_diff) = apply(LutKind::SubOutOfPlace, borrow, b, a);
-                    assert_eq!((got_diff, got_borrow), (diff, bout), "a={a} b={b} bin={borrow}");
+                    assert_eq!(
+                        (got_diff, got_borrow),
+                        (diff, bout),
+                        "a={a} b={b} bin={borrow}"
+                    );
                 }
             }
         }

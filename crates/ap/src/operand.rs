@@ -32,7 +32,12 @@ pub struct Operand {
 impl Operand {
     /// Creates an operand description.
     pub fn new(col: usize, base: usize, width: u8, signed: bool) -> Self {
-        Operand { col, base, width, signed }
+        Operand {
+            col,
+            base,
+            width,
+            signed,
+        }
     }
 
     /// Domain holding the most significant bit.
@@ -75,7 +80,10 @@ mod tests {
     fn msb_and_domains() {
         let op = Operand::new(2, 4, 8, true);
         assert_eq!(op.msb_domain(), 11);
-        assert_eq!(op.domains().collect::<Vec<_>>(), (4..12).collect::<Vec<_>>());
+        assert_eq!(
+            op.domains().collect::<Vec<_>>(),
+            (4..12).collect::<Vec<_>>()
+        );
     }
 
     #[test]

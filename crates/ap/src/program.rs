@@ -68,7 +68,10 @@ impl ApProgram {
 
     /// Number of add/sub instructions (the paper's `#Adds/Subs` metric).
     pub fn arithmetic_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_arithmetic()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_arithmetic())
+            .count()
     }
 
     /// Number of arithmetic instructions executed in place (8 cycles/bit).
@@ -81,7 +84,10 @@ impl ApProgram {
 
     /// Number of arithmetic instructions executed out of place (10 cycles/bit).
     pub fn out_of_place_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_out_of_place()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_out_of_place())
+            .count()
     }
 
     /// Estimated cost of the whole program under `model`.
@@ -112,7 +118,9 @@ impl ApProgram {
 
 impl FromIterator<ApInstruction> for ApProgram {
     fn from_iter<I: IntoIterator<Item = ApInstruction>>(iter: I) -> Self {
-        ApProgram { instructions: iter.into_iter().collect() }
+        ApProgram {
+            instructions: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -146,8 +154,17 @@ mod tests {
         let acc = Operand::new(2, 0, 8, true);
         let tmp = Operand::new(3, 0, 6, true);
         ApProgram::from_instructions(vec![
-            ApInstruction::AddOutOfPlace { a, b, dests: vec![tmp], carry: CarrySlot::new(5, 0) },
-            ApInstruction::AddInPlace { a: tmp, acc, carry: CarrySlot::new(5, 0) },
+            ApInstruction::AddOutOfPlace {
+                a,
+                b,
+                dests: vec![tmp],
+                carry: CarrySlot::new(5, 0),
+            },
+            ApInstruction::AddInPlace {
+                a: tmp,
+                acc,
+                carry: CarrySlot::new(5, 0),
+            },
             ApInstruction::Clear { dst: tmp },
         ])
     }

@@ -145,7 +145,11 @@ pub fn allocate(dfg: &Dfg) -> Allocation {
         signal_columns.insert(signal, color);
     }
 
-    Allocation { schedule, signal_columns, temp_columns_used: used }
+    Allocation {
+        schedule,
+        signal_columns,
+        temp_columns_used: used,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +162,11 @@ mod tests {
     fn random_dfg(seed: u64, outputs: usize, patch: usize, cse: bool) -> Dfg {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let rows: Vec<Vec<i8>> = (0..outputs)
-            .map(|_| (0..patch).map(|_| [0i8, 0, 1, -1][rng.gen_range(0..4)]).collect())
+            .map(|_| {
+                (0..patch)
+                    .map(|_| [0i8, 0, 1, -1][rng.gen_range(0..4)])
+                    .collect()
+            })
             .collect();
         let mut dfg = Dfg::from_slice(&WeightSlice::from_rows(rows).expect("slice"));
         if cse {
@@ -179,7 +187,10 @@ mod tests {
                     if let Some(SignalDef::Combine { lhs, rhs, .. }) = dfg.signals.def(*s) {
                         for operand in [*lhs, *rhs] {
                             if operand >= dfg.signals.inputs() {
-                                assert!(defined.contains(&operand), "signal {operand} used before definition");
+                                assert!(
+                                    defined.contains(&operand),
+                                    "signal {operand} used before definition"
+                                );
                             }
                         }
                     }
@@ -188,7 +199,10 @@ mod tests {
                 Event::AccumulateOutput(index) => {
                     for (signal, _) in dfg.outputs[*index].iter() {
                         if signal >= dfg.signals.inputs() {
-                            assert!(defined.contains(&signal), "signal {signal} used before definition");
+                            assert!(
+                                defined.contains(&signal),
+                                "signal {signal} used before definition"
+                            );
                         }
                     }
                 }
@@ -245,8 +259,12 @@ mod tests {
                     if a == b || allocation.signal_columns[&a] != allocation.signal_columns[&b] {
                         continue;
                     }
-                    let overlap = position_of_def[&a] <= last_use[&b] && position_of_def[&b] <= last_use[&a];
-                    assert!(!overlap, "signals {a} and {b} share a column but overlap (seed {seed})");
+                    let overlap =
+                        position_of_def[&a] <= last_use[&b] && position_of_def[&b] <= last_use[&a];
+                    assert!(
+                        !overlap,
+                        "signals {a} and {b} share a column but overlap (seed {seed})"
+                    );
                 }
             }
         }
@@ -257,7 +275,10 @@ mod tests {
         // With many outputs and signals, reuse should need fewer columns than signals.
         let dfg = random_dfg(42, 128, 9, true);
         let allocation = allocate(&dfg);
-        assert!(allocation.signal_columns.len() > 4, "test needs a few signals to be meaningful");
+        assert!(
+            allocation.signal_columns.len() > 4,
+            "test needs a few signals to be meaningful"
+        );
         assert!(allocation.temp_columns_used <= allocation.signal_columns.len());
     }
 

@@ -99,12 +99,12 @@ mod tests {
         let mut dfg = Dfg::equation1();
         dfg.apply_cse().expect("cse");
         let widths = signal_widths(&dfg, 4);
-        for id in 0..dfg.signals.inputs() {
-            assert_eq!(widths[id], 4);
+        for width in widths.iter().take(dfg.signals.inputs()) {
+            assert_eq!(*width, 4);
         }
-        for id in dfg.signals.inputs()..dfg.signals.len() {
-            assert!(widths[id] > 4);
-            assert!(widths[id] <= MAX_WIDTH);
+        for width in widths.iter().skip(dfg.signals.inputs()) {
+            assert!(*width > 4);
+            assert!(*width <= MAX_WIDTH);
         }
     }
 
@@ -116,7 +116,10 @@ mod tests {
         let act_bits = 4u8;
         let widths = signal_widths(&dfg, act_bits);
         let max_input = (1i64 << act_bits) - 1;
-        let values = dfg.signals.evaluate(&vec![max_input; dfg.patch_size]).expect("evaluate");
+        let values = dfg
+            .signals
+            .evaluate(&vec![max_input; dfg.patch_size])
+            .expect("evaluate");
         for (id, &value) in values.iter().enumerate() {
             // Inputs are unsigned `width`-bit values; derived signals are signed
             // two's-complement values of their annotated width.
@@ -125,7 +128,11 @@ mod tests {
             } else {
                 (1i64 << (widths[id] - 1)) - 1
             };
-            assert!(value.abs() <= bound, "signal {id} value {value} exceeds width {}", widths[id]);
+            assert!(
+                value.abs() <= bound,
+                "signal {id} value {value} exceeds width {}",
+                widths[id]
+            );
         }
     }
 
@@ -134,9 +141,15 @@ mod tests {
         // 4-bit activations, 1152 terms (a 3x3 conv over 128 channels).
         let width = accumulator_width(4, 1152);
         let worst = 15i64 * 1152;
-        assert!(worst < (1i64 << (width - 1)), "width {width} too small for {worst}");
+        assert!(
+            worst < (1i64 << (width - 1)),
+            "width {width} too small for {worst}"
+        );
         // And the width is not absurdly conservative (at most 4 bits of slack).
-        assert!(worst > (1i64 << (width.saturating_sub(5))), "width {width} too large");
+        assert!(
+            worst > (1i64 << (width.saturating_sub(5))),
+            "width {width} too large"
+        );
     }
 
     #[test]

@@ -99,10 +99,17 @@ pub fn generate(
                 false,
             ))
         } else {
-            let column = allocation.column_of(signal).ok_or_else(|| ApcError::Internal {
-                reason: format!("signal {signal} has no column assignment"),
-            })?;
-            Ok(Operand::new(layout.temp_col_start + column, 0, widths[signal], true))
+            let column = allocation
+                .column_of(signal)
+                .ok_or_else(|| ApcError::Internal {
+                    reason: format!("signal {signal} has no column assignment"),
+                })?;
+            Ok(Operand::new(
+                layout.temp_col_start + column,
+                0,
+                widths[signal],
+                true,
+            ))
         }
     };
 
@@ -118,7 +125,12 @@ pub fn generate(
     for event in &allocation.schedule {
         match event {
             Event::DefineSignal(signal) => {
-                let Some(SignalDef::Combine { lhs, lhs_negated, rhs, rhs_negated }) = dfg.signals.def(*signal)
+                let Some(SignalDef::Combine {
+                    lhs,
+                    lhs_negated,
+                    rhs,
+                    rhs_negated,
+                }) = dfg.signals.def(*signal)
                 else {
                     return Err(ApcError::Internal {
                         reason: format!("schedule defines non-derived signal {signal}"),
@@ -178,7 +190,11 @@ pub fn generate(
                         generated.in_place += 1;
                     }
                     _ => {
-                        let widest = terms.iter().map(|&(s, _)| widths[s]).max().unwrap_or(layout.act_bits);
+                        let widest = terms
+                            .iter()
+                            .map(|&(s, _)| widths[s])
+                            .max()
+                            .unwrap_or(layout.act_bits);
                         let chain_bits = chain_width(widest, terms.len()).min(layout.acc_bits);
                         let chain = Operand::new(layout.chain_col, 0, chain_bits, true);
                         let (first_signal, first_sign) = terms[0];
@@ -190,20 +206,40 @@ pub fn generate(
                         let head = match (first_sign > 0, second_sign > 0) {
                             (true, true) => {
                                 chain_negated = false;
-                                ApInstruction::AddOutOfPlace { a: second, b: first, dests: vec![chain], carry }
+                                ApInstruction::AddOutOfPlace {
+                                    a: second,
+                                    b: first,
+                                    dests: vec![chain],
+                                    carry,
+                                }
                             }
                             (true, false) => {
                                 chain_negated = false;
-                                ApInstruction::SubOutOfPlace { a: second, b: first, dests: vec![chain], carry }
+                                ApInstruction::SubOutOfPlace {
+                                    a: second,
+                                    b: first,
+                                    dests: vec![chain],
+                                    carry,
+                                }
                             }
                             (false, true) => {
                                 chain_negated = false;
-                                ApInstruction::SubOutOfPlace { a: first, b: second, dests: vec![chain], carry }
+                                ApInstruction::SubOutOfPlace {
+                                    a: first,
+                                    b: second,
+                                    dests: vec![chain],
+                                    carry,
+                                }
                             }
                             (false, false) => {
                                 // chain holds first + second; the whole chain is negated.
                                 chain_negated = true;
-                                ApInstruction::AddOutOfPlace { a: second, b: first, dests: vec![chain], carry }
+                                ApInstruction::AddOutOfPlace {
+                                    a: second,
+                                    b: first,
+                                    dests: vec![chain],
+                                    carry,
+                                }
                             }
                         };
                         generated.program.push(head);
@@ -213,18 +249,34 @@ pub fn generate(
                             let a = operand_of(signal)?;
                             let effective = if chain_negated { -sign } else { sign };
                             let instruction = if effective > 0 {
-                                ApInstruction::AddInPlace { a, acc: chain, carry }
+                                ApInstruction::AddInPlace {
+                                    a,
+                                    acc: chain,
+                                    carry,
+                                }
                             } else {
-                                ApInstruction::SubInPlace { a, acc: chain, carry }
+                                ApInstruction::SubInPlace {
+                                    a,
+                                    acc: chain,
+                                    carry,
+                                }
                             };
                             generated.program.push(instruction);
                             generated.counted_ops += 1;
                             generated.in_place += 1;
                         }
                         let accumulate = if chain_negated {
-                            ApInstruction::SubInPlace { a: chain, acc, carry }
+                            ApInstruction::SubInPlace {
+                                a: chain,
+                                acc,
+                                carry,
+                            }
                         } else {
-                            ApInstruction::AddInPlace { a: chain, acc, carry }
+                            ApInstruction::AddInPlace {
+                                a: chain,
+                                acc,
+                                carry,
+                            }
                         };
                         generated.program.push(accumulate);
                         generated.accumulate_ops += 1;
@@ -255,7 +307,11 @@ mod tests {
     /// for stand-alone slice tests.
     fn layer_for(patch: usize, cout: usize) -> ConvLayerInfo {
         let side = (patch as f64).sqrt() as usize;
-        let (fh, fw) = if side * side == patch { (side, side) } else { (1, patch) };
+        let (fh, fw) = if side * side == patch {
+            (side, side)
+        } else {
+            (1, patch)
+        };
         ConvLayerInfo {
             node_id: 0,
             name: "slice-test".to_string(),
@@ -280,7 +336,11 @@ mod tests {
         }
         let layer = layer_for(patch, cout);
         let layout = LayerLayout::for_layer(
-            CamGeometry { rows: 16, cols: 64, domains: 64 },
+            CamGeometry {
+                rows: 16,
+                cols: 64,
+                domains: 64,
+            },
             act_bits,
             &layer,
             16,
@@ -301,17 +361,28 @@ mod tests {
         let cam_rows = layout.geometry.rows;
         // One random patch per CAM row.
         let patches: Vec<Vec<i64>> = (0..cam_rows)
-            .map(|_| (0..patch).map(|_| rng.gen_range(0..(1 << act_bits))).collect())
+            .map(|_| {
+                (0..patch)
+                    .map(|_| rng.gen_range(0..(1 << act_bits)))
+                    .collect()
+            })
             .collect();
-        let array = CamArray::new(cam_rows, layout.geometry.cols, layout.geometry.domains, CamTechnology::default())
-            .expect("array");
+        let array = CamArray::new(
+            cam_rows,
+            layout.geometry.cols,
+            layout.geometry.domains,
+            CamTechnology::default(),
+        )
+        .expect("array");
         let mut ap = ApController::new(array);
         // Stage the patch inputs (one column per patch offset, one value per row).
         for k in 0..patch {
             let column: Vec<i64> = patches.iter().map(|p| p[k]).collect();
-            ap.load_column(&Operand::new(k, 0, layout.act_bits, false), &column).expect("load");
+            ap.load_column(&Operand::new(k, 0, layout.act_bits, false), &column)
+                .expect("load");
         }
-        ap.run(&tile_prologue(&layout, dfg.outputs.len())).expect("prologue");
+        ap.run(&tile_prologue(&layout, dfg.outputs.len()))
+            .expect("prologue");
         ap.run(&generated.program).expect("slice program");
         for (index, _) in dfg.outputs.iter().enumerate() {
             let acc = Operand::new(layout.acc_col_start + index, 0, layout.acc_bits, true);
@@ -326,7 +397,12 @@ mod tests {
     #[test]
     fn generated_code_matches_reference_without_cse() {
         run_functional(
-            vec![vec![1, -1, 0, 1], vec![0, 1, 1, -1], vec![-1, -1, -1, -1], vec![0, 0, 0, 0]],
+            vec![
+                vec![1, -1, 0, 1],
+                vec![0, 1, 1, -1],
+                vec![-1, -1, -1, -1],
+                vec![0, 0, 0, 0],
+            ],
             4,
             false,
             1,
@@ -357,7 +433,11 @@ mod tests {
             let outputs = rng.gen_range(2..8);
             let patch = rng.gen_range(2..9);
             let rows: Vec<Vec<i8>> = (0..outputs)
-                .map(|_| (0..patch).map(|_| [0i8, 0, 1, -1][rng.gen_range(0..4)]).collect())
+                .map(|_| {
+                    (0..patch)
+                        .map(|_| [0i8, 0, 1, -1][rng.gen_range(0..4)])
+                        .collect()
+                })
                 .collect();
             run_functional(rows.clone(), 4, false, 100 + case);
             run_functional(rows, 4, true, 200 + case);
@@ -376,7 +456,8 @@ mod tests {
         // The total instruction count matches the codegen convention.
         assert_eq!(
             generated.counted_ops + generated.accumulate_ops,
-            dfg.instruction_ops() as u64 + dfg.outputs.iter().filter(|o| o.len() >= 2).count() as u64
+            dfg.instruction_ops() as u64
+                + dfg.outputs.iter().filter(|o| o.len() >= 2).count() as u64
         );
     }
 
@@ -386,7 +467,11 @@ mod tests {
         // out-of-place ones — the optimisation goal of §IV-C.
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let rows: Vec<Vec<i8>> = (0..16)
-            .map(|_| (0..9).map(|_| [1i8, -1, 1, -1, 0][rng.gen_range(0..5)]).collect())
+            .map(|_| {
+                (0..9)
+                    .map(|_| [1i8, -1, 1, -1, 0][rng.gen_range(0..5)])
+                    .collect()
+            })
             .collect();
         let (_, _, generated) = lower(rows.clone(), 4, false);
         assert!(
@@ -397,7 +482,8 @@ mod tests {
         );
         // Even with CSE the in-place share stays substantial.
         let (_, _, with_cse) = lower(rows, 4, true);
-        let fraction = with_cse.in_place as f64 / (with_cse.in_place + with_cse.out_of_place) as f64;
+        let fraction =
+            with_cse.in_place as f64 / (with_cse.in_place + with_cse.out_of_place) as f64;
         assert!(fraction > 0.3, "in-place fraction {fraction}");
     }
 

@@ -40,7 +40,11 @@ fn count_patterns(outputs: &[LinearExpr]) -> HashMap<Pattern, usize> {
             for j in (i + 1)..terms.len() {
                 let (a, sa) = terms[i];
                 let (b, sb) = terms[j];
-                let pattern = Pattern { a, b, relative_sign: sa * sb };
+                let pattern = Pattern {
+                    a,
+                    b,
+                    relative_sign: sa * sb,
+                };
                 *counts.entry(pattern).or_insert(0) += 1;
             }
         }
@@ -81,16 +85,22 @@ pub fn eliminate(table: &mut SignalTable, outputs: &mut [LinearExpr]) -> Result<
         let counts = count_patterns(outputs);
         let best = counts.into_iter().max_by_key(|&(pattern, count)| {
             // Deterministic tie-break on the pattern itself so compilation is stable.
-            (count, std::cmp::Reverse((pattern.a, pattern.b, pattern.relative_sign)))
+            (
+                count,
+                std::cmp::Reverse((pattern.a, pattern.b, pattern.relative_sign)),
+            )
         });
         let Some((pattern, count)) = best else { break };
         if count < 2 {
             break;
         }
-        let new_signal = table.push_combine(pattern.a, false, pattern.b, pattern.relative_sign < 0)?;
+        let new_signal =
+            table.push_combine(pattern.a, false, pattern.b, pattern.relative_sign < 0)?;
         outcome.new_signals += 1;
         for expr in outputs.iter_mut() {
-            let (Some(sa), Some(sb)) = (expr.sign(pattern.a), expr.sign(pattern.b)) else { continue };
+            let (Some(sa), Some(sb)) = (expr.sign(pattern.a), expr.sign(pattern.b)) else {
+                continue;
+            };
             if sa * sb != pattern.relative_sign {
                 continue;
             }
@@ -123,14 +133,21 @@ mod tests {
     }
 
     fn value_construction_ops(table: &SignalTable, outputs: &[LinearExpr]) -> usize {
-        table.derived() + outputs.iter().map(|o| o.len().saturating_sub(1)).sum::<usize>()
+        table.derived()
+            + outputs
+                .iter()
+                .map(|o| o.len().saturating_sub(1))
+                .sum::<usize>()
     }
 
     #[test]
     fn equation1_reduces_to_seven_ops() {
         let rows = equation1_rows();
         let mut table = SignalTable::with_inputs(6);
-        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let mut outputs: Vec<LinearExpr> = rows
+            .iter()
+            .map(|r| LinearExpr::from_weight_row(r))
+            .collect();
         let before = value_construction_ops(&table, &outputs);
         assert_eq!(before, 20 - 6); // 20 non-zero weights across 6 outputs
         let outcome = eliminate(&mut table, &mut outputs).expect("cse");
@@ -147,7 +164,10 @@ mod tests {
         let rows = equation1_rows();
         let inputs: Vec<i64> = vec![7, -3, 12, 5, 100, -8];
         let mut table = SignalTable::with_inputs(6);
-        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let mut outputs: Vec<LinearExpr> = rows
+            .iter()
+            .map(|r| LinearExpr::from_weight_row(r))
+            .collect();
         let reference: Vec<i64> = {
             let values = table.evaluate(&inputs).expect("evaluate");
             outputs.iter().map(|o| o.evaluate(&values)).collect()
@@ -193,7 +213,10 @@ mod tests {
         let rows = equation1_rows();
         let run = || {
             let mut table = SignalTable::with_inputs(6);
-            let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+            let mut outputs: Vec<LinearExpr> = rows
+                .iter()
+                .map(|r| LinearExpr::from_weight_row(r))
+                .collect();
             eliminate(&mut table, &mut outputs).expect("cse");
             (table, outputs)
         };
@@ -208,12 +231,18 @@ mod tests {
             .map(|_| (0..9).map(|_| [0i8, 1, -1][rng.gen_range(0..3)]).collect())
             .collect();
         let mut table = SignalTable::with_inputs(9);
-        let mut outputs: Vec<LinearExpr> = rows.iter().map(|r| LinearExpr::from_weight_row(r)).collect();
+        let mut outputs: Vec<LinearExpr> = rows
+            .iter()
+            .map(|r| LinearExpr::from_weight_row(r))
+            .collect();
         let before = value_construction_ops(&table, &outputs);
         eliminate(&mut table, &mut outputs).expect("cse");
         let after = value_construction_ops(&table, &outputs);
         assert!(after < before, "no reduction: {before} -> {after}");
-        assert!((after as f64) < 0.9 * before as f64, "weak reduction: {before} -> {after}");
+        assert!(
+            (after as f64) < 0.9 * before as f64,
+            "weak reduction: {before} -> {after}"
+        );
     }
 
     proptest! {

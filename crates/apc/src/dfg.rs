@@ -61,7 +61,10 @@ impl WeightSlice {
         }
         if cout_range.end > layer.cout {
             return Err(ApcError::InvalidArgument {
-                reason: format!("output range {cout_range:?} out of range for cout {}", layer.cout),
+                reason: format!(
+                    "output range {cout_range:?} out of range for cout {}",
+                    layer.cout
+                ),
             });
         }
         let (fh, fw) = layer.kernel;
@@ -150,8 +153,16 @@ impl Dfg {
     /// ternary weights become signed terms; zeros disappear).
     pub fn from_slice(slice: &WeightSlice) -> Self {
         let signals = SignalTable::with_inputs(slice.patch_size());
-        let outputs = slice.rows().iter().map(|row| LinearExpr::from_weight_row(row)).collect();
-        Dfg { signals, outputs, patch_size: slice.patch_size() }
+        let outputs = slice
+            .rows()
+            .iter()
+            .map(|row| LinearExpr::from_weight_row(row))
+            .collect();
+        Dfg {
+            signals,
+            outputs,
+            patch_size: slice.patch_size(),
+        }
     }
 
     /// Builds the DFG of the matrix-vector example of Eq. 1 in the paper (used by
@@ -232,7 +243,11 @@ impl Dfg {
     pub fn evaluate_slice(slice: &WeightSlice, patch_inputs: &[i64]) -> Result<Vec<i64>> {
         if patch_inputs.len() != slice.patch_size() {
             return Err(ApcError::InvalidArgument {
-                reason: format!("expected {} patch inputs, got {}", slice.patch_size(), patch_inputs.len()),
+                reason: format!(
+                    "expected {} patch inputs, got {}",
+                    slice.patch_size(),
+                    patch_inputs.len()
+                ),
             });
         }
         Ok(slice
@@ -292,14 +307,22 @@ mod tests {
     fn cse_on_equation1_reaches_paper_count() {
         let mut dfg = Dfg::equation1();
         dfg.apply_cse().expect("cse");
-        assert!(dfg.op_count().total() <= 8, "ops {}", dfg.op_count().total());
+        assert!(
+            dfg.op_count().total() <= 8,
+            "ops {}",
+            dfg.op_count().total()
+        );
     }
 
     #[test]
     fn dfg_evaluation_matches_direct_slice_evaluation() {
         let mut rng = ChaCha8Rng::seed_from_u64(17);
         let rows: Vec<Vec<i8>> = (0..32)
-            .map(|_| (0..9).map(|_| [0i8, 0, 0, 1, -1][rng.gen_range(0..5)]).collect())
+            .map(|_| {
+                (0..9)
+                    .map(|_| [0i8, 0, 0, 1, -1][rng.gen_range(0..5)])
+                    .collect()
+            })
             .collect();
         let slice = WeightSlice::from_rows(rows).expect("slice");
         let inputs: Vec<i64> = (0..9).map(|_| rng.gen_range(0..256)).collect();

@@ -1,75 +1,50 @@
-use std::error::Error;
-use std::fmt;
+use thiserror::Error;
 
 /// Errors produced by the compilation framework.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
 pub enum ApcError {
     /// The layer does not fit the target CAM geometry even after tiling.
+    #[error("layer does not fit the CAM geometry: {reason}")]
     DoesNotFit {
         /// Explanation of which resource was exhausted.
         reason: String,
     },
     /// An invalid compiler option or layer description was supplied.
+    #[error("invalid argument: {reason}")]
     InvalidArgument {
         /// Explanation of the problem.
         reason: String,
     },
     /// An inconsistency was detected while lowering the DFG (an internal error that
     /// indicates a compiler bug rather than a user mistake).
+    #[error("internal compiler error: {reason}")]
     Internal {
         /// Explanation of the inconsistency.
         reason: String,
     },
     /// An error bubbled up from the neural-network substrate.
-    Model(tnn::TnnError),
+    #[error("model error: {0}")]
+    Model(#[from] tnn::TnnError),
     /// An error bubbled up from the associative-processor layer.
-    Ap(ap::ApError),
-}
-
-impl fmt::Display for ApcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ApcError::DoesNotFit { reason } => write!(f, "layer does not fit the CAM geometry: {reason}"),
-            ApcError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
-            ApcError::Internal { reason } => write!(f, "internal compiler error: {reason}"),
-            ApcError::Model(err) => write!(f, "model error: {err}"),
-            ApcError::Ap(err) => write!(f, "associative processor error: {err}"),
-        }
-    }
-}
-
-impl Error for ApcError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            ApcError::Model(err) => Some(err),
-            ApcError::Ap(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<tnn::TnnError> for ApcError {
-    fn from(err: tnn::TnnError) -> Self {
-        ApcError::Model(err)
-    }
-}
-
-impl From<ap::ApError> for ApcError {
-    fn from(err: ap::ApError) -> Self {
-        ApcError::Ap(err)
-    }
+    #[error("associative processor error: {0}")]
+    Ap(#[from] ap::ApError),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_and_source() {
-        let err = ApcError::DoesNotFit { reason: "needs 300 columns, CAM has 256".to_string() };
+        let err = ApcError::DoesNotFit {
+            reason: "needs 300 columns, CAM has 256".to_string(),
+        };
         assert!(err.to_string().contains("300"));
-        let err = ApcError::from(tnn::TnnError::InvalidArgument { reason: "x".to_string() });
+        let err = ApcError::from(tnn::TnnError::InvalidArgument {
+            reason: "x".to_string(),
+        });
         assert!(Error::source(&err).is_some());
     }
 

@@ -58,7 +58,9 @@ impl SignalTable {
     /// Creates a table containing `inputs` patch-input signals (ids `0..inputs`).
     pub fn with_inputs(inputs: usize) -> Self {
         SignalTable {
-            defs: (0..inputs).map(|patch_index| SignalDef::Input { patch_index }).collect(),
+            defs: (0..inputs)
+                .map(|patch_index| SignalDef::Input { patch_index })
+                .collect(),
             inputs,
         }
     }
@@ -107,10 +109,18 @@ impl SignalTable {
     ) -> Result<SignalId> {
         if lhs >= self.defs.len() || rhs >= self.defs.len() {
             return Err(ApcError::Internal {
-                reason: format!("combine references unknown signals {lhs}/{rhs} (table has {})", self.defs.len()),
+                reason: format!(
+                    "combine references unknown signals {lhs}/{rhs} (table has {})",
+                    self.defs.len()
+                ),
             });
         }
-        self.defs.push(SignalDef::Combine { lhs, lhs_negated, rhs, rhs_negated });
+        self.defs.push(SignalDef::Combine {
+            lhs,
+            lhs_negated,
+            rhs,
+            rhs_negated,
+        });
         Ok(self.defs.len() - 1)
     }
 
@@ -124,14 +134,23 @@ impl SignalTable {
     pub fn evaluate(&self, patch_inputs: &[i64]) -> Result<Vec<i64>> {
         if patch_inputs.len() != self.inputs {
             return Err(ApcError::InvalidArgument {
-                reason: format!("expected {} patch inputs, got {}", self.inputs, patch_inputs.len()),
+                reason: format!(
+                    "expected {} patch inputs, got {}",
+                    self.inputs,
+                    patch_inputs.len()
+                ),
             });
         }
         let mut values: Vec<i64> = Vec::with_capacity(self.defs.len());
         for def in &self.defs {
             let value = match def {
                 SignalDef::Input { patch_index } => patch_inputs[*patch_index],
-                SignalDef::Combine { lhs, lhs_negated, rhs, rhs_negated } => {
+                SignalDef::Combine {
+                    lhs,
+                    lhs_negated,
+                    rhs,
+                    rhs_negated,
+                } => {
                     let l = values[*lhs];
                     let r = values[*rhs];
                     (if *lhs_negated { -l } else { l }) + (if *rhs_negated { -r } else { r })
@@ -210,7 +229,9 @@ impl LinearExpr {
 
     /// Evaluates the expression given the value of every signal.
     pub fn evaluate(&self, signal_values: &[i64]) -> i64 {
-        self.iter().map(|(s, sign)| sign as i64 * signal_values[s]).sum()
+        self.iter()
+            .map(|(s, sign)| sign as i64 * signal_values[s])
+            .sum()
     }
 }
 

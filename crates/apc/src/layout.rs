@@ -31,7 +31,11 @@ pub struct CamGeometry {
 impl Default for CamGeometry {
     fn default() -> Self {
         // The 256×256 array with 64-domain nanowires used in the paper's evaluation.
-        CamGeometry { rows: 256, cols: 256, domains: 64 }
+        CamGeometry {
+            rows: 256,
+            cols: 256,
+            domains: 64,
+        }
     }
 }
 
@@ -121,7 +125,8 @@ impl LayerLayout {
             });
         }
         let patch_size = layer.kernel.0 * layer.kernel.1;
-        let acc_bits_needed = accumulator_width(act_bits, patch_size * layer.cin.max(1)).min(MAX_WIDTH);
+        let acc_bits_needed =
+            accumulator_width(act_bits, patch_size * layer.cin.max(1)).min(MAX_WIDTH);
         // Fixed column roles: patch inputs, carry, chain, temporaries, accumulators.
         let overhead = patch_size + 2 + temp_budget;
         if overhead + 1 > geometry.cols {
@@ -144,7 +149,9 @@ impl LayerLayout {
         }
         let cout_tile = (geometry.cols - overhead).min(layer.cout.max(1));
         let output_tiles = layer.cout.max(1).div_ceil(cout_tile);
-        let channels_per_group = (geometry.domains / act_bits as usize).max(1).min(layer.cin.max(1));
+        let channels_per_group = (geometry.domains / act_bits as usize)
+            .max(1)
+            .min(layer.cin.max(1));
         let channel_groups = layer.cin.max(1).div_ceil(channels_per_group);
         let output_positions = layer.output_positions().max(1);
         let row_groups = output_positions.div_ceil(geometry.rows);
@@ -189,7 +196,9 @@ impl LayerLayout {
     /// Rows of the array that are actually used (the last row group may be partial).
     pub fn rows_in_group(&self, group: usize) -> usize {
         let start = group * self.geometry.rows;
-        self.output_positions.saturating_sub(start).min(self.geometry.rows)
+        self.output_positions
+            .saturating_sub(start)
+            .min(self.geometry.rows)
     }
 
     /// Average CAM-row utilisation across the row groups (1.0 when `Hout·Wout` is a
@@ -208,7 +217,10 @@ mod tests {
     #[test]
     fn default_geometry_matches_paper() {
         let geometry = CamGeometry::default();
-        assert_eq!((geometry.rows, geometry.cols, geometry.domains), (256, 256, 64));
+        assert_eq!(
+            (geometry.rows, geometry.cols, geometry.domains),
+            (256, 256, 64)
+        );
     }
 
     #[test]
@@ -254,9 +266,14 @@ mod tests {
     fn row_utilization_degrades_for_deep_layers() {
         let resnet = resnet18(0.8, 1);
         let layers = resnet.conv_like_layers();
-        let stem = LayerLayout::for_layer(CamGeometry::default(), 4, &layers[0], 32).expect("layout");
-        let deep = layers.iter().find(|l| l.output_hw == (7, 7)).expect("7x7 layer");
-        let deep_layout = LayerLayout::for_layer(CamGeometry::default(), 4, deep, 32).expect("layout");
+        let stem =
+            LayerLayout::for_layer(CamGeometry::default(), 4, &layers[0], 32).expect("layout");
+        let deep = layers
+            .iter()
+            .find(|l| l.output_hw == (7, 7))
+            .expect("7x7 layer");
+        let deep_layout =
+            LayerLayout::for_layer(CamGeometry::default(), 4, deep, 32).expect("layout");
         assert!(deep_layout.row_utilization() < stem.row_utilization());
         assert!(deep_layout.row_utilization() < 0.5);
         assert_eq!(deep_layout.rows_in_group(0), 49);
@@ -266,10 +283,18 @@ mod tests {
     fn degenerate_geometries_are_rejected() {
         let vgg = vgg9(0.85, 1);
         let layer = &vgg.conv_like_layers()[0];
-        let tiny = CamGeometry { rows: 16, cols: 8, domains: 64 };
+        let tiny = CamGeometry {
+            rows: 16,
+            cols: 8,
+            domains: 64,
+        };
         assert!(LayerLayout::for_layer(tiny, 4, layer, 4).is_err());
         assert!(LayerLayout::for_layer(CamGeometry::default(), 0, layer, 32).is_err());
-        let shallow = CamGeometry { rows: 256, cols: 256, domains: 8 };
+        let shallow = CamGeometry {
+            rows: 256,
+            cols: 256,
+            domains: 8,
+        };
         assert!(LayerLayout::for_layer(shallow, 4, layer, 32).is_err());
     }
 
@@ -278,7 +303,10 @@ mod tests {
         let vgg = vgg9(0.85, 1);
         let layer = &vgg.conv_like_layers()[1];
         let layout = LayerLayout::for_layer(CamGeometry::default(), 4, layer, 32).expect("layout");
-        assert_eq!(layout.parallel_aps(), layout.row_groups * layout.channel_groups);
+        assert_eq!(
+            layout.parallel_aps(),
+            layout.row_groups * layout.channel_groups
+        );
         assert_eq!(layout.channel_domain_base(0), 0);
         assert_eq!(layout.channel_domain_base(3), 12);
     }

@@ -31,8 +31,14 @@ pub enum LoopVar {
 
 impl LoopVar {
     /// All variables in the naive loop order of Fig. 3b (outermost first).
-    pub const NAIVE_ORDER: [LoopVar; 6] =
-        [LoopVar::Ofm, LoopVar::Ifm, LoopVar::Oh, LoopVar::Ow, LoopVar::Kh, LoopVar::Kw];
+    pub const NAIVE_ORDER: [LoopVar; 6] = [
+        LoopVar::Ofm,
+        LoopVar::Ifm,
+        LoopVar::Oh,
+        LoopVar::Ow,
+        LoopVar::Kh,
+        LoopVar::Kw,
+    ];
 }
 
 /// One loop level of the nest: its variable, extent and whether it has been fully
@@ -85,7 +91,11 @@ impl LoopNest {
         LoopNest {
             levels: LoopVar::NAIVE_ORDER
                 .iter()
-                .map(|&var| LoopLevel { var, extent: extent(var), unrolled: false })
+                .map(|&var| LoopLevel {
+                    var,
+                    extent: extent(var),
+                    unrolled: false,
+                })
                 .collect(),
             fissioned_over: None,
         }
@@ -102,9 +112,12 @@ impl LoopNest {
     }
 
     fn position(&self, var: LoopVar) -> Result<usize> {
-        self.levels.iter().position(|l| l.var == var).ok_or(ApcError::InvalidArgument {
-            reason: format!("loop variable {var:?} is not part of the nest"),
-        })
+        self.levels
+            .iter()
+            .position(|l| l.var == var)
+            .ok_or(ApcError::InvalidArgument {
+                reason: format!("loop variable {var:?} is not part of the nest"),
+            })
     }
 
     /// Interchanges two loops of the nest.
@@ -196,7 +209,11 @@ impl LoopNest {
     /// Trip count of the loops that remain rolled (the `Hout*Wout` SIMD dimension
     /// after the full schedule).
     pub fn remaining_trip_count(&self) -> usize {
-        self.levels.iter().filter(|l| !l.unrolled).map(|l| l.extent).product()
+        self.levels
+            .iter()
+            .filter(|l| !l.unrolled)
+            .map(|l| l.extent)
+            .product()
     }
 
     /// Code-size estimate: total statements across all bodies. This is the overhead
@@ -245,10 +262,16 @@ mod tests {
         let layer = first_conv();
         let mut nest = LoopNest::naive(&layer);
         nest.apply_rtm_ap_schedule().expect("schedule");
-        assert_eq!(nest.statements_per_body(), layer.cout * layer.kernel.0 * layer.kernel.1);
+        assert_eq!(
+            nest.statements_per_body(),
+            layer.cout * layer.kernel.0 * layer.kernel.1
+        );
         assert_eq!(nest.fissioned_bodies(), layer.cin);
         assert_eq!(nest.remaining_trip_count(), layer.output_positions());
-        assert_eq!(nest.code_size(), (layer.cout * layer.cin * layer.kernel.0 * layer.kernel.1));
+        assert_eq!(
+            nest.code_size(),
+            (layer.cout * layer.cin * layer.kernel.0 * layer.kernel.1)
+        );
     }
 
     #[test]

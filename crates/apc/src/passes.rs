@@ -8,8 +8,9 @@ use crate::layout::{CamGeometry, LayerLayout};
 use crate::{CompileStats, Result};
 use ap::{ApProgram, CostModel};
 use cam::CamTechnology;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tnn::model::ConvLayerInfo;
+use tnn::model::{ConvLayerInfo, ModelGraph};
 
 /// Options controlling the compilation flow.
 ///
@@ -48,7 +49,10 @@ impl CompilerOptions {
     /// The `unroll` configuration of the paper: constant folding and narrow types but
     /// no CSE.
     pub fn unroll_only() -> Self {
-        CompilerOptions { enable_cse: false, ..CompilerOptions::default() }
+        CompilerOptions {
+            enable_cse: false,
+            ..CompilerOptions::default()
+        }
     }
 
     /// Returns a copy with a different activation precision.
@@ -151,13 +155,22 @@ impl LayerCompiler {
     /// malformed inputs.
     pub fn compile(&self, layer: &ConvLayerInfo) -> Result<CompiledLayer> {
         let options = &self.options;
-        let layout = LayerLayout::for_layer(options.geometry, options.act_bits, layer, options.temp_budget)?;
+        let layout = LayerLayout::for_layer(
+            options.geometry,
+            options.act_bits,
+            layer,
+            options.temp_budget,
+        )?;
         // Cost accounting uses a single-row model: bit counts per row scale linearly
         // with the number of active rows and are multiplied by the accelerator model.
         let per_row_model = CostModel::new(CamTechnology::default(), 1);
 
         let mut stats = CompileStats::new();
-        let mut slices = if options.keep_programs { Some(Vec::new()) } else { None };
+        let mut slices = if options.keep_programs {
+            Some(Vec::new())
+        } else {
+            None
+        };
 
         for tile in 0..layout.output_tiles {
             let range = layout.tile_range(tile, layer.cout);
@@ -191,7 +204,8 @@ impl LayerCompiler {
                     allocation = allocate(&dfg);
                     stats.cse_fallbacks += 1;
                 }
-                let generated = codegen::generate(&dfg, &widths, &allocation, &layout, channel_in_group)?;
+                let generated =
+                    codegen::generate(&dfg, &widths, &allocation, &layout, channel_in_group)?;
                 self.accumulate(&mut stats, &dfg, &generated, &per_row_model, &layout);
                 if let Some(slices) = slices.as_mut() {
                     slices.push(CompiledSlice {
@@ -214,6 +228,27 @@ impl LayerCompiler {
             stats,
             slices,
         })
+    }
+
+    /// Compiles every weighted layer of `model`, in network order.
+    ///
+    /// Layers are compiled concurrently (one rayon job per layer — the hot
+    /// path of a full-network evaluation). Each layer's compilation is
+    /// self-contained, so the result is bit-identical to compiling the layers
+    /// sequentially, regardless of the worker count (including
+    /// `RAYON_NUM_THREADS=1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in network order) failing layer's error. Note the
+    /// parallel map is eager: other layers may still be compiled before the
+    /// error is reported.
+    pub fn compile_model(&self, model: &ModelGraph) -> Result<Vec<CompiledLayer>> {
+        model
+            .conv_like_layers()
+            .into_par_iter()
+            .map(|layer| self.compile(&layer))
+            .collect()
     }
 
     fn accumulate(
@@ -250,7 +285,9 @@ impl LayerCompiler {
         stats.searched_bits_per_row += cost.stats.searched_bits;
         stats.written_bits_per_row += cost.stats.written_bits;
         stats.io_bits_per_row += (layout.patch_size as u64) * layout.act_bits as u64;
-        stats.max_temp_columns = stats.max_temp_columns.max(generated.temp_columns_used as u64);
+        stats.max_temp_columns = stats
+            .max_temp_columns
+            .max(generated.temp_columns_used as u64);
         stats.slices += 1;
     }
 }
@@ -268,11 +305,22 @@ mod tests {
     fn cse_reduces_adds_on_a_real_layer() {
         let model = small_model();
         let layer = &model.conv_like_layers()[1]; // 64 -> 64, 3x3 on 32x32
-        let with_cse = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
-        let without = LayerCompiler::new(CompilerOptions::unroll_only()).compile(layer).expect("compile");
+        let with_cse = LayerCompiler::new(CompilerOptions::default())
+            .compile(layer)
+            .expect("compile");
+        let without = LayerCompiler::new(CompilerOptions::unroll_only())
+            .compile(layer)
+            .expect("compile");
         assert!(with_cse.stats.counted_adds_subs < without.stats.counted_adds_subs);
-        assert_eq!(without.stats.counted_adds_subs, without.stats.baseline_adds_subs);
-        assert!(with_cse.stats.cse_reduction() > 0.05, "reduction {}", with_cse.stats.cse_reduction());
+        assert_eq!(
+            without.stats.counted_adds_subs,
+            without.stats.baseline_adds_subs
+        );
+        assert!(
+            with_cse.stats.cse_reduction() > 0.05,
+            "reduction {}",
+            with_cse.stats.cse_reduction()
+        );
         // Cheaper in ops means cheaper in cycles, too.
         assert!(with_cse.stats.total_cycles < without.stats.total_cycles);
     }
@@ -281,8 +329,12 @@ mod tests {
     fn four_bit_activations_are_cheaper_than_eight_bit() {
         let model = small_model();
         let layer = &model.conv_like_layers()[1];
-        let four = LayerCompiler::new(CompilerOptions::default().with_act_bits(4)).compile(layer).expect("compile");
-        let eight = LayerCompiler::new(CompilerOptions::default().with_act_bits(8)).compile(layer).expect("compile");
+        let four = LayerCompiler::new(CompilerOptions::default().with_act_bits(4))
+            .compile(layer)
+            .expect("compile");
+        let eight = LayerCompiler::new(CompilerOptions::default().with_act_bits(8))
+            .compile(layer)
+            .expect("compile");
         assert_eq!(four.stats.counted_adds_subs, eight.stats.counted_adds_subs);
         assert!(four.stats.total_cycles < eight.stats.total_cycles);
         assert!(four.layout.channels_per_group > eight.layout.channels_per_group);
@@ -293,8 +345,12 @@ mod tests {
         let dense_model = vgg9(0.5, 11);
         let sparse_model = vgg9(0.9, 11);
         let compiler = LayerCompiler::new(CompilerOptions::default());
-        let dense = compiler.compile(&dense_model.conv_like_layers()[1]).expect("compile");
-        let sparse = compiler.compile(&sparse_model.conv_like_layers()[1]).expect("compile");
+        let dense = compiler
+            .compile(&dense_model.conv_like_layers()[1])
+            .expect("compile");
+        let sparse = compiler
+            .compile(&sparse_model.conv_like_layers()[1])
+            .expect("compile");
         assert!(sparse.stats.counted_adds_subs < dense.stats.counted_adds_subs);
         assert!(sparse.stats.nonzero_weights < dense.stats.nonzero_weights);
     }
@@ -303,13 +359,18 @@ mod tests {
     fn layer_metadata_is_propagated() {
         let model = small_model();
         let layer = &model.conv_like_layers()[0];
-        let compiled = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
+        let compiled = LayerCompiler::new(CompilerOptions::default())
+            .compile(layer)
+            .expect("compile");
         assert_eq!(compiled.name, layer.name);
         assert_eq!(compiled.cin, layer.cin);
         assert_eq!(compiled.cout, layer.cout);
         assert_eq!(compiled.output_positions, 32 * 32);
         assert_eq!(compiled.arrays(), 4);
-        assert_eq!(compiled.stats.slices, (layer.cin * compiled.layout.output_tiles) as u64);
+        assert_eq!(
+            compiled.stats.slices,
+            (layer.cin * compiled.layout.output_tiles) as u64
+        );
         assert!(compiled.slices.is_none());
     }
 
@@ -322,14 +383,22 @@ mod tests {
             .expect("compile");
         let slices = compiled.slices.expect("programs retained");
         assert_eq!(slices.len(), layer.cin * compiled.layout.output_tiles);
-        assert!(slices.iter().all(|s| !s.program.is_empty() || s.channel >= layer.cin));
+        assert!(slices
+            .iter()
+            .all(|s| !s.program.is_empty() || s.channel >= layer.cin));
     }
 
     #[test]
     fn in_place_fraction_is_high() {
         let model = small_model();
         let layer = &model.conv_like_layers()[1];
-        let compiled = LayerCompiler::new(CompilerOptions::default()).compile(layer).expect("compile");
-        assert!(compiled.stats.in_place_fraction() > 0.5, "fraction {}", compiled.stats.in_place_fraction());
+        let compiled = LayerCompiler::new(CompilerOptions::default())
+            .compile(layer)
+            .expect("compile");
+        assert!(
+            compiled.stats.in_place_fraction() > 0.5,
+            "fraction {}",
+            compiled.stats.in_place_fraction()
+        );
     }
 }

@@ -139,8 +139,18 @@ mod tests {
 
     #[test]
     fn addition_accumulates_and_maxes() {
-        let a = CompileStats { counted_adds_subs: 10, max_temp_columns: 7, slices: 1, ..Default::default() };
-        let b = CompileStats { counted_adds_subs: 5, max_temp_columns: 3, slices: 2, ..Default::default() };
+        let a = CompileStats {
+            counted_adds_subs: 10,
+            max_temp_columns: 7,
+            slices: 1,
+            ..Default::default()
+        };
+        let b = CompileStats {
+            counted_adds_subs: 5,
+            max_temp_columns: 3,
+            slices: 2,
+            ..Default::default()
+        };
         let mut c = a;
         c += b;
         assert_eq!(c.counted_adds_subs, 15);

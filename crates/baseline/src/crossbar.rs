@@ -106,15 +106,25 @@ impl CrossbarReport {
 /// assert!(report.energy_uj() > 0.0);
 /// assert!(report.latency_ms() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarModel {
     tech: CrossbarTechnology,
+    act_bits: u8,
+}
+
+impl Default for CrossbarModel {
+    fn default() -> Self {
+        CrossbarModel {
+            tech: CrossbarTechnology::default(),
+            act_bits: 4,
+        }
+    }
 }
 
 impl CrossbarModel {
-    /// Creates a model with explicit technology figures.
+    /// Creates a model with explicit technology figures (4-bit activations).
     pub fn new(tech: CrossbarTechnology) -> Self {
-        CrossbarModel { tech }
+        CrossbarModel { tech, act_bits: 4 }
     }
 
     /// The technology figures in use.
@@ -122,10 +132,24 @@ impl CrossbarModel {
         &self.tech
     }
 
+    /// The activation precision used when the model is evaluated through the
+    /// backend trait (the explicit-`act_bits` methods below ignore it).
+    pub fn act_bits(&self) -> u8 {
+        self.act_bits
+    }
+
+    /// Returns a copy configured for `act_bits`-bit activations.
+    #[must_use]
+    pub fn with_act_bits(mut self, act_bits: u8) -> Self {
+        self.act_bits = act_bits;
+        self
+    }
+
     /// Arrays needed to store one layer's weights.
     fn layer_arrays(&self, layer: &ConvLayerInfo) -> usize {
         let rows = layer.cin * layer.kernel.0 * layer.kernel.1;
-        let weight_cols = layer.cout * (self.tech.weight_bits as usize).div_ceil(self.tech.cell_bits as usize);
+        let weight_cols =
+            layer.cout * (self.tech.weight_bits as usize).div_ceil(self.tech.cell_bits as usize);
         rows.div_ceil(self.tech.array_rows) * weight_cols.div_ceil(self.tech.array_cols)
     }
 
@@ -138,7 +162,9 @@ impl CrossbarModel {
         // position per input bit.
         let activations = positions * arrays * act_bits as f64;
         let compute_pj = activations
-            * (tech.adcs_per_activation as f64 * tech.adc_energy_pj + tech.array_read_pj + tech.accumulation_pj);
+            * (tech.adcs_per_activation as f64 * tech.adc_energy_pj
+                + tech.array_read_pj
+                + tech.accumulation_pj);
         let total_pj = compute_pj / (1.0 - tech.interconnect_share).max(0.01);
         // Arrays of one layer operate in parallel; output positions and input bits are
         // streamed sequentially.
@@ -180,7 +206,8 @@ impl CrossbarModel {
         let adc = activations * tech.adcs_per_activation as f64 * tech.adc_energy_pj * 1e3;
         let accumulation = activations * tech.accumulation_pj * 1e3;
         let compute = array + adc + accumulation;
-        let peripherals = compute * tech.interconnect_share / (1.0 - tech.interconnect_share).max(0.01);
+        let peripherals =
+            compute * tech.interconnect_share / (1.0 - tech.interconnect_share).max(0.01);
         (array, adc, accumulation, peripherals)
     }
 }
@@ -197,9 +224,21 @@ mod tests {
         let four = model.evaluate(&resnet, 4);
         let eight = model.evaluate(&resnet, 8);
         // Paper (Table II, [14]): 104.92 uJ / 9.56 ms at 4-bit, 199.9 uJ / 12.2 ms at 8-bit.
-        assert!(four.energy_uj() > 50.0 && four.energy_uj() < 200.0, "4-bit {:.1} uJ", four.energy_uj());
-        assert!(eight.energy_uj() > 120.0 && eight.energy_uj() < 400.0, "8-bit {:.1} uJ", eight.energy_uj());
-        assert!(four.latency_ms() > 4.0 && four.latency_ms() < 20.0, "4-bit {:.2} ms", four.latency_ms());
+        assert!(
+            four.energy_uj() > 50.0 && four.energy_uj() < 200.0,
+            "4-bit {:.1} uJ",
+            four.energy_uj()
+        );
+        assert!(
+            eight.energy_uj() > 120.0 && eight.energy_uj() < 400.0,
+            "8-bit {:.1} uJ",
+            eight.energy_uj()
+        );
+        assert!(
+            four.latency_ms() > 4.0 && four.latency_ms() < 20.0,
+            "4-bit {:.2} ms",
+            four.latency_ms()
+        );
         assert!(eight.latency_ms() > four.latency_ms());
         assert!(eight.energy_uj() > four.energy_uj());
     }
@@ -212,8 +251,16 @@ mod tests {
         assert!(vgg.energy_uj() < resnet.energy_uj() / 4.0);
         assert!(vgg.latency_ms() < resnet.latency_ms() / 4.0);
         // Paper: 19.55 uJ / 1.06 ms — we accept the same order of magnitude.
-        assert!(vgg.energy_uj() > 2.0 && vgg.energy_uj() < 60.0, "{:.1} uJ", vgg.energy_uj());
-        assert!(vgg.latency_ms() > 0.2 && vgg.latency_ms() < 4.0, "{:.2} ms", vgg.latency_ms());
+        assert!(
+            vgg.energy_uj() > 2.0 && vgg.energy_uj() < 60.0,
+            "{:.1} uJ",
+            vgg.energy_uj()
+        );
+        assert!(
+            vgg.latency_ms() > 0.2 && vgg.latency_ms() < 4.0,
+            "{:.2} ms",
+            vgg.latency_ms()
+        );
     }
 
     #[test]
@@ -238,7 +285,10 @@ mod tests {
         // concurrently mapped layer group. Either way the count must scale with the
         // weight volume and precision.
         assert!(report.arrays > 100, "arrays {}", report.arrays);
-        let low_precision = CrossbarModel::new(CrossbarTechnology { weight_bits: 2, ..Default::default() });
+        let low_precision = CrossbarModel::new(CrossbarTechnology {
+            weight_bits: 2,
+            ..Default::default()
+        });
         assert!(low_precision.evaluate(&resnet, 4).arrays < report.arrays);
     }
 

@@ -123,7 +123,11 @@ mod tests {
         // Paper row [4]: sub-microjoule energies for VGG-11/CIFAR-10 and a drop from
         // 93.6% to 90.0% top-1 (about 3.6 points).
         assert!(report.energy_uj < 20.0, "energy {}", report.energy_uj);
-        assert!(report.accuracy_drop_points > 1.0, "drop {}", report.accuracy_drop_points);
+        assert!(
+            report.accuracy_drop_points > 1.0,
+            "drop {}",
+            report.accuracy_drop_points
+        );
     }
 
     #[test]
@@ -142,8 +146,14 @@ mod tests {
 
     #[test]
     fn longer_hashes_cost_more_but_are_more_accurate() {
-        let short = DeepCamModel { hash_length: 8, ..Default::default() };
-        let long = DeepCamModel { hash_length: 32, ..Default::default() };
+        let short = DeepCamModel {
+            hash_length: 8,
+            ..Default::default()
+        };
+        let long = DeepCamModel {
+            hash_length: 32,
+            ..Default::default()
+        };
         let model = vgg11(0.85, 1);
         let short_report = short.evaluate(&model);
         let long_report = long.evaluate(&model);

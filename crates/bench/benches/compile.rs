@@ -40,7 +40,9 @@ fn bench_layer_compile(c: &mut Criterion) {
 fn bench_accelerator_model(c: &mut Criterion) {
     let model = vgg9(0.85, 1);
     let layer = model.conv_like_layers()[1].clone();
-    let compiled = LayerCompiler::new(CompilerOptions::default()).compile(&layer).expect("compile");
+    let compiled = LayerCompiler::new(CompilerOptions::default())
+        .compile(&layer)
+        .expect("compile");
     let accelerator = AcceleratorModel::new(ArchConfig::default());
     c.bench_function("accelerator_layer_report", |b| {
         b.iter(|| black_box(accelerator.simulate_layer(black_box(&compiled))))

@@ -31,7 +31,11 @@ fn bench_ap_add(c: &mut Criterion) {
             let values: Vec<i64> = (0..256).map(|i| i % (1 << width.min(8))).collect();
             ap.load_column(&a, &values).expect("load");
             ap.load_column(&acc, &vec![0; 256]).expect("load");
-            let add = ApInstruction::AddInPlace { a, acc, carry: CarrySlot::new(2, 0) };
+            let add = ApInstruction::AddInPlace {
+                a,
+                acc,
+                carry: CarrySlot::new(2, 0),
+            };
             b.iter(|| ap.execute(black_box(&add)).expect("execute"));
         });
     }

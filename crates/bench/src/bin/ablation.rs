@@ -26,7 +26,10 @@ fn main() {
 
     println!("\n== Activation precision (energy / latency / resident channels per cell) ==");
     for act_bits in [2u8, 4, 6, 8] {
-        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run().expect("pipeline");
+        let report = FullStackPipeline::new(model.clone())
+            .with_activation_bits(act_bits)
+            .run()
+            .expect("pipeline");
         println!(
             "  {act_bits} bits: {:8.2} uJ  {:7.3} ms  {:2} channels/cell",
             report.rtm_ap.energy_uj(),
@@ -37,10 +40,17 @@ fn main() {
 
     println!("\n== CAM geometry (rows per array) ==");
     for rows in [128usize, 256, 512] {
-        let geometry = CamGeometry { rows, cols: 256, domains: 64 };
+        let geometry = CamGeometry {
+            rows,
+            cols: 256,
+            domains: 64,
+        };
         let report = FullStackPipeline::new(model.clone())
             .with_arch(ArchConfig::default().with_geometry(geometry))
-            .with_compiler_options(CompilerOptions { geometry, ..CompilerOptions::default() })
+            .with_compiler_options(CompilerOptions {
+                geometry,
+                ..CompilerOptions::default()
+            })
             .run()
             .expect("pipeline");
         println!(

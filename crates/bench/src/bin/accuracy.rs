@@ -14,7 +14,13 @@ fn main() {
     let runs = 5;
     for seed in 0..runs {
         let (fp, q8, q4) = accuracy_experiment(100 + seed).expect("accuracy experiment");
-        println!("{:<8} {:>7.1}% {:>7.1}% {:>7.1}%", seed, fp * 100.0, q8 * 100.0, q4 * 100.0);
+        println!(
+            "{:<8} {:>7.1}% {:>7.1}% {:>7.1}%",
+            seed,
+            fp * 100.0,
+            q8 * 100.0,
+            q4 * 100.0
+        );
         sums[0] += fp;
         sums[1] += q8;
         sums[2] += q4;
@@ -38,7 +44,11 @@ fn main() {
             "  {label:<18} {} positions x {} outputs -> {}",
             report.positions_checked,
             report.outputs_checked,
-            if report.is_bit_exact() { "bit-exact" } else { "MISMATCH" }
+            if report.is_bit_exact() {
+                "bit-exact"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

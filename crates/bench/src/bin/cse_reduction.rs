@@ -13,14 +13,28 @@ fn network_reduction(model: &ModelGraph) -> (f64, f64, f64) {
     let mut with = 0u64;
     let mut without = 0u64;
     for layer in model.conv_like_layers() {
-        with += cse.compile(&layer).expect("compile").stats.counted_adds_subs;
-        without += unroll.compile(&layer).expect("compile").stats.counted_adds_subs;
+        with += cse
+            .compile(&layer)
+            .expect("compile")
+            .stats
+            .counted_adds_subs;
+        without += unroll
+            .compile(&layer)
+            .expect("compile")
+            .stats
+            .counted_adds_subs;
     }
-    (without as f64 / 1e3, with as f64 / 1e3, 1.0 - with as f64 / without as f64)
+    (
+        without as f64 / 1e3,
+        with as f64 / 1e3,
+        1.0 - with as f64 / without as f64,
+    )
 }
 
 fn main() {
-    println!("CSE reduction in add/sub operations (paper: ResNet-18 1499K -> 931K, ~31% average)\n");
+    println!(
+        "CSE reduction in add/sub operations (paper: ResNet-18 1499K -> 931K, ~31% average)\n"
+    );
     for (label, model) in [
         ("ResNet18/ImageNet (0.80)", resnet18(0.8, 7)),
         ("VGG-9/CIFAR10 (0.85)", vgg9(0.85, 3)),
@@ -29,7 +43,10 @@ fn main() {
         ("VGG-11/CIFAR10 (0.90)", vgg11(0.90, 3)),
     ] {
         let (unroll_k, cse_k, reduction) = network_reduction(&model);
-        println!("{label:<28} unroll={unroll_k:9.0}K  unroll+CSE={cse_k:9.0}K  reduction={:5.1}%", reduction * 100.0);
+        println!(
+            "{label:<28} unroll={unroll_k:9.0}K  unroll+CSE={cse_k:9.0}K  reduction={:5.1}%",
+            reduction * 100.0
+        );
     }
 
     // Per-layer view for ResNet-18: the 7x7 stem benefits the most.
@@ -39,7 +56,16 @@ fn main() {
     let unroll = LayerCompiler::new(CompilerOptions::unroll_only());
     for layer in model.conv_like_layers().iter().take(6) {
         let a = cse.compile(layer).expect("compile").stats.counted_adds_subs as f64;
-        let b = unroll.compile(layer).expect("compile").stats.counted_adds_subs as f64;
-        println!("  {:<24} kernel {:?}  reduction {:5.1}%", layer.name, layer.kernel, (1.0 - a / b) * 100.0);
+        let b = unroll
+            .compile(layer)
+            .expect("compile")
+            .stats
+            .counted_adds_subs as f64;
+        println!(
+            "  {:<24} kernel {:?}  reduction {:5.1}%",
+            layer.name,
+            layer.kernel,
+            (1.0 - a / b) * 100.0
+        );
     }
 }

@@ -10,15 +10,34 @@ use tnn::model::{resnet18, vgg9};
 
 fn main() {
     println!("Data-movement share of total energy (paper: RTM-AP ~3%, crossbar ~41%)\n");
-    for (label, model) in [("ResNet18/ImageNet", resnet18(0.8, 7)), ("VGG-9/CIFAR10", vgg9(0.9, 3))] {
+    for (label, model) in [
+        ("ResNet18/ImageNet", resnet18(0.8, 7)),
+        ("VGG-9/CIFAR10", vgg9(0.9, 3)),
+    ] {
         let report = evaluate(model, 4);
         let energy = report.rtm_ap.energy();
         println!("{label:<20}");
-        println!("  RTM-AP total            : {:8.2} uJ", report.rtm_ap.energy_uj());
-        println!("  ├── DFG phase           : {:8.2} uJ", energy.dfg_fj * 1e-9);
-        println!("  ├── accumulation phase  : {:8.2} uJ", energy.accumulation_fj * 1e-9);
-        println!("  ├── peripherals         : {:8.2} uJ", energy.peripherals_fj * 1e-9);
-        println!("  └── data movement       : {:8.2} uJ ({:.1}% of total)", energy.data_movement_fj * 1e-9, report.rtm_ap.data_movement_share() * 100.0);
+        println!(
+            "  RTM-AP total            : {:8.2} uJ",
+            report.rtm_ap.energy_uj()
+        );
+        println!(
+            "  ├── DFG phase           : {:8.2} uJ",
+            energy.dfg_fj * 1e-9
+        );
+        println!(
+            "  ├── accumulation phase  : {:8.2} uJ",
+            energy.accumulation_fj * 1e-9
+        );
+        println!(
+            "  ├── peripherals         : {:8.2} uJ",
+            energy.peripherals_fj * 1e-9
+        );
+        println!(
+            "  └── data movement       : {:8.2} uJ ({:.1}% of total)",
+            energy.data_movement_fj * 1e-9,
+            report.rtm_ap.data_movement_share() * 100.0
+        );
         println!(
             "  crossbar baseline       : {:8.2} uJ with {:.0}% spent on communication/peripherals\n",
             report.crossbar.energy_uj(),

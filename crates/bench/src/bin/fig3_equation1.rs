@@ -9,9 +9,19 @@ use apc::dfg::Dfg;
 
 fn main() {
     println!("Table I — lookup-table cycle counts per processed bit");
-    for kind in [LutKind::AddInPlace, LutKind::SubInPlace, LutKind::AddOutOfPlace, LutKind::SubOutOfPlace] {
+    for kind in [
+        LutKind::AddInPlace,
+        LutKind::SubInPlace,
+        LutKind::AddOutOfPlace,
+        LutKind::SubOutOfPlace,
+    ] {
         let lut = Lut::of(kind);
-        println!("  {:?}: {} passes -> {} cycles/bit", kind, lut.passes().len(), lut.cycles_per_bit());
+        println!(
+            "  {:?}: {} passes -> {} cycles/bit",
+            kind,
+            lut.passes().len(),
+            lut.cycles_per_bit()
+        );
     }
 
     println!("\nEquation 1 — operation count before and after CSE (paper: 19 -> 7)");
@@ -37,6 +47,13 @@ fn main() {
             .iter()
             .map(|(s, sign)| format!("{}x{s}", if sign > 0 { "+" } else { "-" }))
             .collect();
-        println!("  y{o} = {}", if terms.is_empty() { "0".to_string() } else { terms.join(" ") });
+        println!(
+            "  y{o} = {}",
+            if terms.is_empty() {
+                "0".to_string()
+            } else {
+                terms.join(" ")
+            }
+        );
     }
 }

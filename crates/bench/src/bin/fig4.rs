@@ -21,7 +21,16 @@ fn main() {
     println!("Fig. 4 — ResNet-18 layer-by-layer comparison (4-bit activations)\n");
     println!(
         "{:<28} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
-        "layer", "unroll[uJ]", "cse[uJ]", "xbar[uJ]", "unroll[us]", "cse[us]", "xbar[us]", "dfg%", "accum%", "move%"
+        "layer",
+        "unroll[uJ]",
+        "cse[uJ]",
+        "xbar[uJ]",
+        "unroll[us]",
+        "cse[us]",
+        "xbar[us]",
+        "dfg%",
+        "accum%",
+        "move%"
     );
 
     let mut totals = [0.0f64; 6];

@@ -27,7 +27,16 @@ pub fn evaluate(model: ModelGraph, act_bits: u8) -> PipelineReport {
 pub fn table2_header() -> String {
     format!(
         "{:<22} {:>5} {:>5} | {:>10} {:>9} {:>7} | {:>12} {:>12} | {:>12} {:>10}",
-        "network/dataset", "spars", "act", "energy[uJ]", "lat[ms]", "arrays", "adds(unroll)K", "adds(cse)K", "xbar E[uJ]", "xbar L[ms]"
+        "network/dataset",
+        "spars",
+        "act",
+        "energy[uJ]",
+        "lat[ms]",
+        "arrays",
+        "adds(unroll)K",
+        "adds(cse)K",
+        "xbar E[uJ]",
+        "xbar L[ms]"
     )
 }
 

@@ -44,20 +44,37 @@ impl CamArray {
     /// # Errors
     ///
     /// Returns [`CamError::EmptyGeometry`] if any dimension is zero.
-    pub fn new(rows: usize, cols: usize, domains_per_cell: usize, tech: CamTechnology) -> Result<Self> {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        domains_per_cell: usize,
+        tech: CamTechnology,
+    ) -> Result<Self> {
         if rows == 0 {
-            return Err(CamError::EmptyGeometry { what: "number of rows" });
+            return Err(CamError::EmptyGeometry {
+                what: "number of rows",
+            });
         }
         if cols == 0 {
-            return Err(CamError::EmptyGeometry { what: "number of columns" });
+            return Err(CamError::EmptyGeometry {
+                what: "number of columns",
+            });
         }
         if domains_per_cell == 0 {
-            return Err(CamError::EmptyGeometry { what: "domains per cell" });
+            return Err(CamError::EmptyGeometry {
+                what: "domains per cell",
+            });
         }
         let columns = (0..cols)
             .map(|_| DomainBlockCluster::new(rows, domains_per_cell, 1))
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        Ok(CamArray { columns, rows, domains: domains_per_cell, tech, stats: CamStats::new() })
+        Ok(CamArray {
+            columns,
+            rows,
+            domains: domains_per_cell,
+            tech,
+            stats: CamStats::new(),
+        })
     }
 
     /// Number of rows (SIMD lanes).
@@ -102,26 +119,39 @@ impl CamArray {
 
     /// Largest number of writes any single domain has received (endurance proxy).
     pub fn max_cell_writes(&self) -> u64 {
-        self.columns.iter().map(|c| c.stats().max_writes_per_domain).max().unwrap_or(0)
+        self.columns
+            .iter()
+            .map(|c| c.stats().max_writes_per_domain)
+            .max()
+            .unwrap_or(0)
     }
 
     fn check_col(&self, col: usize) -> Result<()> {
         if col >= self.columns.len() {
-            return Err(CamError::ColumnOutOfRange { col, cols: self.columns.len() });
+            return Err(CamError::ColumnOutOfRange {
+                col,
+                cols: self.columns.len(),
+            });
         }
         Ok(())
     }
 
     fn check_row(&self, row: usize) -> Result<()> {
         if row >= self.rows {
-            return Err(CamError::RowOutOfRange { row, rows: self.rows });
+            return Err(CamError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
         }
         Ok(())
     }
 
     fn check_domain(&self, domain: usize) -> Result<()> {
         if domain >= self.domains {
-            return Err(CamError::DomainOutOfRange { domain, domains: self.domains });
+            return Err(CamError::DomainOutOfRange {
+                domain,
+                domains: self.domains,
+            });
         }
         Ok(())
     }
@@ -166,7 +196,9 @@ impl CamArray {
         for (col, expected) in key.iter() {
             let position = self.columns[col].position();
             for row in 0..self.rows {
-                let cell = self.columns[col].track(row).expect("row checked by geometry");
+                let cell = self.columns[col]
+                    .track(row)
+                    .expect("row checked by geometry");
                 if cell.snapshot()[position] != expected {
                     tags.set(row, false);
                 }
@@ -186,14 +218,19 @@ impl CamArray {
     /// row, or [`CamError::ColumnOutOfRange`] for an invalid column.
     pub fn write_tagged(&mut self, tags: &TagVector, pattern: &SearchKey) -> Result<()> {
         if tags.len() != self.rows {
-            return Err(CamError::TagLengthMismatch { expected: self.rows, found: tags.len() });
+            return Err(CamError::TagLengthMismatch {
+                expected: self.rows,
+                found: tags.len(),
+            });
         }
         if let Some(max) = pattern.max_column() {
             self.check_col(max)?;
         }
         for (col, bit) in pattern.iter() {
             for row in tags.iter_set() {
-                let cell = self.columns[col].track_mut(row).expect("row checked by geometry");
+                let cell = self.columns[col]
+                    .track_mut(row)
+                    .expect("row checked by geometry");
                 cell.write_aligned(bit);
             }
         }
@@ -247,7 +284,14 @@ impl CamArray {
     /// Returns [`CamError::ValueOverflow`] when the value does not fit in `width`
     /// bits (values in `[-2^(width-1), 2^width)` are accepted so both signed and
     /// unsigned interpretations can be stored), or an index error.
-    pub fn write_value(&mut self, col: usize, row: usize, base: usize, width: u8, value: i64) -> Result<()> {
+    pub fn write_value(
+        &mut self,
+        col: usize,
+        row: usize,
+        base: usize,
+        width: u8,
+        value: i64,
+    ) -> Result<()> {
         validate_width(width, value)?;
         for bit in 0..width as usize {
             let bit_value = (value >> bit) & 1 == 1;
@@ -262,7 +306,14 @@ impl CamArray {
     /// # Errors
     ///
     /// Returns an index error when the location is out of range.
-    pub fn read_value(&mut self, col: usize, row: usize, base: usize, width: u8, signed: bool) -> Result<i64> {
+    pub fn read_value(
+        &mut self,
+        col: usize,
+        row: usize,
+        base: usize,
+        width: u8,
+        signed: bool,
+    ) -> Result<i64> {
         let mut value: i64 = 0;
         for bit in 0..width as usize {
             if self.read_bit(col, row, base + bit)? {
@@ -283,9 +334,18 @@ impl CamArray {
     ///
     /// Returns [`CamError::TagLengthMismatch`] if `values` does not provide one value
     /// per row, [`CamError::ValueOverflow`] or an index error otherwise.
-    pub fn write_column_values(&mut self, col: usize, base: usize, width: u8, values: &[i64]) -> Result<()> {
+    pub fn write_column_values(
+        &mut self,
+        col: usize,
+        base: usize,
+        width: u8,
+        values: &[i64],
+    ) -> Result<()> {
         if values.len() != self.rows {
-            return Err(CamError::TagLengthMismatch { expected: self.rows, found: values.len() });
+            return Err(CamError::TagLengthMismatch {
+                expected: self.rows,
+                found: values.len(),
+            });
         }
         for (row, &value) in values.iter().enumerate() {
             self.write_value(col, row, base, width, value)?;
@@ -298,8 +358,16 @@ impl CamArray {
     /// # Errors
     ///
     /// Returns an index error when the location is out of range.
-    pub fn read_column_values(&mut self, col: usize, base: usize, width: u8, signed: bool) -> Result<Vec<i64>> {
-        (0..self.rows).map(|row| self.read_value(col, row, base, width, signed)).collect()
+    pub fn read_column_values(
+        &mut self,
+        col: usize,
+        base: usize,
+        width: u8,
+        signed: bool,
+    ) -> Result<Vec<i64>> {
+        (0..self.rows)
+            .map(|row| self.read_value(col, row, base, width, signed))
+            .collect()
     }
 
     /// Clears (writes zero into) `width` bits of every row of `col` starting at
@@ -358,7 +426,9 @@ mod tests {
         }
         cam.align_column(0, 0).expect("align");
         cam.align_column(1, 0).expect("align");
-        let tags = cam.search(&SearchKey::new().with(0, true).with(1, true)).expect("search");
+        let tags = cam
+            .search(&SearchKey::new().with(0, true).with(1, true))
+            .expect("search");
         assert_eq!(tags.iter_set().collect::<Vec<_>>(), vec![0, 2]);
         let stats = cam.stats();
         assert_eq!(stats.search_cycles, 1);
@@ -377,7 +447,8 @@ mod tests {
         let mut cam = array(4, 1, 2);
         cam.align_column(0, 1).expect("align");
         let tags = TagVector::from_bits(vec![true, false, true, false]);
-        cam.write_tagged(&tags, &SearchKey::new().with(0, true)).expect("write");
+        cam.write_tagged(&tags, &SearchKey::new().with(0, true))
+            .expect("write");
         assert!(cam.read_bit(0, 0, 1).expect("read"));
         assert!(!cam.read_bit(0, 1, 1).expect("read"));
         assert!(cam.read_bit(0, 2, 1).expect("read"));
@@ -415,8 +486,14 @@ mod tests {
     #[test]
     fn value_overflow_is_rejected() {
         let mut cam = array(1, 1, 16);
-        assert!(matches!(cam.write_value(0, 0, 0, 4, 16), Err(CamError::ValueOverflow { .. })));
-        assert!(matches!(cam.write_value(0, 0, 0, 4, -9), Err(CamError::ValueOverflow { .. })));
+        assert!(matches!(
+            cam.write_value(0, 0, 0, 4, 16),
+            Err(CamError::ValueOverflow { .. })
+        ));
+        assert!(matches!(
+            cam.write_value(0, 0, 0, 4, -9),
+            Err(CamError::ValueOverflow { .. })
+        ));
         assert!(cam.write_value(0, 0, 0, 4, 15).is_ok());
         assert!(cam.write_value(0, 0, 0, 4, -8).is_ok());
     }
@@ -435,7 +512,10 @@ mod tests {
         let mut cam = array(3, 1, 8);
         cam.write_column_values(0, 0, 4, &[7, 5, 3]).expect("write");
         cam.clear_column(0, 0, 4).expect("clear");
-        assert_eq!(cam.read_column_values(0, 0, 4, false).expect("read"), vec![0, 0, 0]);
+        assert_eq!(
+            cam.read_column_values(0, 0, 4, false).expect("read"),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]
@@ -455,7 +535,8 @@ mod tests {
         assert_eq!(io_bits, 4);
         cam.align_column(1, 0).expect("align");
         let tags = TagVector::all_set(4);
-        cam.write_tagged(&tags, &SearchKey::new().with(1, true)).expect("write");
+        cam.write_tagged(&tags, &SearchKey::new().with(1, true))
+            .expect("write");
         assert_eq!(cam.stats().io_written_bits, io_bits);
         assert_eq!(cam.stats().written_bits, 4);
     }

@@ -1,11 +1,11 @@
-use std::error::Error;
-use std::fmt;
+use thiserror::Error;
 
 /// Errors produced by the CAM array model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
 pub enum CamError {
     /// A row index exceeded the array height.
+    #[error("row {row} out of range for array with {rows} rows")]
     RowOutOfRange {
         /// Requested row.
         row: usize,
@@ -13,6 +13,7 @@ pub enum CamError {
         rows: usize,
     },
     /// A column index exceeded the array width.
+    #[error("column {col} out of range for array with {cols} columns")]
     ColumnOutOfRange {
         /// Requested column.
         col: usize,
@@ -20,6 +21,7 @@ pub enum CamError {
         cols: usize,
     },
     /// A domain (bit position inside a cell) exceeded the cell depth.
+    #[error("domain {domain} out of range for cells with {domains} domains")]
     DomainOutOfRange {
         /// Requested domain.
         domain: usize,
@@ -27,11 +29,13 @@ pub enum CamError {
         domains: usize,
     },
     /// The array was constructed with a zero dimension.
+    #[error("{what} must be non-zero")]
     EmptyGeometry {
         /// Which dimension was zero.
         what: &'static str,
     },
     /// A tag vector of the wrong length was supplied.
+    #[error("tag vector length {found} does not match row count {expected}")]
     TagLengthMismatch {
         /// Expected length (number of rows).
         expected: usize,
@@ -39,6 +43,7 @@ pub enum CamError {
         found: usize,
     },
     /// A value does not fit in the requested bit width.
+    #[error("value {value} does not fit in {width} bits (two's complement)")]
     ValueOverflow {
         /// The value that was supplied.
         value: i64,
@@ -46,62 +51,30 @@ pub enum CamError {
         width: u8,
     },
     /// An error bubbled up from the racetrack-memory device model.
-    Device(rtm::RtmError),
-}
-
-impl fmt::Display for CamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CamError::RowOutOfRange { row, rows } => {
-                write!(f, "row {row} out of range for array with {rows} rows")
-            }
-            CamError::ColumnOutOfRange { col, cols } => {
-                write!(f, "column {col} out of range for array with {cols} columns")
-            }
-            CamError::DomainOutOfRange { domain, domains } => {
-                write!(f, "domain {domain} out of range for cells with {domains} domains")
-            }
-            CamError::EmptyGeometry { what } => write!(f, "{what} must be non-zero"),
-            CamError::TagLengthMismatch { expected, found } => {
-                write!(f, "tag vector length {found} does not match row count {expected}")
-            }
-            CamError::ValueOverflow { value, width } => {
-                write!(f, "value {value} does not fit in {width} bits (two's complement)")
-            }
-            CamError::Device(err) => write!(f, "racetrack device error: {err}"),
-        }
-    }
-}
-
-impl Error for CamError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CamError::Device(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<rtm::RtmError> for CamError {
-    fn from(err: rtm::RtmError) -> Self {
-        CamError::Device(err)
-    }
+    #[error("racetrack device error: {0}")]
+    Device(#[from] rtm::RtmError),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_mentions_indices() {
-        let err = CamError::RowOutOfRange { row: 300, rows: 256 };
+        let err = CamError::RowOutOfRange {
+            row: 300,
+            rows: 256,
+        };
         assert!(err.to_string().contains("300"));
         assert!(err.to_string().contains("256"));
     }
 
     #[test]
     fn device_error_is_wrapped_with_source() {
-        let inner = rtm::RtmError::EmptyGeometry { what: "number of domains" };
+        let inner = rtm::RtmError::EmptyGeometry {
+            what: "number of domains",
+        };
         let err = CamError::from(inner.clone());
         assert_eq!(err, CamError::Device(inner));
         assert!(Error::source(&err).is_some());

@@ -57,7 +57,10 @@ impl SearchKey {
 
     /// The expected bit for `col`, or `None` when the column is masked.
     pub fn bit(&self, col: usize) -> Option<bool> {
-        self.entries.iter().find(|(c, _)| *c == col).map(|(_, b)| *b)
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, b)| *b)
     }
 
     /// Iterates over the `(column, bit)` pairs of the key.

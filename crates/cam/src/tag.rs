@@ -25,12 +25,16 @@ pub struct TagVector {
 impl TagVector {
     /// Creates a tag vector of `rows` cleared tags.
     pub fn new(rows: usize) -> Self {
-        TagVector { bits: vec![false; rows] }
+        TagVector {
+            bits: vec![false; rows],
+        }
     }
 
     /// Creates a tag vector with all `rows` tags set.
     pub fn all_set(rows: usize) -> Self {
-        TagVector { bits: vec![true; rows] }
+        TagVector {
+            bits: vec![true; rows],
+        }
     }
 
     /// Wraps an explicit per-row bit pattern.
@@ -67,7 +71,11 @@ impl TagVector {
 
     /// Iterates over the indices of tagged rows.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
     }
 
     /// Borrowed view of the raw per-row bits.
@@ -110,13 +118,17 @@ impl Not for &TagVector {
     type Output = TagVector;
 
     fn not(self) -> TagVector {
-        TagVector { bits: self.bits.iter().map(|&b| !b).collect() }
+        TagVector {
+            bits: self.bits.iter().map(|&b| !b).collect(),
+        }
     }
 }
 
 impl FromIterator<bool> for TagVector {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        TagVector { bits: iter.into_iter().collect() }
+        TagVector {
+            bits: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -62,7 +62,8 @@ impl CamTechnology {
     /// Energy in femtojoules of one masked search with `key_bits` masked columns over
     /// `rows` rows, including the controller overhead.
     pub fn search_energy_fj(&self, key_bits: usize, rows: usize) -> f64 {
-        (key_bits * rows) as f64 * self.search_energy_per_bit_fj + self.controller_energy_per_cycle_fj
+        (key_bits * rows) as f64 * self.search_energy_per_bit_fj
+            + self.controller_energy_per_cycle_fj
     }
 
     /// Energy in femtojoules of one parallel write of `write_bits` columns into
@@ -112,7 +113,10 @@ mod tests {
     #[test]
     fn pass_latency_is_search_plus_write() {
         let tech = CamTechnology::default();
-        assert!((tech.pass_latency_ns() - (tech.search_latency_ns + tech.write_latency_ns)).abs() < 1e-12);
+        assert!(
+            (tech.pass_latency_ns() - (tech.search_latency_ns + tech.write_latency_ns)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! The unified inference-backend abstraction.
+//!
+//! Every way of executing a model — the RTM-AP full stack in its `unroll` and
+//! `unroll+CSE` configurations, the DNN+NeuroSim-style crossbar and the
+//! DeepCAM-style baseline — implements [`InferenceBackend`]: *given a model
+//! graph, produce a [`BackendReport`]*. The pipeline no longer hard-codes the
+//! four evaluation points; it fans a [`BackendRegistry`] out over the model
+//! (in parallel, one rayon job per backend) and assembles the familiar
+//! [`PipelineReport`](crate::PipelineReport) from the results.
+//!
+//! New comparison points (different geometries, sparsity settings, future
+//! accelerator models) plug in by implementing the trait and registering —
+//! no pipeline changes required.
+//!
+//! # Example
+//!
+//! ```
+//! use camdnn::{BackendKind, BackendRegistry, InferenceBackend};
+//! use accel::{ArchConfig, NetworkSimulator};
+//! use apc::CompilerOptions;
+//! use tnn::model::vgg9;
+//!
+//! let mut registry = BackendRegistry::new();
+//! registry.register(
+//!     BackendKind::RtmAp,
+//!     Box::new(NetworkSimulator::new(ArchConfig::default(), CompilerOptions::default())),
+//! );
+//! let results = registry.evaluate_all(&vgg9(0.9, 1)).expect("evaluate");
+//! assert_eq!(results.len(), 1);
+//! assert!(results[0].1.energy_uj() > 0.0);
+//! ```
+
+use accel::{NetworkReport, NetworkSimulator};
+use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tnn::model::ModelGraph;
+
+/// Identifies a backend slot in a [`BackendRegistry`] and its result in a
+/// pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// The RTM-AP full stack with all compiler optimisations (`unroll+CSE`).
+    RtmAp,
+    /// The RTM-AP full stack without CSE (the paper's `unroll` configuration).
+    RtmApUnroll,
+    /// The DNN+NeuroSim-style RRAM crossbar baseline.
+    Crossbar,
+    /// The DeepCAM-style fully CAM-based baseline.
+    DeepCam,
+}
+
+/// The normalized result of evaluating one backend on one model.
+///
+/// Each variant keeps the backend's full native report; the accessor methods
+/// expose the metrics every backend shares (energy, latency, array count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BackendReport {
+    /// Result of an RTM-AP simulation (either compiler configuration).
+    RtmAp(NetworkReport),
+    /// Result of the crossbar baseline.
+    Crossbar(CrossbarReport),
+    /// Result of the DeepCAM baseline.
+    DeepCam(DeepCamReport),
+}
+
+impl BackendReport {
+    /// Total energy of one inference, in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        match self {
+            BackendReport::RtmAp(r) => r.energy_uj(),
+            BackendReport::Crossbar(r) => r.energy_uj(),
+            BackendReport::DeepCam(r) => r.energy_uj,
+        }
+    }
+
+    /// Total latency of one inference, in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        match self {
+            BackendReport::RtmAp(r) => r.latency_ms(),
+            BackendReport::Crossbar(r) => r.latency_ms(),
+            BackendReport::DeepCam(r) => r.latency_ms,
+        }
+    }
+
+    /// Number of memory arrays the backend occupies.
+    pub fn arrays(&self) -> usize {
+        match self {
+            BackendReport::RtmAp(r) => r.arrays(),
+            BackendReport::Crossbar(r) => r.arrays,
+            BackendReport::DeepCam(r) => r.arrays,
+        }
+    }
+
+    /// The evaluated network's name.
+    pub fn network(&self) -> &str {
+        match self {
+            BackendReport::RtmAp(r) => &r.name,
+            BackendReport::Crossbar(r) => &r.name,
+            BackendReport::DeepCam(r) => &r.name,
+        }
+    }
+
+    /// Extracts the RTM-AP report, if this is one.
+    pub fn into_rtm_ap(self) -> Option<NetworkReport> {
+        match self {
+            BackendReport::RtmAp(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extracts the crossbar report, if this is one.
+    pub fn into_crossbar(self) -> Option<CrossbarReport> {
+        match self {
+            BackendReport::Crossbar(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extracts the DeepCAM report, if this is one.
+    pub fn into_deepcam(self) -> Option<DeepCamReport> {
+        match self {
+            BackendReport::DeepCam(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A way of executing (or analytically modelling) DNN inference.
+///
+/// Implementations must be thread-safe: the registry evaluates backends as
+/// parallel jobs.
+pub trait InferenceBackend: Send + Sync {
+    /// A short human-readable identifier (configuration included).
+    fn name(&self) -> String;
+
+    /// Evaluates `model` and produces the backend's report.
+    ///
+    /// # Errors
+    ///
+    /// Backends that compile the model propagate compilation errors (for
+    /// example a layer that does not fit the configured CAM geometry);
+    /// closed-form baselines never fail.
+    fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport>;
+}
+
+impl InferenceBackend for NetworkSimulator {
+    fn name(&self) -> String {
+        let options = self.compiler_options();
+        format!(
+            "rtm-ap[{}b,{}]",
+            options.act_bits,
+            if options.enable_cse {
+                "unroll+cse"
+            } else {
+                "unroll"
+            }
+        )
+    }
+
+    fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport> {
+        Ok(BackendReport::RtmAp(self.simulate(model)?))
+    }
+}
+
+impl InferenceBackend for CrossbarModel {
+    fn name(&self) -> String {
+        format!("crossbar[{}b]", self.act_bits())
+    }
+
+    fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport> {
+        Ok(BackendReport::Crossbar(CrossbarModel::evaluate(
+            self,
+            model,
+            self.act_bits(),
+        )))
+    }
+}
+
+impl InferenceBackend for DeepCamModel {
+    fn name(&self) -> String {
+        format!("deepcam[h{}]", self.hash_length)
+    }
+
+    fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport> {
+        Ok(BackendReport::DeepCam(DeepCamModel::evaluate(self, model)))
+    }
+}
+
+/// An ordered collection of backends evaluated together on one model.
+///
+/// Evaluation fans out with rayon — one job per backend — and returns results
+/// in registration order, so the output is deterministic regardless of the
+/// worker count.
+#[derive(Default)]
+pub struct BackendRegistry {
+    entries: Vec<(BackendKind, Box<dyn InferenceBackend>)>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.entries.iter().map(|(kind, b)| (kind, b.name())))
+            .finish()
+    }
+}
+
+impl BackendRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `backend` under `kind`, appending to the evaluation order.
+    pub fn register(&mut self, kind: BackendKind, backend: Box<dyn InferenceBackend>) -> &mut Self {
+        self.entries.push((kind, backend));
+        self
+    }
+
+    /// Builder-style [`register`](Self::register).
+    #[must_use]
+    pub fn with(mut self, kind: BackendKind, backend: Box<dyn InferenceBackend>) -> Self {
+        self.entries.push((kind, backend));
+        self
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered kinds and backend names, in evaluation order.
+    pub fn names(&self) -> Vec<(BackendKind, String)> {
+        self.entries
+            .iter()
+            .map(|(kind, b)| (*kind, b.name()))
+            .collect()
+    }
+
+    /// Evaluates every registered backend on `model` as parallel jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in registration order) backend error.
+    pub fn evaluate_all(
+        &self,
+        model: &ModelGraph,
+    ) -> apc::Result<Vec<(BackendKind, BackendReport)>> {
+        self.entries
+            .par_iter()
+            .map(|(kind, backend)| backend.evaluate(model).map(|report| (*kind, report)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::ArchConfig;
+    use apc::CompilerOptions;
+    use tnn::model::vgg9;
+
+    fn registry() -> BackendRegistry {
+        let arch = ArchConfig::default();
+        BackendRegistry::new()
+            .with(
+                BackendKind::RtmAp,
+                Box::new(NetworkSimulator::new(arch, CompilerOptions::default())),
+            )
+            .with(
+                BackendKind::Crossbar,
+                Box::new(CrossbarModel::default().with_act_bits(4)),
+            )
+            .with(BackendKind::DeepCam, Box::new(DeepCamModel::default()))
+    }
+
+    #[test]
+    fn registry_preserves_registration_order() {
+        let registry = registry();
+        let results = registry.evaluate_all(&vgg9(0.9, 1)).expect("evaluate");
+        let kinds: Vec<BackendKind> = results.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BackendKind::RtmAp,
+                BackendKind::Crossbar,
+                BackendKind::DeepCam
+            ]
+        );
+        for (_, report) in &results {
+            assert!(report.energy_uj() > 0.0);
+            assert!(report.latency_ms() > 0.0);
+            assert_eq!(report.network(), "vgg9");
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_direct_calls() {
+        let model = vgg9(0.9, 3);
+        let simulator = NetworkSimulator::new(ArchConfig::default(), CompilerOptions::default());
+        let direct = simulator.simulate(&model).expect("simulate");
+        let via_trait = InferenceBackend::evaluate(&simulator, &model)
+            .expect("evaluate")
+            .into_rtm_ap()
+            .expect("rtm-ap report");
+        assert_eq!(direct, via_trait);
+    }
+
+    #[test]
+    fn backend_names_describe_the_configuration() {
+        let names: Vec<String> = registry().names().into_iter().map(|(_, n)| n).collect();
+        assert_eq!(
+            names,
+            vec!["rtm-ap[4b,unroll+cse]", "crossbar[4b]", "deepcam[h16]"]
+        );
+    }
+}

@@ -13,6 +13,14 @@
 //! * [`baseline`] — the DNN+NeuroSim-style crossbar and DeepCAM-style comparison
 //!   points of Table II.
 //!
+//! Evaluation is organised around the [`InferenceBackend`] trait (module
+//! [`backend`]): the RTM-AP simulator and both baselines implement
+//! `evaluate(&ModelGraph) -> BackendReport`, and [`FullStackPipeline::run`]
+//! fans a [`BackendRegistry`] of them out as parallel jobs instead of calling
+//! concrete types. Layer compilation inside each RTM-AP job is itself
+//! parallelised (see [`apc::LayerCompiler::compile_model`]); results are
+//! deterministic and independent of the worker count.
+//!
 //! The main entry point is [`FullStackPipeline`]:
 //!
 //! ```
@@ -28,9 +36,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 mod pipeline;
 pub mod verify;
 
+pub use backend::{BackendKind, BackendRegistry, BackendReport, InferenceBackend};
 pub use pipeline::{FullStackPipeline, PipelineReport};
 
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};

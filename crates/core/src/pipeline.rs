@@ -1,3 +1,4 @@
+use crate::backend::{BackendKind, BackendRegistry};
 use accel::{ArchConfig, NetworkReport, NetworkSimulator};
 use apc::CompilerOptions;
 use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
@@ -124,25 +125,69 @@ impl FullStackPipeline {
         &self.model
     }
 
+    /// Builds the backend registry this pipeline evaluates: the RTM-AP in both
+    /// compiler configurations (`unroll+CSE` and `unroll`) plus the crossbar
+    /// and DeepCAM baselines, all configured for the pipeline's activation
+    /// precision.
+    ///
+    /// The registry is the extension point for multi-backend sweeps: callers
+    /// can [`register`](BackendRegistry::register) additional backends and run
+    /// [`BackendRegistry::evaluate_all`] themselves.
+    pub fn registry(&self) -> BackendRegistry {
+        let with_cse = CompilerOptions {
+            enable_cse: true,
+            ..self.options
+        };
+        let unroll = CompilerOptions {
+            enable_cse: false,
+            ..self.options
+        };
+        BackendRegistry::new()
+            .with(
+                BackendKind::RtmAp,
+                Box::new(NetworkSimulator::new(self.arch, with_cse)),
+            )
+            .with(
+                BackendKind::RtmApUnroll,
+                Box::new(NetworkSimulator::new(self.arch, unroll)),
+            )
+            .with(
+                BackendKind::Crossbar,
+                Box::new(self.crossbar.with_act_bits(self.options.act_bits)),
+            )
+            .with(BackendKind::DeepCam, Box::new(self.deepcam))
+    }
+
     /// Runs the full stack (both `unroll` and `unroll+CSE` configurations) and the
-    /// baselines.
+    /// baselines as parallel [`InferenceBackend`](crate::InferenceBackend) jobs.
     ///
     /// # Errors
     ///
     /// Propagates compilation errors (for example a layer that does not fit the
     /// configured CAM geometry).
     pub fn run(&self) -> apc::Result<PipelineReport> {
-        let with_cse = CompilerOptions { enable_cse: true, ..self.options };
-        let unroll = CompilerOptions { enable_cse: false, ..self.options };
-        let rtm_ap = NetworkSimulator::new(self.arch, with_cse).simulate(&self.model)?;
-        let rtm_ap_unroll = NetworkSimulator::new(self.arch, unroll).simulate(&self.model)?;
-        let crossbar = self.crossbar.evaluate(&self.model, self.options.act_bits);
-        let deepcam = self.deepcam.evaluate(&self.model);
+        let results = self.registry().evaluate_all(&self.model)?;
+
+        let mut rtm_ap = None;
+        let mut rtm_ap_unroll = None;
+        let mut crossbar = None;
+        let mut deepcam = None;
+        for (kind, report) in results {
+            match kind {
+                BackendKind::RtmAp => rtm_ap = report.into_rtm_ap(),
+                BackendKind::RtmApUnroll => rtm_ap_unroll = report.into_rtm_ap(),
+                BackendKind::Crossbar => crossbar = report.into_crossbar(),
+                BackendKind::DeepCam => deepcam = report.into_deepcam(),
+            }
+        }
+        let missing = |what: &str| apc::ApcError::Internal {
+            reason: format!("backend registry produced no {what} report"),
+        };
         Ok(PipelineReport {
-            rtm_ap,
-            rtm_ap_unroll,
-            crossbar,
-            deepcam,
+            rtm_ap: rtm_ap.ok_or_else(|| missing("rtm-ap"))?,
+            rtm_ap_unroll: rtm_ap_unroll.ok_or_else(|| missing("rtm-ap unroll"))?,
+            crossbar: crossbar.ok_or_else(|| missing("crossbar"))?,
+            deepcam: deepcam.ok_or_else(|| missing("deepcam"))?,
             sparsity: self.model.overall_sparsity(),
         })
     }
@@ -155,7 +200,9 @@ mod tests {
 
     #[test]
     fn pipeline_produces_consistent_reports() {
-        let report = FullStackPipeline::new(vgg9(0.9, 5)).run().expect("pipeline");
+        let report = FullStackPipeline::new(vgg9(0.9, 5))
+            .run()
+            .expect("pipeline");
         assert!(report.rtm_ap.energy_uj() > 0.0);
         assert!(report.rtm_ap_unroll.adds_subs_k() >= report.rtm_ap.adds_subs_k());
         assert!(report.cse_reduction() >= 0.0);

@@ -77,13 +77,23 @@ pub fn verify_layer(
     input: &Tensor<i64>,
     act_bits: u8,
 ) -> Result<VerificationReport, Box<dyn std::error::Error>> {
-    let options = CompilerOptions::default().with_act_bits(act_bits).with_programs();
+    let options = CompilerOptions::default()
+        .with_act_bits(act_bits)
+        .with_programs();
     let compiled = LayerCompiler::new(options).compile(layer)?;
     let layout = &compiled.layout;
-    let slices = compiled.slices.as_ref().ok_or("compiler did not retain programs")?;
+    let slices = compiled
+        .slices
+        .as_ref()
+        .ok_or("compiler did not retain programs")?;
 
     // Reference: the integer convolution of the full layer.
-    let conv = Conv2d::new(layer.name.clone(), layer.weights.clone(), layer.stride, layer.padding)?;
+    let conv = Conv2d::new(
+        layer.name.clone(),
+        layer.weights.clone(),
+        layer.stride,
+        layer.padding,
+    )?;
     let reference = tnn::infer::conv2d(input, &conv)?;
 
     // Functional AP: first row group only.
@@ -115,7 +125,12 @@ pub fn verify_layer(
             for (position, value) in column.iter_mut().enumerate().take(positions) {
                 *value = *patches.get(&[k, position])?;
             }
-            let operand = Operand::new(k, layout.channel_domain_base(slice.channel_in_group), act_bits, false);
+            let operand = Operand::new(
+                k,
+                layout.channel_domain_base(slice.channel_in_group),
+                act_bits,
+                false,
+            );
             controller.load_column(&operand, &column)?;
         }
         controller.run(&slice.program)?;
@@ -127,15 +142,20 @@ pub fn verify_layer(
     for output in 0..tile_outputs {
         let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
         let values = controller.read_column(&acc)?;
-        for position in 0..positions {
-            let expected = *reference.get(&[output, position / wout.max(1), position % wout.max(1)])?;
-            if values[position] != expected {
+        for (position, &value) in values.iter().enumerate().take(positions) {
+            let expected =
+                *reference.get(&[output, position / wout.max(1), position % wout.max(1)])?;
+            if value != expected {
                 mismatches += 1;
             }
         }
     }
     let _ = hout;
-    Ok(VerificationReport { positions_checked: positions, outputs_checked: tile_outputs, mismatches })
+    Ok(VerificationReport {
+        positions_checked: positions,
+        outputs_checked: tile_outputs,
+        mismatches,
+    })
 }
 
 /// Convenience: builds a small random layer plus input and verifies it.
@@ -166,7 +186,9 @@ pub fn verify_random_layer(
         weights,
     };
     let max_activation = (1i64 << act_bits) - 1;
-    let data: Vec<i64> = (0..cin * hw * hw).map(|i| (i as i64 * 7 + seed as i64) % (max_activation + 1)).collect();
+    let data: Vec<i64> = (0..cin * hw * hw)
+        .map(|i| (i as i64 * 7 + seed as i64) % (max_activation + 1))
+        .collect();
     let input = Tensor::from_vec(vec![cin, hw, hw], data)?;
     verify_layer(&layer, &input, act_bits)
 }

@@ -38,12 +38,18 @@ impl DomainBlockCluster {
     /// Returns [`RtmError::EmptyGeometry`] if any dimension is zero.
     pub fn new(tracks: usize, domains: usize, ports: usize) -> Result<Self> {
         if tracks == 0 {
-            return Err(RtmError::EmptyGeometry { what: "number of tracks" });
+            return Err(RtmError::EmptyGeometry {
+                what: "number of tracks",
+            });
         }
         let tracks = (0..tracks)
             .map(|_| Nanowire::new(domains, ports))
             .collect::<Result<Vec<_>>>()?;
-        Ok(DomainBlockCluster { tracks, position: 0, cluster_shifts: 0 })
+        Ok(DomainBlockCluster {
+            tracks,
+            position: 0,
+            cluster_shifts: 0,
+        })
     }
 
     /// Builds a cluster from existing nanowires.
@@ -53,13 +59,23 @@ impl DomainBlockCluster {
     /// Returns [`RtmError::EmptyGeometry`] if `tracks` is empty and
     /// [`RtmError::MismatchedTrackLength`] if the tracks differ in length.
     pub fn from_tracks(tracks: Vec<Nanowire>) -> Result<Self> {
-        let first_len = tracks.first().map(Nanowire::len).ok_or(RtmError::EmptyGeometry {
-            what: "number of tracks",
-        })?;
+        let first_len = tracks
+            .first()
+            .map(Nanowire::len)
+            .ok_or(RtmError::EmptyGeometry {
+                what: "number of tracks",
+            })?;
         if let Some(bad) = tracks.iter().find(|t| t.len() != first_len) {
-            return Err(RtmError::MismatchedTrackLength { expected: first_len, found: bad.len() });
+            return Err(RtmError::MismatchedTrackLength {
+                expected: first_len,
+                found: bad.len(),
+            });
         }
-        Ok(DomainBlockCluster { tracks, position: 0, cluster_shifts: 0 })
+        Ok(DomainBlockCluster {
+            tracks,
+            position: 0,
+            cluster_shifts: 0,
+        })
     }
 
     /// Number of tracks in the cluster.
@@ -90,7 +106,10 @@ impl DomainBlockCluster {
     /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
     pub fn align(&mut self, index: usize) -> Result<()> {
         if index >= self.domains() {
-            return Err(RtmError::DomainOutOfRange { index, len: self.domains() });
+            return Err(RtmError::DomainOutOfRange {
+                index,
+                len: self.domains(),
+            });
         }
         let distance = self.tracks[0].shift_distance(index);
         self.cluster_shifts += distance as u64;

@@ -37,7 +37,11 @@ impl EnduranceReport {
     /// Builds a report from the mean interval (in nanoseconds) between writes to the
     /// hottest location.
     pub fn from_write_interval(tech: &RtmTechnology, write_interval_ns: f64) -> Self {
-        let writes_per_second = if write_interval_ns > 0.0 { 1.0e9 / write_interval_ns } else { 0.0 };
+        let writes_per_second = if write_interval_ns > 0.0 {
+            1.0e9 / write_interval_ns
+        } else {
+            0.0
+        };
         EnduranceReport {
             write_interval_ns,
             writes_per_second,
@@ -50,7 +54,11 @@ impl EnduranceReport {
     /// the most-stressed location over a runtime of `runtime_ns` nanoseconds.
     ///
     /// Returns a report with infinite lifetime when no writes were observed.
-    pub fn from_workload(tech: &RtmTechnology, hottest_location_writes: u64, runtime_ns: f64) -> Self {
+    pub fn from_workload(
+        tech: &RtmTechnology,
+        hottest_location_writes: u64,
+        runtime_ns: f64,
+    ) -> Self {
         if hottest_location_writes == 0 || runtime_ns <= 0.0 {
             return EnduranceReport {
                 write_interval_ns: f64::INFINITY,
@@ -89,8 +97,11 @@ mod tests {
         let interval = column_rewrite_interval_ns(256, 2.0, 0.8);
         assert!(interval > 90.0 && interval < 120.0, "interval {interval}");
         let report = EnduranceReport::from_write_interval(&RtmTechnology::default(), interval);
-        assert!(report.lifetime_years > 25.0 && report.lifetime_years < 40.0,
-            "lifetime {}", report.lifetime_years);
+        assert!(
+            report.lifetime_years > 25.0 && report.lifetime_years < 40.0,
+            "lifetime {}",
+            report.lifetime_years
+        );
     }
 
     #[test]

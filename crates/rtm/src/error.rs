@@ -1,11 +1,11 @@
-use std::error::Error;
-use std::fmt;
+use thiserror::Error;
 
 /// Errors produced by the racetrack-memory device model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
 pub enum RtmError {
     /// The requested domain index is outside of the nanowire.
+    #[error("domain index {index} out of range for track with {len} domains")]
     DomainOutOfRange {
         /// Requested domain index.
         index: usize,
@@ -13,11 +13,13 @@ pub enum RtmError {
         len: usize,
     },
     /// A nanowire or cluster was constructed with zero domains or zero tracks.
+    #[error("{what} must be non-zero")]
     EmptyGeometry {
         /// Human-readable description of which dimension was empty.
         what: &'static str,
     },
     /// The requested access port does not exist.
+    #[error("access port {index} out of range ({ports} ports)")]
     PortOutOfRange {
         /// Requested port index.
         index: usize,
@@ -25,6 +27,9 @@ pub enum RtmError {
         ports: usize,
     },
     /// Tracks of different lengths were grouped into one cluster.
+    #[error(
+        "all tracks in a cluster must have the same length (expected {expected}, found {found})"
+    )]
     MismatchedTrackLength {
         /// Length of the first track.
         expected: usize,
@@ -32,25 +37,6 @@ pub enum RtmError {
         found: usize,
     },
 }
-
-impl fmt::Display for RtmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RtmError::DomainOutOfRange { index, len } => {
-                write!(f, "domain index {index} out of range for track with {len} domains")
-            }
-            RtmError::EmptyGeometry { what } => write!(f, "{what} must be non-zero"),
-            RtmError::PortOutOfRange { index, ports } => {
-                write!(f, "access port {index} out of range ({ports} ports)")
-            }
-            RtmError::MismatchedTrackLength { expected, found } => {
-                write!(f, "all tracks in a cluster must have the same length (expected {expected}, found {found})")
-            }
-        }
-    }
-}
-
-impl Error for RtmError {}
 
 #[cfg(test)]
 mod tests {

@@ -42,8 +42,8 @@
 #![warn(missing_debug_implementations)]
 
 mod dbc;
-mod error;
 pub mod endurance;
+mod error;
 mod nanowire;
 mod stats;
 mod technology;

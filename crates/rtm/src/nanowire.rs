@@ -44,10 +44,14 @@ impl Nanowire {
     /// Returns [`RtmError::EmptyGeometry`] if `domains` or `ports` is zero.
     pub fn new(domains: usize, ports: usize) -> Result<Self> {
         if domains == 0 {
-            return Err(RtmError::EmptyGeometry { what: "number of domains" });
+            return Err(RtmError::EmptyGeometry {
+                what: "number of domains",
+            });
         }
         if ports == 0 {
-            return Err(RtmError::EmptyGeometry { what: "number of access ports" });
+            return Err(RtmError::EmptyGeometry {
+                what: "number of access ports",
+            });
         }
         Ok(Nanowire {
             domains: vec![false; domains],
@@ -66,7 +70,9 @@ impl Nanowire {
     pub fn from_bits(bits: &[bool], ports: usize) -> Result<Self> {
         let mut wire = Self::new(bits.len().max(1), ports)?;
         if bits.is_empty() {
-            return Err(RtmError::EmptyGeometry { what: "number of domains" });
+            return Err(RtmError::EmptyGeometry {
+                what: "number of domains",
+            });
         }
         wire.domains.copy_from_slice(bits);
         Ok(wire)
@@ -126,7 +132,10 @@ impl Nanowire {
     /// Returns [`RtmError::DomainOutOfRange`] if `index` is out of bounds.
     pub fn align(&mut self, index: usize) -> Result<()> {
         if index >= self.domains.len() {
-            return Err(RtmError::DomainOutOfRange { index, len: self.domains.len() });
+            return Err(RtmError::DomainOutOfRange {
+                index,
+                len: self.domains.len(),
+            });
         }
         let distance = self.shift_distance(index);
         self.stats.shifts += distance as u64;
@@ -154,8 +163,10 @@ impl Nanowire {
         self.align(index)?;
         self.stats.writes += 1;
         self.write_counts[index] += 1;
-        self.stats.max_writes_per_domain =
-            self.stats.max_writes_per_domain.max(self.write_counts[index]);
+        self.stats.max_writes_per_domain = self
+            .stats
+            .max_writes_per_domain
+            .max(self.write_counts[index]);
         self.domains[index] = value;
         Ok(())
     }
@@ -170,8 +181,10 @@ impl Nanowire {
     pub fn write_aligned(&mut self, value: bool) {
         self.stats.writes += 1;
         self.write_counts[self.position] += 1;
-        self.stats.max_writes_per_domain =
-            self.stats.max_writes_per_domain.max(self.write_counts[self.position]);
+        self.stats.max_writes_per_domain = self
+            .stats
+            .max_writes_per_domain
+            .max(self.write_counts[self.position]);
         self.domains[self.position] = value;
     }
 
@@ -197,7 +210,10 @@ impl Nanowire {
     pub fn load(&mut self, offset: usize, bits: &[bool]) -> Result<()> {
         let end = offset + bits.len();
         if end > self.domains.len() {
-            return Err(RtmError::DomainOutOfRange { index: end.saturating_sub(1), len: self.domains.len() });
+            return Err(RtmError::DomainOutOfRange {
+                index: end.saturating_sub(1),
+                len: self.domains.len(),
+            });
         }
         for (i, &bit) in bits.iter().enumerate() {
             self.write_at(offset + i, bit)?;
@@ -213,8 +229,14 @@ mod tests {
 
     #[test]
     fn new_rejects_empty_geometry() {
-        assert!(matches!(Nanowire::new(0, 1), Err(RtmError::EmptyGeometry { .. })));
-        assert!(matches!(Nanowire::new(8, 0), Err(RtmError::EmptyGeometry { .. })));
+        assert!(matches!(
+            Nanowire::new(0, 1),
+            Err(RtmError::EmptyGeometry { .. })
+        ));
+        assert!(matches!(
+            Nanowire::new(8, 0),
+            Err(RtmError::EmptyGeometry { .. })
+        ));
     }
 
     #[test]
@@ -229,8 +251,14 @@ mod tests {
     #[test]
     fn out_of_range_access_is_rejected() {
         let mut wire = Nanowire::new(4, 1).expect("geometry");
-        assert!(matches!(wire.read_at(4), Err(RtmError::DomainOutOfRange { .. })));
-        assert!(matches!(wire.write_at(100, true), Err(RtmError::DomainOutOfRange { .. })));
+        assert!(matches!(
+            wire.read_at(4),
+            Err(RtmError::DomainOutOfRange { .. })
+        ));
+        assert!(matches!(
+            wire.write_at(100, true),
+            Err(RtmError::DomainOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -302,8 +330,8 @@ mod tests {
                 wire.write_at(idx, value).expect("write");
                 model[idx] = value;
             }
-            for i in 0..len {
-                prop_assert_eq!(wire.read_at(i).expect("read"), model[i]);
+            for (i, &expected) in model.iter().enumerate() {
+                prop_assert_eq!(wire.read_at(i).expect("read"), expected);
             }
         }
 

@@ -79,8 +79,18 @@ mod tests {
 
     #[test]
     fn addition_accumulates_and_maxes() {
-        let a = AccessStats { shifts: 1, reads: 2, writes: 3, max_writes_per_domain: 3 };
-        let b = AccessStats { shifts: 10, reads: 20, writes: 30, max_writes_per_domain: 1 };
+        let a = AccessStats {
+            shifts: 1,
+            reads: 2,
+            writes: 3,
+            max_writes_per_domain: 3,
+        };
+        let b = AccessStats {
+            shifts: 10,
+            reads: 20,
+            writes: 30,
+            max_writes_per_domain: 1,
+        };
         let mut c = a;
         c += b;
         assert_eq!(c.shifts, 11);

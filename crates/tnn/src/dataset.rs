@@ -38,7 +38,11 @@ impl SyntheticBlobs {
     /// Creates a generator for `classes` classes of `size × size` images with
     /// additive Gaussian-ish noise of standard deviation `noise`.
     pub fn new(size: usize, classes: usize, noise: f32) -> Self {
-        SyntheticBlobs { size, classes, noise }
+        SyntheticBlobs {
+            size,
+            classes,
+            noise,
+        }
     }
 
     /// Image side length.
@@ -81,7 +85,8 @@ impl SyntheticBlobs {
                 let dx = x as f32 - cx;
                 let value = (-(dy * dy + dx * dx) / 4.0).exp();
                 // Box-Muller-free noise: sum of uniforms is close enough to Gaussian here.
-                let noise: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * self.noise;
+                let noise: f32 =
+                    (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * self.noise;
                 data[y * self.size + x] = (value + noise).max(0.0);
             }
         }

@@ -1,12 +1,15 @@
-use std::error::Error;
-use std::fmt;
+use thiserror::Error;
 
 /// Errors produced by the DNN substrate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
 pub enum TnnError {
     /// A tensor was constructed or reshaped with a shape whose element count does not
     /// match the data length.
+    #[error(
+        "shape {shape:?} requires {} elements but {data_len} were provided",
+        .shape.iter().product::<usize>()
+    )]
     ShapeMismatch {
         /// The offending shape.
         shape: Vec<usize>,
@@ -14,37 +17,24 @@ pub enum TnnError {
         data_len: usize,
     },
     /// Two tensors or layers have incompatible shapes for the requested operation.
+    #[error("incompatible shapes: {reason}")]
     IncompatibleShapes {
         /// Description of the incompatibility.
         reason: String,
     },
     /// A layer or model argument is invalid (zero channels, stride of zero, …).
+    #[error("invalid argument: {reason}")]
     InvalidArgument {
         /// Description of the problem.
         reason: String,
     },
     /// The model graph is malformed (dangling node reference, cycle, …).
+    #[error("malformed model graph: {reason}")]
     MalformedGraph {
         /// Description of the problem.
         reason: String,
     },
 }
-
-impl fmt::Display for TnnError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TnnError::ShapeMismatch { shape, data_len } => {
-                write!(f, "shape {shape:?} requires {} elements but {data_len} were provided",
-                    shape.iter().product::<usize>())
-            }
-            TnnError::IncompatibleShapes { reason } => write!(f, "incompatible shapes: {reason}"),
-            TnnError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
-            TnnError::MalformedGraph { reason } => write!(f, "malformed model graph: {reason}"),
-        }
-    }
-}
-
-impl Error for TnnError {}
 
 #[cfg(test)]
 mod tests {
@@ -52,7 +42,10 @@ mod tests {
 
     #[test]
     fn display_reports_expected_element_count() {
-        let err = TnnError::ShapeMismatch { shape: vec![2, 3], data_len: 5 };
+        let err = TnnError::ShapeMismatch {
+            shape: vec![2, 3],
+            data_len: 5,
+        };
         let msg = err.to_string();
         assert!(msg.contains('6'));
         assert!(msg.contains('5'));

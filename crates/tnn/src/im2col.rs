@@ -58,7 +58,11 @@ impl Im2colSpec {
 /// # Ok(())
 /// # }
 /// ```
-pub fn im2col_channel(input: &Tensor<i64>, channel: usize, spec: Im2colSpec) -> Result<Tensor<i64>> {
+pub fn im2col_channel(
+    input: &Tensor<i64>,
+    channel: usize,
+    spec: Im2colSpec,
+) -> Result<Tensor<i64>> {
     if input.ndim() != 3 {
         return Err(TnnError::IncompatibleShapes {
             reason: format!("im2col expects a (C, H, W) tensor, got {:?}", input.shape()),
@@ -79,11 +83,12 @@ pub fn im2col_channel(input: &Tensor<i64>, channel: usize, spec: Im2colSpec) -> 
                 for kw in 0..spec.fw {
                     let ih = (oh * spec.stride + kh) as isize - spec.padding as isize;
                     let iw = (ow * spec.stride + kw) as isize - spec.padding as isize;
-                    let value = if ih >= 0 && iw >= 0 && (ih as usize) < height && (iw as usize) < width {
-                        *input.get(&[channel, ih as usize, iw as usize])?
-                    } else {
-                        0
-                    };
+                    let value =
+                        if ih >= 0 && iw >= 0 && (ih as usize) < height && (iw as usize) < width {
+                            *input.get(&[channel, ih as usize, iw as usize])?
+                        } else {
+                            0
+                        };
                     *out.get_mut(&[kh * spec.fw + kw, position])? = value;
                 }
             }
@@ -130,7 +135,12 @@ mod tests {
     #[test]
     fn identity_kernel_is_a_flatten() {
         let input = ramp(1, 3, 3);
-        let spec = Im2colSpec { fh: 1, fw: 1, stride: 1, padding: 0 };
+        let spec = Im2colSpec {
+            fh: 1,
+            fw: 1,
+            stride: 1,
+            padding: 0,
+        };
         let cols = im2col_channel(&input, 0, spec).expect("im2col");
         assert_eq!(cols.shape(), &[1, 9]);
         assert_eq!(cols.as_slice(), input.as_slice());
@@ -139,7 +149,12 @@ mod tests {
     #[test]
     fn padding_produces_zeros_at_the_border() {
         let input = ramp(1, 2, 2);
-        let spec = Im2colSpec { fh: 3, fw: 3, stride: 1, padding: 1 };
+        let spec = Im2colSpec {
+            fh: 3,
+            fw: 3,
+            stride: 1,
+            padding: 1,
+        };
         let cols = im2col_channel(&input, 0, spec).expect("im2col");
         assert_eq!(cols.shape(), &[9, 4]);
         // Output position 0 (top-left): the centre of the 3x3 patch is input (0,0)=0,
@@ -152,7 +167,12 @@ mod tests {
     #[test]
     fn stride_skips_positions() {
         let input = ramp(1, 4, 4);
-        let spec = Im2colSpec { fh: 2, fw: 2, stride: 2, padding: 0 };
+        let spec = Im2colSpec {
+            fh: 2,
+            fw: 2,
+            stride: 2,
+            padding: 0,
+        };
         let cols = im2col_channel(&input, 0, spec).expect("im2col");
         assert_eq!(cols.shape(), &[4, 4]);
         // Second output position starts at column 2 of the input.
@@ -162,7 +182,12 @@ mod tests {
     #[test]
     fn multi_channel_layout_stacks_channels() {
         let input = ramp(2, 3, 3);
-        let spec = Im2colSpec { fh: 2, fw: 2, stride: 1, padding: 0 };
+        let spec = Im2colSpec {
+            fh: 2,
+            fw: 2,
+            stride: 1,
+            padding: 0,
+        };
         let cols = im2col(&input, spec).expect("im2col");
         assert_eq!(cols.shape(), &[2 * 4, 4]);
         // Channel 1 starts at row 4 and its first element is input[1][0][0] = 9.
@@ -172,7 +197,12 @@ mod tests {
     #[test]
     fn invalid_inputs_are_rejected() {
         let flat = Tensor::from_vec(vec![4], vec![0i64; 4]).expect("shape");
-        let spec = Im2colSpec { fh: 1, fw: 1, stride: 1, padding: 0 };
+        let spec = Im2colSpec {
+            fh: 1,
+            fw: 1,
+            stride: 1,
+            padding: 0,
+        };
         assert!(im2col(&flat, spec).is_err());
         let input = ramp(1, 3, 3);
         assert!(im2col_channel(&input, 2, spec).is_err());
@@ -180,9 +210,19 @@ mod tests {
 
     #[test]
     fn output_size_matches_conv_arithmetic() {
-        let spec = Im2colSpec { fh: 7, fw: 7, stride: 2, padding: 3 };
+        let spec = Im2colSpec {
+            fh: 7,
+            fw: 7,
+            stride: 2,
+            padding: 3,
+        };
         assert_eq!(spec.output_hw((224, 224)), (112, 112));
-        let spec = Im2colSpec { fh: 3, fw: 3, stride: 1, padding: 1 };
+        let spec = Im2colSpec {
+            fh: 3,
+            fw: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.output_hw((56, 56)), (56, 56));
     }
 }

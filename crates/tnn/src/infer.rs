@@ -36,13 +36,20 @@ use crate::{Result, Tensor, TnnError};
 pub fn conv2d(input: &Tensor<i64>, layer: &Conv2d) -> Result<Tensor<i64>> {
     if input.ndim() != 3 {
         return Err(TnnError::IncompatibleShapes {
-            reason: format!("convolution expects a (C, H, W) tensor, got {:?}", input.shape()),
+            reason: format!(
+                "convolution expects a (C, H, W) tensor, got {:?}",
+                input.shape()
+            ),
         });
     }
     let (cin, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     if cin != layer.cin() {
         return Err(TnnError::IncompatibleShapes {
-            reason: format!("layer '{}' expects {} channels, input has {cin}", layer.name, layer.cin()),
+            reason: format!(
+                "layer '{}' expects {} channels, input has {cin}",
+                layer.name,
+                layer.cin()
+            ),
         });
     }
     let (fh, fw) = layer.kernel();
@@ -121,7 +128,10 @@ pub fn linear(input: &Tensor<i64>, layer: &Linear) -> Result<Tensor<i64>> {
 pub fn max_pool2d(input: &Tensor<i64>, kernel: usize, stride: usize) -> Result<Tensor<i64>> {
     if input.ndim() != 3 {
         return Err(TnnError::IncompatibleShapes {
-            reason: format!("pooling expects a (C, H, W) tensor, got {:?}", input.shape()),
+            reason: format!(
+                "pooling expects a (C, H, W) tensor, got {:?}",
+                input.shape()
+            ),
         });
     }
     let (channels, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
@@ -153,7 +163,10 @@ pub fn max_pool2d(input: &Tensor<i64>, kernel: usize, stride: usize) -> Result<T
 pub fn global_avg_pool(input: &Tensor<i64>) -> Result<Tensor<i64>> {
     if input.ndim() != 3 {
         return Err(TnnError::IncompatibleShapes {
-            reason: format!("pooling expects a (C, H, W) tensor, got {:?}", input.shape()),
+            reason: format!(
+                "pooling expects a (C, H, W) tensor, got {:?}",
+                input.shape()
+            ),
         });
     }
     let (channels, height, width) = (input.shape()[0], input.shape()[1], input.shape()[2]);
@@ -197,10 +210,19 @@ pub fn requantize(input: &Tensor<i64>, bits: u8) -> (Tensor<i64>, u32) {
 pub fn add(a: &Tensor<i64>, b: &Tensor<i64>) -> Result<Tensor<i64>> {
     if a.shape() != b.shape() {
         return Err(TnnError::IncompatibleShapes {
-            reason: format!("cannot add tensors of shapes {:?} and {:?}", a.shape(), b.shape()),
+            reason: format!(
+                "cannot add tensors of shapes {:?} and {:?}",
+                a.shape(),
+                b.shape()
+            ),
         });
     }
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x + y)
+        .collect();
     Tensor::from_vec(a.shape().to_vec(), data)
 }
 
@@ -238,7 +260,11 @@ impl InferenceTrace {
 /// # Errors
 ///
 /// Returns an error when a layer's shape expectations are violated.
-pub fn run(model: &ModelGraph, input: &Tensor<i64>, act_bits_override: Option<u8>) -> Result<InferenceTrace> {
+pub fn run(
+    model: &ModelGraph,
+    input: &Tensor<i64>,
+    act_bits_override: Option<u8>,
+) -> Result<InferenceTrace> {
     let mut outputs: Vec<Tensor<i64>> = Vec::with_capacity(model.nodes().len());
     for node in model.nodes() {
         let fetch = |source: &Source| -> &Tensor<i64> {
@@ -247,9 +273,13 @@ pub fn run(model: &ModelGraph, input: &Tensor<i64>, act_bits_override: Option<u8
                 Source::Node(i) => &outputs[*i],
             }
         };
-        let first = node.inputs.first().map(fetch).ok_or_else(|| TnnError::MalformedGraph {
-            reason: "node without inputs".to_string(),
-        })?;
+        let first = node
+            .inputs
+            .first()
+            .map(fetch)
+            .ok_or_else(|| TnnError::MalformedGraph {
+                reason: "node without inputs".to_string(),
+            })?;
         let result = match &node.op {
             LayerOp::Conv2d(conv) => conv2d(first, conv)?,
             LayerOp::Linear(fc) => linear(first, fc)?,
@@ -258,15 +288,21 @@ pub fn run(model: &ModelGraph, input: &Tensor<i64>, act_bits_override: Option<u8
             LayerOp::Relu => relu(first),
             LayerOp::Requantize { bits } => requantize(first, act_bits_override.unwrap_or(*bits)).0,
             LayerOp::Add => {
-                let second = node.inputs.get(1).map(fetch).ok_or_else(|| TnnError::MalformedGraph {
-                    reason: "add node needs two inputs".to_string(),
-                })?;
+                let second =
+                    node.inputs
+                        .get(1)
+                        .map(fetch)
+                        .ok_or_else(|| TnnError::MalformedGraph {
+                            reason: "add node needs two inputs".to_string(),
+                        })?;
                 add(first, second)?
             }
         };
         outputs.push(result);
     }
-    Ok(InferenceTrace { node_outputs: outputs })
+    Ok(InferenceTrace {
+        node_outputs: outputs,
+    })
 }
 
 #[cfg(test)]
@@ -278,7 +314,8 @@ mod tests {
 
     #[test]
     fn conv_matches_hand_computation() {
-        let weights = TernaryTensor::from_vec(vec![2, 1, 2, 2], vec![1, 0, 0, -1, 1, 1, 1, 1]).expect("weights");
+        let weights = TernaryTensor::from_vec(vec![2, 1, 2, 2], vec![1, 0, 0, -1, 1, 1, 1, 1])
+            .expect("weights");
         let conv = Conv2d::new("toy", weights, 1, 0).expect("conv");
         let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i64>>()).expect("input");
         let out = conv2d(&input, &conv).expect("conv");
@@ -300,7 +337,8 @@ mod tests {
 
     #[test]
     fn linear_matches_matrix_vector_product() {
-        let weights = TernaryTensor::from_vec(vec![2, 3], vec![1, -1, 0, 0, 1, 1]).expect("weights");
+        let weights =
+            TernaryTensor::from_vec(vec![2, 3], vec![1, -1, 0, 0, 1, 1]).expect("weights");
         let fc = Linear::new("fc", weights).expect("linear");
         let input = Tensor::from_vec(vec![3, 1, 1], vec![10, 3, 7]).expect("input");
         let out = linear(&input, &fc).expect("linear");
@@ -322,9 +360,9 @@ mod tests {
         let input = Tensor::from_vec(vec![4], vec![0, 100, 260, 1023]).expect("input");
         let (q, shift) = requantize(&input, 8);
         assert!(shift >= 2);
-        assert!(q.as_slice().iter().all(|&v| v >= 0 && v <= 255));
+        assert!(q.as_slice().iter().all(|&v| (0..=255).contains(&v)));
         let (q4, _) = requantize(&input, 4);
-        assert!(q4.as_slice().iter().all(|&v| v >= 0 && v <= 15));
+        assert!(q4.as_slice().iter().all(|&v| (0..=15).contains(&v)));
     }
 
     #[test]

@@ -44,16 +44,28 @@ impl Conv2d {
     ///
     /// Returns [`TnnError::InvalidArgument`] if the weights are not 4-dimensional or
     /// the stride is zero.
-    pub fn new(name: impl Into<String>, weights: TernaryTensor, stride: usize, padding: usize) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        weights: TernaryTensor,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
         if weights.shape().len() != 4 {
             return Err(TnnError::InvalidArgument {
                 reason: format!("convolution weights must be 4-D, got {:?}", weights.shape()),
             });
         }
         if stride == 0 {
-            return Err(TnnError::InvalidArgument { reason: "stride must be non-zero".to_string() });
+            return Err(TnnError::InvalidArgument {
+                reason: "stride must be non-zero".to_string(),
+            });
         }
-        Ok(Conv2d { name: name.into(), weights, stride, padding })
+        Ok(Conv2d {
+            name: name.into(),
+            weights,
+            stride,
+            padding,
+        })
     }
 
     /// Number of output channels.
@@ -108,7 +120,10 @@ impl Linear {
                 reason: format!("linear weights must be 2-D, got {:?}", weights.shape()),
             });
         }
-        Ok(Linear { name: name.into(), weights })
+        Ok(Linear {
+            name: name.into(),
+            weights,
+        })
     }
 
     /// Number of output features.

@@ -97,7 +97,11 @@ pub struct ModelGraph {
 impl ModelGraph {
     /// Creates an empty model with the given `(channels, height, width)` input shape.
     pub fn new(name: impl Into<String>, input_shape: (usize, usize, usize)) -> Self {
-        ModelGraph { name: name.into(), input_shape, nodes: Vec::new() }
+        ModelGraph {
+            name: name.into(),
+            input_shape,
+            nodes: Vec::new(),
+        }
     }
 
     /// The model's name.
@@ -164,11 +168,13 @@ impl ModelGraph {
                     Source::Node(i) => shapes[*i],
                 }
             };
-            let first = node
-                .inputs
-                .first()
-                .map(input_shape)
-                .ok_or_else(|| TnnError::MalformedGraph { reason: format!("node {id} has no inputs") })?;
+            let first =
+                node.inputs
+                    .first()
+                    .map(input_shape)
+                    .ok_or_else(|| TnnError::MalformedGraph {
+                        reason: format!("node {id} has no inputs"),
+                    })?;
             let shape = match &node.op {
                 LayerOp::Conv2d(conv) => {
                     if conv.cin() != first.0 {
@@ -207,11 +213,15 @@ impl ModelGraph {
                 LayerOp::Relu | LayerOp::Requantize { .. } => first,
                 LayerOp::Add => {
                     let second = node.inputs.get(1).map(input_shape).ok_or_else(|| {
-                        TnnError::MalformedGraph { reason: format!("add node {id} needs two inputs") }
+                        TnnError::MalformedGraph {
+                            reason: format!("add node {id} needs two inputs"),
+                        }
                     })?;
                     if first != second {
                         return Err(TnnError::IncompatibleShapes {
-                            reason: format!("add node {id} combines shapes {first:?} and {second:?}"),
+                            reason: format!(
+                                "add node {id} combines shapes {first:?} and {second:?}"
+                            ),
                         });
                     }
                     first
@@ -254,9 +264,7 @@ impl ModelGraph {
                         weights: conv.weights.clone(),
                     }),
                     LayerOp::Linear(linear) => {
-                        let weights = linear
-                            .weights
-                            .clone();
+                        let weights = linear.weights.clone();
                         let reshaped = TernaryTensor::from_vec(
                             vec![linear.out_features(), linear.in_features(), 1, 1],
                             weights.as_slice().to_vec(),
@@ -295,7 +303,10 @@ impl ModelGraph {
 
     /// Total number of multiply-accumulate operations per inference.
     pub fn total_macs(&self) -> u64 {
-        self.conv_like_layers().iter().map(ConvLayerInfo::macs).sum()
+        self.conv_like_layers()
+            .iter()
+            .map(ConvLayerInfo::macs)
+            .sum()
     }
 
     /// Overall fraction of zero weights across all weighted layers.
@@ -319,12 +330,30 @@ impl ModelGraph {
     }
 }
 
-fn conv(name: &str, cout: usize, cin: usize, k: usize, stride: usize, padding: usize, sparsity: f64, seed: u64) -> LayerOp {
+#[allow(clippy::too_many_arguments)]
+fn conv(
+    name: &str,
+    cout: usize,
+    cin: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    sparsity: f64,
+    seed: u64,
+) -> LayerOp {
     let weights = TernaryTensor::random(vec![cout, cin, k, k], sparsity, seed);
-    LayerOp::Conv2d(Conv2d::new(name, weights, stride, padding).expect("static layer definitions are valid"))
+    LayerOp::Conv2d(
+        Conv2d::new(name, weights, stride, padding).expect("static layer definitions are valid"),
+    )
 }
 
-fn linear(name: &str, out_features: usize, in_features: usize, sparsity: f64, seed: u64) -> LayerOp {
+fn linear(
+    name: &str,
+    out_features: usize,
+    in_features: usize,
+    sparsity: f64,
+    seed: u64,
+) -> LayerOp {
     let weights = TernaryTensor::random(vec![out_features, in_features], sparsity, seed);
     LayerOp::Linear(Linear::new(name, weights).expect("static layer definitions are valid"))
 }
@@ -333,7 +362,9 @@ fn linear(name: &str, out_features: usize, in_features: usize, sparsity: f64, se
 /// returns the id of the last node.
 fn act(model: &mut ModelGraph, from: usize, bits: u8) -> usize {
     let relu = model.chain(LayerOp::Relu, Some(from)).expect("chain");
-    model.chain(LayerOp::Requantize { bits }, Some(relu)).expect("chain")
+    model
+        .chain(LayerOp::Requantize { bits }, Some(relu))
+        .expect("chain")
 }
 
 /// Default activation precision used by the model builders. The experiments override
@@ -351,25 +382,66 @@ pub fn vgg9(sparsity: f64, seed: u64) -> ModelGraph {
     let mut layer_seed = seed;
     for (block, &(c1, c2)) in channels.iter().enumerate() {
         let id = model
-            .chain(conv(&format!("conv{}_1", block + 1), c1, cin, 3, 1, 1, sparsity, layer_seed), previous)
+            .chain(
+                conv(
+                    &format!("conv{}_1", block + 1),
+                    c1,
+                    cin,
+                    3,
+                    1,
+                    1,
+                    sparsity,
+                    layer_seed,
+                ),
+                previous,
+            )
             .expect("chain");
         let id = act(&mut model, id, bits);
         layer_seed += 1;
         let id = model
-            .chain(conv(&format!("conv{}_2", block + 1), c2, c1, 3, 1, 1, sparsity, layer_seed), Some(id))
+            .chain(
+                conv(
+                    &format!("conv{}_2", block + 1),
+                    c2,
+                    c1,
+                    3,
+                    1,
+                    1,
+                    sparsity,
+                    layer_seed,
+                ),
+                Some(id),
+            )
             .expect("chain");
         let id = act(&mut model, id, bits);
         layer_seed += 1;
-        let id = model.chain(LayerOp::MaxPool2d { kernel: 2, stride: 2 }, Some(id)).expect("chain");
+        let id = model
+            .chain(
+                LayerOp::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                },
+                Some(id),
+            )
+            .expect("chain");
         previous = Some(id);
         cin = c2;
     }
     // 256 channels at 4x4 after three poolings.
-    let id = model.chain(linear("fc1", 512, 256 * 4 * 4, sparsity, seed + 100), previous).expect("chain");
+    let id = model
+        .chain(
+            linear("fc1", 512, 256 * 4 * 4, sparsity, seed + 100),
+            previous,
+        )
+        .expect("chain");
     let id = act(&mut model, id, bits);
-    let id = model.chain(linear("fc2", 512, 512, sparsity, seed + 101), Some(id)).expect("chain");
+    let id = model
+        .chain(linear("fc2", 512, 512, sparsity, seed + 101), Some(id))
+        .expect("chain");
     let id = act(&mut model, id, bits);
-    model.chain(linear("fc3", 10, 512, sparsity, seed + 102), Some(id)).expect("chain");
+    model
+        .chain(linear("fc3", 10, 512, sparsity, seed + 102), Some(id))
+        .expect("chain");
     model
 }
 
@@ -393,21 +465,47 @@ pub fn vgg11(sparsity: f64, seed: u64) -> ModelGraph {
     let mut cin = 3;
     for (i, &(cout, pool)) in plan.iter().enumerate() {
         let id = model
-            .chain(conv(&format!("conv{}", i + 1), cout, cin, 3, 1, 1, sparsity, seed + i as u64), previous)
+            .chain(
+                conv(
+                    &format!("conv{}", i + 1),
+                    cout,
+                    cin,
+                    3,
+                    1,
+                    1,
+                    sparsity,
+                    seed + i as u64,
+                ),
+                previous,
+            )
             .expect("chain");
         let mut id = act(&mut model, id, bits);
         if pool {
-            id = model.chain(LayerOp::MaxPool2d { kernel: 2, stride: 2 }, Some(id)).expect("chain");
+            id = model
+                .chain(
+                    LayerOp::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
+                    Some(id),
+                )
+                .expect("chain");
         }
         previous = Some(id);
         cin = cout;
     }
     // 512 channels at 1x1 after five poolings of a 32x32 input.
-    let id = model.chain(linear("fc1", 512, 512, sparsity, seed + 100), previous).expect("chain");
+    let id = model
+        .chain(linear("fc1", 512, 512, sparsity, seed + 100), previous)
+        .expect("chain");
     let id = act(&mut model, id, bits);
-    let id = model.chain(linear("fc2", 512, 512, sparsity, seed + 101), Some(id)).expect("chain");
+    let id = model
+        .chain(linear("fc2", 512, 512, sparsity, seed + 101), Some(id))
+        .expect("chain");
     let id = act(&mut model, id, bits);
-    model.chain(linear("fc3", 10, 512, sparsity, seed + 102), Some(id)).expect("chain");
+    model
+        .chain(linear("fc3", 10, 512, sparsity, seed + 102), Some(id))
+        .expect("chain");
     model
 }
 
@@ -422,7 +520,13 @@ pub fn resnet18(sparsity: f64, seed: u64) -> ModelGraph {
         .expect("chain");
     let id = act(&mut model, id, bits);
     let mut previous = model
-        .chain(LayerOp::MaxPool2d { kernel: 2, stride: 2 }, Some(id))
+        .chain(
+            LayerOp::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            Some(id),
+        )
         .expect("chain");
 
     let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
@@ -449,13 +553,24 @@ pub fn resnet18(sparsity: f64, seed: u64) -> ModelGraph {
                     )
                     .expect("chain");
                 layer_seed += 1;
-                model.chain(LayerOp::Requantize { bits }, Some(ds)).expect("chain")
+                model
+                    .chain(LayerOp::Requantize { bits }, Some(ds))
+                    .expect("chain")
             } else {
                 previous
             };
             let id = model
                 .chain(
-                    conv(&format!("layer{}_{}_conv1", stage + 1, block), cout, cin, 3, stride, 1, sparsity, layer_seed),
+                    conv(
+                        &format!("layer{}_{}_conv1", stage + 1, block),
+                        cout,
+                        cin,
+                        3,
+                        stride,
+                        1,
+                        sparsity,
+                        layer_seed,
+                    ),
                     Some(previous),
                 )
                 .expect("chain");
@@ -463,12 +578,23 @@ pub fn resnet18(sparsity: f64, seed: u64) -> ModelGraph {
             let id = act(&mut model, id, bits);
             let id = model
                 .chain(
-                    conv(&format!("layer{}_{}_conv2", stage + 1, block), cout, cout, 3, 1, 1, sparsity, layer_seed),
+                    conv(
+                        &format!("layer{}_{}_conv2", stage + 1, block),
+                        cout,
+                        cout,
+                        3,
+                        1,
+                        1,
+                        sparsity,
+                        layer_seed,
+                    ),
                     Some(id),
                 )
                 .expect("chain");
             layer_seed += 1;
-            let id = model.chain(LayerOp::Requantize { bits }, Some(id)).expect("chain");
+            let id = model
+                .chain(LayerOp::Requantize { bits }, Some(id))
+                .expect("chain");
             let id = model
                 .add(LayerOp::Add, vec![Source::Node(id), Source::Node(shortcut)])
                 .expect("add");
@@ -476,8 +602,12 @@ pub fn resnet18(sparsity: f64, seed: u64) -> ModelGraph {
             cin = cout;
         }
     }
-    let id = model.chain(LayerOp::GlobalAvgPool, Some(previous)).expect("chain");
-    model.chain(linear("fc", 1000, 512, sparsity, seed + 200), Some(id)).expect("chain");
+    let id = model
+        .chain(LayerOp::GlobalAvgPool, Some(previous))
+        .expect("chain");
+    model
+        .chain(linear("fc", 1000, 512, sparsity, seed + 200), Some(id))
+        .expect("chain");
     model
 }
 

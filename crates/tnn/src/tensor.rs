@@ -32,13 +32,19 @@ impl<T: Copy + Default> Tensor<T> {
     /// Creates a tensor filled with `T::default()`.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        Tensor { shape, data: vec![T::default(); len] }
+        Tensor {
+            shape,
+            data: vec![T::default(); len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: T) -> Self {
         let len = shape.iter().product();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 }
 
@@ -52,7 +58,10 @@ impl<T> Tensor<T> {
     pub fn from_vec(shape: Vec<usize>, data: Vec<T>) -> Result<Self> {
         let expected: usize = shape.iter().product();
         if expected != data.len() {
-            return Err(TnnError::ShapeMismatch { shape, data_len: data.len() });
+            return Err(TnnError::ShapeMismatch {
+                shape,
+                data_len: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -101,14 +110,20 @@ impl<T> Tensor<T> {
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
         if index.len() != self.shape.len() {
             return Err(TnnError::IncompatibleShapes {
-                reason: format!("index rank {} does not match tensor rank {}", index.len(), self.shape.len()),
+                reason: format!(
+                    "index rank {} does not match tensor rank {}",
+                    index.len(),
+                    self.shape.len()
+                ),
             });
         }
         let mut offset = 0;
         for (dim, (&i, &extent)) in index.iter().zip(&self.shape).enumerate() {
             if i >= extent {
                 return Err(TnnError::IncompatibleShapes {
-                    reason: format!("index {i} out of range for dimension {dim} of extent {extent}"),
+                    reason: format!(
+                        "index {i} out of range for dimension {dim} of extent {extent}"
+                    ),
                 });
             }
             offset = offset * extent + i;
@@ -144,14 +159,23 @@ impl<T> Tensor<T> {
     pub fn reshape(self, shape: Vec<usize>) -> Result<Self> {
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
-            return Err(TnnError::ShapeMismatch { shape, data_len: self.data.len() });
+            return Err(TnnError::ShapeMismatch {
+                shape,
+                data_len: self.data.len(),
+            });
         }
-        Ok(Tensor { shape, data: self.data })
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
     }
 
     /// Applies a function to every element, producing a new tensor of the same shape.
     pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Tensor<U> {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(f).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 

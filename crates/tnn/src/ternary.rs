@@ -37,7 +37,10 @@ impl TernaryTensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<i8>) -> Result<Self> {
         let expected: usize = shape.iter().product();
         if expected != data.len() {
-            return Err(TnnError::ShapeMismatch { shape, data_len: data.len() });
+            return Err(TnnError::ShapeMismatch {
+                shape,
+                data_len: data.len(),
+            });
         }
         if let Some(&bad) = data.iter().find(|&&v| !(-1..=1).contains(&v)) {
             return Err(TnnError::InvalidArgument {
@@ -77,7 +80,10 @@ impl TernaryTensor {
     pub fn from_float(shape: Vec<usize>, weights: &[f32], threshold_factor: f32) -> Result<Self> {
         let expected: usize = shape.iter().product();
         if expected != weights.len() {
-            return Err(TnnError::ShapeMismatch { shape, data_len: weights.len() });
+            return Err(TnnError::ShapeMismatch {
+                shape,
+                data_len: weights.len(),
+            });
         }
         let mean_abs = if weights.is_empty() {
             0.0
@@ -133,14 +139,20 @@ impl TernaryTensor {
     pub fn get(&self, index: &[usize]) -> Result<i8> {
         if index.len() != self.shape.len() {
             return Err(TnnError::IncompatibleShapes {
-                reason: format!("index rank {} does not match tensor rank {}", index.len(), self.shape.len()),
+                reason: format!(
+                    "index rank {} does not match tensor rank {}",
+                    index.len(),
+                    self.shape.len()
+                ),
             });
         }
         let mut offset = 0;
         for (dim, (&i, &extent)) in index.iter().zip(&self.shape).enumerate() {
             if i >= extent {
                 return Err(TnnError::IncompatibleShapes {
-                    reason: format!("index {i} out of range for dimension {dim} of extent {extent}"),
+                    reason: format!(
+                        "index {i} out of range for dimension {dim} of extent {extent}"
+                    ),
                 });
             }
             offset = offset * extent + i;
@@ -179,7 +191,11 @@ mod tests {
     fn random_hits_target_sparsity() {
         for &target in &[0.8, 0.85, 0.9] {
             let t = TernaryTensor::random(vec![128, 64, 3, 3], target, 1);
-            assert!((t.sparsity() - target).abs() < 0.01, "target {target} got {}", t.sparsity());
+            assert!(
+                (t.sparsity() - target).abs() < 0.01,
+                "target {target} got {}",
+                t.sparsity()
+            );
         }
     }
 

@@ -8,10 +8,10 @@
 //! MVM workload the RTM-AP executes.
 
 use crate::dataset::Sample;
+use crate::layer::LayerOp;
 use crate::layer::Linear;
 use crate::model::{ModelGraph, Source};
 use crate::{Quantizer, Result, TernaryTensor, TnnError};
-use crate::layer::LayerOp;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -68,9 +68,13 @@ impl Mlp {
             input_dim,
             hidden_dim,
             classes,
-            w1: (0..hidden_dim * input_dim).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            w1: (0..hidden_dim * input_dim)
+                .map(|_| rng.gen_range(-scale1..scale1))
+                .collect(),
             b1: vec![0.0; hidden_dim],
-            w2: (0..classes * hidden_dim).map(|_| rng.gen_range(-scale2..scale2)).collect(),
+            w2: (0..classes * hidden_dim)
+                .map(|_| rng.gen_range(-scale2..scale2))
+                .collect(),
             b2: vec![0.0; classes],
         })
     }
@@ -90,6 +94,9 @@ impl Mlp {
         self.classes
     }
 
+    // Indexed loops: the weight matrices are flat row-major buffers addressed
+    // with strides, which iterator chains would only obscure.
+    #[allow(clippy::needless_range_loop)]
     fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         let mut hidden = vec![0.0f32; self.hidden_dim];
         for h in 0..self.hidden_dim {
@@ -115,6 +122,7 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if a sample's feature count differs from `input_dim`.
+    #[allow(clippy::needless_range_loop)]
     pub fn train(&mut self, samples: &[Sample], epochs: usize, learning_rate: f32) {
         for _ in 0..epochs {
             for (image, label) in samples {
@@ -178,7 +186,10 @@ impl Mlp {
         let (w1, w2) = self.ternary_weights()?;
         let input_q = Quantizer::calibrate(
             act_bits,
-            &samples.iter().flat_map(|(img, _)| img.as_slice().iter().copied()).collect::<Vec<_>>(),
+            &samples
+                .iter()
+                .flat_map(|(img, _)| img.as_slice().iter().copied())
+                .collect::<Vec<_>>(),
         )?;
         // Calibrate the hidden quantizer from the integer hidden activations of the
         // calibration set.
@@ -195,8 +206,10 @@ impl Mlp {
             .filter(|(image, label)| {
                 let x = input_q.quantize_all(image.as_slice());
                 let hidden = ternary_mvm(&w1, &x);
-                let hidden_quantized: Vec<i64> =
-                    hidden.iter().map(|&v| hidden_q.quantize(v.max(0) as f32)).collect();
+                let hidden_quantized: Vec<i64> = hidden
+                    .iter()
+                    .map(|&v| hidden_q.quantize(v.max(0) as f32))
+                    .collect();
                 let logits = ternary_mvm(&w2, &hidden_quantized);
                 argmax_i64(&logits) == *label
             })
@@ -225,10 +238,19 @@ impl Mlp {
     pub fn to_model(&self, act_bits: u8) -> Result<ModelGraph> {
         let (w1, w2) = self.ternary_weights()?;
         let mut model = ModelGraph::new("mlp", (1, 1, self.input_dim));
-        let fc1 = model.add(LayerOp::Linear(Linear::new("fc1", w1)?), vec![Source::Input])?;
+        let fc1 = model.add(
+            LayerOp::Linear(Linear::new("fc1", w1)?),
+            vec![Source::Input],
+        )?;
         let relu = model.add(LayerOp::Relu, vec![Source::Node(fc1)])?;
-        let req = model.add(LayerOp::Requantize { bits: act_bits }, vec![Source::Node(relu)])?;
-        model.add(LayerOp::Linear(Linear::new("fc2", w2)?), vec![Source::Node(req)])?;
+        let req = model.add(
+            LayerOp::Requantize { bits: act_bits },
+            vec![Source::Node(relu)],
+        )?;
+        model.add(
+            LayerOp::Linear(Linear::new("fc2", w2)?),
+            vec![Source::Node(req)],
+        )?;
         Ok(model)
     }
 }
@@ -250,7 +272,12 @@ fn argmax(values: &[f32]) -> usize {
 }
 
 fn argmax_i64(values: &[i64]) -> usize {
-    values.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+    values
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 /// Ternary matrix-vector multiply: only additions and subtractions.
@@ -334,7 +361,8 @@ mod tests {
 
     #[test]
     fn ternary_mvm_matches_dense_reference() {
-        let weights = TernaryTensor::from_vec(vec![2, 3], vec![1, 0, -1, -1, 1, 0]).expect("weights");
+        let weights =
+            TernaryTensor::from_vec(vec![2, 3], vec![1, 0, -1, -1, 1, 0]).expect("weights");
         let out = ternary_mvm(&weights, &[5, 7, 2]);
         assert_eq!(out, vec![3, 2]);
     }

@@ -13,7 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Activation-precision sweep (VGG-9, 256x256 arrays) ==");
     for act_bits in [2u8, 4, 6, 8] {
-        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run()?;
+        let report = FullStackPipeline::new(model.clone())
+            .with_activation_bits(act_bits)
+            .run()?;
         println!(
             "act={act_bits}b  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}  adds={:7.0}K",
             report.rtm_ap.energy_uj(),
@@ -25,9 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== CAM-geometry sweep (VGG-9, 4-bit activations) ==");
     for rows in [128usize, 256, 512] {
-        let geometry = CamGeometry { rows, cols: 256, domains: 64 };
+        let geometry = CamGeometry {
+            rows,
+            cols: 256,
+            domains: 64,
+        };
         let arch = ArchConfig::default().with_geometry(geometry);
-        let options = CompilerOptions { geometry, ..CompilerOptions::default() };
+        let options = CompilerOptions {
+            geometry,
+            ..CompilerOptions::default()
+        };
         let report = FullStackPipeline::new(model.clone())
             .with_arch(arch)
             .with_compiler_options(options)

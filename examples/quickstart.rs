@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.positions_checked,
         report.outputs_checked,
         report.mismatches,
-        if report.is_bit_exact() { "bit-exact" } else { "MISMATCH" }
+        if report.is_bit_exact() {
+            "bit-exact"
+        } else {
+            "MISMATCH"
+        }
     );
 
     // 2. Full-stack cost estimate for VGG-9 on CIFAR-10-shaped inputs.

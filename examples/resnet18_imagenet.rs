@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for act_bits in [4u8, 8] {
-        let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run()?;
+        let report = FullStackPipeline::new(model.clone())
+            .with_activation_bits(act_bits)
+            .run()?;
         println!("-- {act_bits}-bit activations --");
         println!("{}", report.table_row());
         println!(

@@ -8,12 +8,22 @@ use tnn::model::{vgg11, vgg9};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== VGG-9 / VGG-11 on CIFAR-10 ==\n");
-    let workloads: Vec<(&str, f64)> =
-        vec![("vgg9", 0.85), ("vgg9", 0.90), ("vgg11", 0.85), ("vgg11", 0.90)];
+    let workloads: Vec<(&str, f64)> = vec![
+        ("vgg9", 0.85),
+        ("vgg9", 0.90),
+        ("vgg11", 0.85),
+        ("vgg11", 0.90),
+    ];
     for (name, sparsity) in workloads {
-        let model = if name == "vgg9" { vgg9(sparsity, 3) } else { vgg11(sparsity, 3) };
+        let model = if name == "vgg9" {
+            vgg9(sparsity, 3)
+        } else {
+            vgg11(sparsity, 3)
+        };
         for act_bits in [4u8, 8] {
-            let report = FullStackPipeline::new(model.clone()).with_activation_bits(act_bits).run()?;
+            let report = FullStackPipeline::new(model.clone())
+                .with_activation_bits(act_bits)
+                .run()?;
             println!("{}", report.table_row());
         }
         println!();

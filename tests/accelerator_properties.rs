@@ -14,10 +14,18 @@ fn layer_energy_components_are_nonnegative_and_sum_to_total() {
         let compiled = compiler.compile(layer).expect("compile");
         let report = accelerator.simulate_layer(&compiled);
         let energy = report.energy;
-        for component in [energy.dfg_fj, energy.accumulation_fj, energy.peripherals_fj, energy.data_movement_fj] {
+        for component in [
+            energy.dfg_fj,
+            energy.accumulation_fj,
+            energy.peripherals_fj,
+            energy.data_movement_fj,
+        ] {
             assert!(component >= 0.0, "negative component in {}", layer.name);
         }
-        let sum = energy.dfg_fj + energy.accumulation_fj + energy.peripherals_fj + energy.data_movement_fj;
+        let sum = energy.dfg_fj
+            + energy.accumulation_fj
+            + energy.peripherals_fj
+            + energy.data_movement_fj;
         assert!((sum - energy.total_fj()).abs() <= sum.max(1.0) * 1e-9);
         assert!(report.latency.total_ns() > 0.0);
         assert!(report.row_utilization > 0.0 && report.row_utilization <= 1.0);

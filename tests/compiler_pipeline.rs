@@ -15,7 +15,9 @@ fn loop_schedule_and_compiler_agree_on_code_size() {
     // The unrolled code size equals the layer's weight count, of which only the
     // non-zero fraction survives constant folding.
     assert_eq!(nest.code_size(), layer.weights.len());
-    let compiled = LayerCompiler::new(CompilerOptions::unroll_only()).compile(layer).expect("compile");
+    let compiled = LayerCompiler::new(CompilerOptions::unroll_only())
+        .compile(layer)
+        .expect("compile");
     assert!(compiled.stats.counted_adds_subs < nest.code_size() as u64);
     assert!(compiled.stats.nonzero_weights <= layer.weights.len() as u64);
 }
@@ -30,14 +32,22 @@ fn cse_reduction_holds_across_every_vgg9_layer() {
     for layer in model.conv_like_layers().iter().take(6) {
         let a = with_cse.compile(layer).expect("compile");
         let b = unroll.compile(layer).expect("compile");
-        assert!(a.stats.counted_adds_subs <= b.stats.counted_adds_subs, "layer {}", layer.name);
+        assert!(
+            a.stats.counted_adds_subs <= b.stats.counted_adds_subs,
+            "layer {}",
+            layer.name
+        );
         total_with += a.stats.counted_adds_subs;
         total_without += b.stats.counted_adds_subs;
     }
     let reduction = 1.0 - total_with as f64 / total_without as f64;
     // The paper reports an average 31% reduction for ResNet-18; the CIFAR-scale VGG
     // layers should show a clearly measurable reduction as well.
-    assert!(reduction > 0.10, "overall CSE reduction only {:.1}%", reduction * 100.0);
+    assert!(
+        reduction > 0.10,
+        "overall CSE reduction only {:.1}%",
+        reduction * 100.0
+    );
 }
 
 #[test]
@@ -49,7 +59,11 @@ fn compiled_programs_fit_the_cam_geometry() {
         let cols = compiled.layout.geometry.cols;
         for slice in compiled.slices.expect("programs kept") {
             if let Some(max_col) = slice.program.max_column() {
-                assert!(max_col < cols, "layer {} uses column {max_col} of {cols}", layer.name);
+                assert!(
+                    max_col < cols,
+                    "layer {} uses column {max_col} of {cols}",
+                    layer.name
+                );
             }
         }
     }
@@ -58,8 +72,14 @@ fn compiled_programs_fit_the_cam_geometry() {
 #[test]
 fn fully_connected_layers_compile_like_1x1_convolutions() {
     let model = vgg9(0.85, 5);
-    let fc = model.conv_like_layers().into_iter().find(|l| l.name == "fc1").expect("fc1");
-    let compiled = LayerCompiler::new(CompilerOptions::default()).compile(&fc).expect("compile");
+    let fc = model
+        .conv_like_layers()
+        .into_iter()
+        .find(|l| l.name == "fc1")
+        .expect("fc1");
+    let compiled = LayerCompiler::new(CompilerOptions::default())
+        .compile(&fc)
+        .expect("compile");
     assert_eq!(compiled.kernel, (1, 1));
     assert_eq!(compiled.output_positions, 1);
     // A 1x1 kernel has single-term outputs only, so all of its arithmetic consists of

@@ -8,48 +8,75 @@ use tnn::train::accuracy_experiment;
 
 #[test]
 fn vgg9_beats_the_crossbar_baseline_on_energy() {
-    let report = FullStackPipeline::new(vgg9(0.9, 2)).with_activation_bits(4).run().expect("pipeline");
+    let report = FullStackPipeline::new(vgg9(0.9, 2))
+        .with_activation_bits(4)
+        .run()
+        .expect("pipeline");
     assert!(
         report.energy_improvement() > 1.0,
         "RTM-AP should use less energy than the crossbar baseline (got {:.2}x)",
         report.energy_improvement()
     );
-    assert_eq!(report.rtm_ap.arrays(), 4, "VGG on CIFAR-10 needs 4 arrays of 256 rows");
+    assert_eq!(
+        report.rtm_ap.arrays(),
+        4,
+        "VGG on CIFAR-10 needs 4 arrays of 256 rows"
+    );
 }
 
 #[test]
 fn four_bit_is_the_efficiency_sweet_spot() {
-    let four = FullStackPipeline::new(vgg9(0.9, 2)).with_activation_bits(4).run().expect("pipeline");
-    let eight = FullStackPipeline::new(vgg9(0.9, 2)).with_activation_bits(8).run().expect("pipeline");
+    let four = FullStackPipeline::new(vgg9(0.9, 2))
+        .with_activation_bits(4)
+        .run()
+        .expect("pipeline");
+    let eight = FullStackPipeline::new(vgg9(0.9, 2))
+        .with_activation_bits(8)
+        .run()
+        .expect("pipeline");
     assert!(four.rtm_ap.energy_uj() < eight.rtm_ap.energy_uj());
     assert!(four.rtm_ap.latency_ms() < eight.rtm_ap.latency_ms());
 }
 
 #[test]
 fn higher_sparsity_reduces_ops_energy_and_latency() {
-    let sparse = FullStackPipeline::new(vgg11(0.9, 2)).run().expect("pipeline");
-    let dense = FullStackPipeline::new(vgg11(0.85, 2)).run().expect("pipeline");
+    let sparse = FullStackPipeline::new(vgg11(0.9, 2))
+        .run()
+        .expect("pipeline");
+    let dense = FullStackPipeline::new(vgg11(0.85, 2))
+        .run()
+        .expect("pipeline");
     assert!(sparse.rtm_ap.adds_subs_k() < dense.rtm_ap.adds_subs_k());
     assert!(sparse.rtm_ap.energy_uj() < dense.rtm_ap.energy_uj());
 }
 
 #[test]
 fn cse_reduction_is_visible_end_to_end() {
-    let report = FullStackPipeline::new(vgg9(0.85, 2)).run().expect("pipeline");
-    assert!(report.cse_reduction() > 0.05, "CSE reduction {:.3}", report.cse_reduction());
+    let report = FullStackPipeline::new(vgg9(0.85, 2))
+        .run()
+        .expect("pipeline");
+    assert!(
+        report.cse_reduction() > 0.05,
+        "CSE reduction {:.3}",
+        report.cse_reduction()
+    );
     assert!(report.rtm_ap.energy_uj() <= report.rtm_ap_unroll.energy_uj());
 }
 
 #[test]
 fn data_movement_share_is_far_below_the_crossbar_interconnect_share() {
-    let report = FullStackPipeline::new(vgg9(0.9, 2)).run().expect("pipeline");
+    let report = FullStackPipeline::new(vgg9(0.9, 2))
+        .run()
+        .expect("pipeline");
     // The crossbar baseline spends 41% of its energy on communication (§V-C).
     assert!(report.rtm_ap.data_movement_share() < 0.41);
 }
 
 #[test]
 fn endurance_estimate_is_in_the_decades() {
-    let report = FullStackPipeline::new(vgg9(0.9, 2)).run().expect("pipeline");
+    let report = FullStackPipeline::new(vgg9(0.9, 2))
+        .run()
+        .expect("pipeline");
     assert!(report.rtm_ap.endurance.lifetime_years > 10.0);
 }
 

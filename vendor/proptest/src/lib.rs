@@ -1,0 +1,282 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset used by this workspace's property tests: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!`, [`any`], numeric range strategies,
+//! tuple strategies and [`collection::vec`]. Cases are sampled from a
+//! deterministic per-test SplitMix64 stream (seeded from the test name), so
+//! failures reproduce exactly; there is no shrinking.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Run configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic random source used to sample strategy values.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates the stream for `test_name`, case number `case`.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(hash ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+
+    /// Returns the next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128) - (self.start as i128);
+                let draw = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128) - (start as i128) + 1;
+                let draw = (rng.next_u64() as i128).rem_euclid(span);
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Strategy for the full value range of a type; created by [`any`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the "any value" strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// A length drawn uniformly from the half-open range.
+        Range(Range<usize>),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange::Fixed(len)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange::Range(range)
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Returns a strategy producing vectors of `element`, with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match &self.size {
+                SizeRange::Fixed(len) => *len,
+                SizeRange::Range(range) => range.sample(rng),
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(param in strategy, ...)`
+/// becomes a regular test that samples its parameters for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($items:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(#[test] fn $name:ident($($param:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::deterministic(stringify!($name), __case);
+                    $(let $param = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn samples_stay_in_range(x in 3usize..17, y in -2.5f64..2.5, flag in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(flag || x < 17);
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(
+            fixed in crate::collection::vec(0i64..10, 4),
+            ranged in crate::collection::vec((0usize..10, any::<bool>()), 1..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..5).contains(&ranged.len()));
+        }
+    }
+}

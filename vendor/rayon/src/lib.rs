@@ -1,0 +1,292 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset this workspace uses — `par_iter` /
+//! `into_par_iter`, `map`, `collect`, and [`join`] — with real OS threads via
+//! [`std::thread::scope`]. Parallel maps are **eager**, **order preserving**
+//! and **dynamically scheduled**: workers pull the next unprocessed item from
+//! a shared counter (so heterogeneous item costs balance), and results are
+//! assembled in input order, deterministic and independent of the worker
+//! count. Worker panics are re-raised with their original payload. Unlike
+//! real rayon there is no shared global pool: each parallel call spawns its
+//! own scoped workers (capped at the item count), so deeply nested fan-outs
+//! multiply thread counts — fine for this workspace's two-level
+//! backends × layers nesting.
+//!
+//! The worker count honours the `RAYON_NUM_THREADS` environment variable
+//! (like the real rayon), falling back to [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Returns the number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            // Re-raise with the original payload, like real rayon.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// An eager "parallel iterator": the result sequence of a parallel stage.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The operations shared by parallel iterators.
+///
+/// On this stand-in the trait is implemented by [`ParIter`] only; it exists so
+/// `use rayon::prelude::*` keeps working and generic bounds can be written as
+/// with the real rayon.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator into its ordered items.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `op` in parallel, preserving order.
+    fn map<U, F>(self, op: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        ParIter {
+            items: par_map(self.into_items(), &op),
+        }
+    }
+
+    /// Collects the ordered results, exactly like sequential `collect`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Order-preserving parallel map with dynamic scheduling: workers grab the
+/// next unprocessed index from a shared counter, so one expensive item (a
+/// ResNet-scale layer, a full RTM-AP backend job) cannot serialize a whole
+/// statically assigned chunk behind it. Results land in per-index slots and
+/// are read out in input order.
+fn par_map<T, U, F>(items: Vec<T>, op: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(op).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    let item = work[index]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let result = op(item);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                // Re-raise with the original payload, like real rayon.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an index")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_like_sequential() {
+        let xs: Vec<i32> = (0..100).collect();
+        let ok: Result<Vec<i32>, String> = xs.clone().into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<i32>, String> = xs
+            .into_par_iter()
+            .map(|x| {
+                if x == 57 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "bad 57");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn worker_panics_keep_their_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            let xs: Vec<usize> = (0..8).collect();
+            let _: Vec<usize> = xs
+                .into_par_iter()
+                .map(|x| {
+                    if x == 5 {
+                        panic!("layer conv5 failed")
+                    } else {
+                        x
+                    }
+                })
+                .collect();
+        })
+        .expect_err("panic should propagate");
+        let message = caught.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("conv5"), "payload lost: {message:?}");
+    }
+
+    #[test]
+    fn unbalanced_items_spread_across_workers() {
+        // One expensive item among cheap ones: with dynamic scheduling this
+        // completes and stays ordered no matter which worker draws it.
+        let xs: Vec<u64> = (0..6).collect();
+        let out: Vec<u64> = xs
+            .into_par_iter()
+            .map(|x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x * 10
+            })
+            .collect();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+}

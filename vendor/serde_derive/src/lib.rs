@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-model `Serialize`/`Deserialize` traits of the vendored
+//! `serde` crate (see `vendor/serde`). The derive supports the shapes used in
+//! this workspace: structs with named fields (optionally generic), and enums
+//! with unit, tuple and struct variants. Serialization follows serde's
+//! externally-tagged convention (`"Variant"`, `{"Variant": [..]}`,
+//! `{"Variant": {..}}`).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tt: Option<&TokenTree>, c: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> String {
+    match tt {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected identifier, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attributes starting at `i`, returning the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(tokens.get(i), '#') {
+        i += 1; // '#'
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses the names of named fields inside a brace group.
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        fields.push(ident_of(&tokens[i]));
+        i += 1; // field name
+        i += 1; // ':'
+                // Skip the type up to the next top-level comma (angle-bracket aware).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple variant (top-level comma count, angle aware).
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for tt in &tokens {
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]);
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g);
+                i += 1;
+                VariantKind::Tuple(count)
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = ident_of(&tokens[i]);
+    i += 1;
+    let name = ident_of(&tokens[i]);
+    i += 1;
+
+    // Generic parameters: collect top-level type-parameter idents.
+    let mut generics = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 0i32;
+        let mut expect_param = true;
+        let mut lifetime = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' => lifetime = true,
+                TokenTree::Ident(id) if depth == 0 && expect_param => {
+                    if lifetime {
+                        lifetime = false;
+                    } else {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Find the body group (skipping any `where` clause tokens).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive target `{name}` must have a braced body"));
+
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            generics,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            generics,
+            variants: parse_variants(&body),
+        },
+        other => panic!("cannot derive Serialize/Deserialize for `{other}` items"),
+    }
+}
+
+fn impl_header(trait_name: &str, name: &str, generics: &[String]) -> String {
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name}")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {name}<{}>",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{header} {{ fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Object(::std::vec![{entries}]) }} }}",
+                header = impl_header("Serialize", name, generics),
+                entries = entries.join(", ")
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let values: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{values}]))]),",
+                                binds = binds.join(", "),
+                                values = values.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{header} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}",
+                header = impl_header("Serialize", name, generics),
+                arms = arms.join(" ")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ ::std::result::Result::Ok({name} {{ {inits} }}) }} }}",
+                header = impl_header("Deserialize", name, generics),
+                inits = inits.join(", ")
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = __inner.as_array()?; if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong arity for variant {vname}\")); }} return ::std::result::Result::Ok({name}::{vname}({inits})); }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(__inner.field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 if let ::serde::Value::Str(__s) = __v {{ match __s.as_str() {{ {unit_arms} _ => {{}} }} }} \
+                 if let ::serde::Value::Object(__entries) = __v {{ if __entries.len() == 1 {{ let (__tag, __inner) = &__entries[0]; match __tag.as_str() {{ {tagged_arms} _ => {{}} }} }} }} \
+                 ::std::result::Result::Err(::serde::Error::msg(\"unknown variant for {name}\")) }} }}",
+                header = impl_header("Deserialize", name, generics),
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" ")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

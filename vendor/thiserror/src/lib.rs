@@ -1,0 +1,10 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! Re-exports the vendored `#[derive(Error)]` macro (see
+//! `vendor/thiserror_impl`), which supports the subset of the real crate used
+//! by this workspace: `#[error("...")]` display attributes with named-field
+//! (`{field}`), positional (`{0}`) and trailing-expression (`.field.method()`)
+//! interpolation, plus `#[from]` / `#[source]` fields that wire up
+//! `std::error::Error::source` and `From` conversions.
+
+pub use thiserror_impl::Error;

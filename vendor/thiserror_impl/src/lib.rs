@@ -1,0 +1,412 @@
+//! Offline stand-in for `thiserror-impl`: the `#[derive(Error)]` macro.
+//!
+//! Supports the subset of the real crate this workspace uses, on enums:
+//!
+//! * `#[error("...")]` display attributes with named-field (`{field}`),
+//!   positional (`{0}`) and format-spec (`{field:?}`) interpolation, plus
+//!   trailing expression arguments using thiserror's `.field` syntax
+//!   (e.g. `#[error("need {}", .shape.len())]`),
+//! * `#[from]` fields — generate `From<FieldType>` and wire up
+//!   `std::error::Error::source`,
+//! * `#[source]` fields — wire up `source` without the `From` impl.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct Field {
+    /// Field name for named fields, `_<index>` for tuple fields.
+    binding: String,
+    /// Pattern name used when destructuring (named fields only).
+    name: Option<String>,
+    /// The field's type, as source text.
+    ty: String,
+    from: bool,
+    source: bool,
+}
+
+struct Variant {
+    name: String,
+    /// The `#[error("...")]` format literal, including quotes.
+    format: String,
+    /// Extra format arguments (already rewritten to use match bindings).
+    extra_args: Vec<String>,
+    fields: Vec<Field>,
+    named: bool,
+}
+
+fn is_punct(tt: Option<&TokenTree>, c: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> String {
+    match tt {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected identifier, found `{other}`"),
+    }
+}
+
+/// Parses one `#[...]` attribute group; returns `(name, Some(arg_group))`.
+fn attr_parts(group: &Group) -> (String, Option<Group>) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let name = ident_of(&tokens[0]);
+    let args = tokens.get(1).and_then(|tt| match tt {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => Some(g.clone()),
+        _ => None,
+    });
+    (name, args)
+}
+
+/// Rewrites `{0}` / `{0:?}` positional interpolations to `{_0}` / `{_0:?}` so
+/// they bind to the tuple-field match bindings.
+fn rewrite_positional(literal: &str) -> String {
+    let mut out = String::new();
+    let mut chars = literal.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                out.push(chars.next().expect("peeked"));
+            } else if matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                out.push('_');
+            }
+        }
+    }
+    out
+}
+
+/// Renders a token slice back to source text (TokenStream keeps `::` and
+/// friends intact, unlike naive per-token joining).
+fn tokens_to_source(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Converts one extra format argument (thiserror's `.field.method()` syntax)
+/// into an expression over the match bindings.
+fn rewrite_extra_arg(tokens: &[TokenTree]) -> String {
+    let mut prefix = String::new();
+    let mut rest = tokens;
+    if let Some(TokenTree::Punct(p)) = rest.first() {
+        if p.as_char() == '.' {
+            rest = &rest[1..];
+            // `.0` refers to the first tuple field: rewrite to its binding.
+            if let Some(TokenTree::Literal(lit)) = rest.first() {
+                prefix = format!("_{lit}");
+                rest = &rest[1..];
+            }
+        }
+    }
+    format!("{prefix}{}", tokens_to_source(rest))
+}
+
+/// Splits the tokens after the format literal of `error(...)` into arguments.
+fn split_extra_args(tokens: &[TokenTree]) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !current.is_empty() {
+                    args.push(rewrite_extra_arg(&current));
+                    current.clear();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        args.push(rewrite_extra_arg(&current));
+    }
+    args
+}
+
+/// Parses the fields of a named (brace) field list, with their attributes.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut field = Field::default();
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let (name, _) = attr_parts(g);
+                match name.as_str() {
+                    "from" => field.from = true,
+                    "source" => field.source = true,
+                    _ => {}
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = ident_of(&tokens[i]);
+        field.binding = name.clone();
+        field.name = Some(name);
+        i += 2; // field name + ':'
+        let mut angle = 0i32;
+        let mut ty: Vec<TokenTree> = Vec::new();
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty.push(tokens[i].clone());
+            i += 1;
+        }
+        field.ty = tokens_to_source(&ty);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses the fields of a tuple (paren) field list, with their attributes.
+fn parse_tuple_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut field = Field::default();
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let (name, _) = attr_parts(g);
+                match name.as_str() {
+                    "from" => field.from = true,
+                    "source" => field.source = true,
+                    _ => {}
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let mut angle = 0i32;
+        let mut ty: Vec<TokenTree> = Vec::new();
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty.push(tokens[i].clone());
+            i += 1;
+        }
+        field.binding = format!("_{}", fields.len());
+        field.ty = tokens_to_source(&ty);
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut format = None;
+        let mut extra_args = Vec::new();
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let (name, args) = attr_parts(g);
+                if name == "error" {
+                    let args =
+                        args.unwrap_or_else(|| panic!("#[error] attribute needs a format string"));
+                    let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let literal = match arg_tokens.first() {
+                        Some(TokenTree::Literal(lit)) => lit.to_string(),
+                        other => {
+                            panic!("#[error] must start with a string literal, found {other:?}")
+                        }
+                    };
+                    format = Some(rewrite_positional(&literal));
+                    if arg_tokens.len() > 2 {
+                        extra_args = split_extra_args(&arg_tokens[2..]);
+                    }
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]);
+        i += 1;
+        let (fields, named) = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                (fields, true)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g);
+                i += 1;
+                (fields, false)
+            }
+            _ => (Vec::new(), false),
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        let format = format.unwrap_or_else(|| {
+            panic!("variant `{name}` is missing its #[error(\"...\")] attribute")
+        });
+        variants.push(Variant {
+            name,
+            format,
+            extra_args,
+            fields,
+            named,
+        });
+    }
+    variants
+}
+
+fn pattern(enum_name: &str, v: &Variant) -> String {
+    if v.fields.is_empty() {
+        format!("{enum_name}::{}", v.name)
+    } else if v.named {
+        let binds: Vec<&str> = v.fields.iter().map(|f| f.binding.as_str()).collect();
+        format!("{enum_name}::{} {{ {} }}", v.name, binds.join(", "))
+    } else {
+        let binds: Vec<&str> = v.fields.iter().map(|f| f.binding.as_str()).collect();
+        format!("{enum_name}::{}({})", v.name, binds.join(", "))
+    }
+}
+
+/// Derives `Display`, `std::error::Error` and `From` impls for an error enum.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while is_punct(tokens.get(i), '#') {
+        i += 2;
+    }
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kw = ident_of(&tokens[i]);
+    assert_eq!(kw, "enum", "this thiserror stand-in supports enums only");
+    i += 1;
+    let enum_name = ident_of(&tokens[i]);
+    i += 1;
+    assert!(
+        !is_punct(tokens.get(i), '<'),
+        "this thiserror stand-in does not support generic error enums"
+    );
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.clone(),
+        other => panic!("expected enum body, found `{other}`"),
+    };
+    let variants = parse_variants(&body);
+
+    let mut code = String::new();
+
+    // Display.
+    let display_arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let args = if v.extra_args.is_empty() {
+                String::new()
+            } else {
+                format!(", {}", v.extra_args.join(", "))
+            };
+            format!(
+                "{} => ::std::write!(__f, {}{args}),",
+                pattern(&enum_name, v),
+                v.format
+            )
+        })
+        .collect();
+    code.push_str(&format!(
+        "impl ::std::fmt::Display for {enum_name} {{ #[allow(unused_variables)] fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ match self {{ {} }} }} }}",
+        display_arms.join(" ")
+    ));
+
+    // std::error::Error with source() when any field is #[from]/#[source].
+    let source_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let field = v.fields.iter().find(|f| f.from || f.source)?;
+            Some(format!(
+                "{} => ::std::option::Option::Some({} as &(dyn ::std::error::Error + 'static)),",
+                pattern(&enum_name, v),
+                field.binding
+            ))
+        })
+        .collect();
+    if source_arms.is_empty() {
+        code.push_str(&format!("impl ::std::error::Error for {enum_name} {{}}"));
+    } else {
+        let wildcard = if source_arms.len() < variants.len() {
+            "_ => ::std::option::Option::None,"
+        } else {
+            ""
+        };
+        code.push_str(&format!(
+            "impl ::std::error::Error for {enum_name} {{ #[allow(unused_variables)] fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{ match self {{ {} {wildcard} }} }} }}",
+            source_arms.join(" ")
+        ));
+    }
+
+    // From impls for #[from] fields.
+    for v in &variants {
+        let Some(field) = v.fields.iter().find(|f| f.from) else {
+            continue;
+        };
+        assert_eq!(
+            v.fields.len(),
+            1,
+            "#[from] variant `{}` must have exactly one field",
+            v.name
+        );
+        let construct = if v.named {
+            format!(
+                "{enum_name}::{} {{ {}: source }}",
+                v.name,
+                field.name.as_deref().expect("named field")
+            )
+        } else {
+            format!("{enum_name}::{}(source)", v.name)
+        };
+        code.push_str(&format!(
+            "impl ::std::convert::From<{ty}> for {enum_name} {{ fn from(source: {ty}) -> Self {{ {construct} }} }}",
+            ty = field.ty
+        ));
+    }
+
+    code.parse()
+        .expect("thiserror stand-in generated invalid code")
+}
