@@ -209,8 +209,32 @@ impl NetworkSimulator {
     /// the configured geometry).
     pub fn simulate(&self, model: &ModelGraph) -> apc::Result<NetworkReport> {
         let compiler = LayerCompiler::new(self.compiler);
-        let accelerator = AcceleratorModel::new(self.arch);
         let compiled = compiler.compile_model(model)?;
+        let layers: Vec<&CompiledLayer> = compiled.iter().collect();
+        Ok(self.report_from(model.name(), &layers))
+    }
+
+    /// Simulates a model whose layers were already compiled — typically through
+    /// a shared [`apc::CompileCache`] so sweeps over accelerator configurations
+    /// do not recompile identical layers per scenario.
+    ///
+    /// `compiled` must hold the model's weighted layers in network order,
+    /// compiled with this simulator's [`compiler_options`](Self::compiler_options);
+    /// the result is then byte-identical to [`simulate`](Self::simulate).
+    pub fn simulate_precompiled(
+        &self,
+        model: &ModelGraph,
+        compiled: &[std::sync::Arc<CompiledLayer>],
+    ) -> NetworkReport {
+        let layers: Vec<&CompiledLayer> = compiled.iter().map(|c| c.as_ref()).collect();
+        self.report_from(model.name(), &layers)
+    }
+
+    /// Shared report assembly: both [`simulate`](Self::simulate) and
+    /// [`simulate_precompiled`](Self::simulate_precompiled) fold the per-layer
+    /// reports in network order, so the two paths are bit-identical.
+    fn report_from(&self, name: &str, compiled: &[&CompiledLayer]) -> NetworkReport {
+        let accelerator = AcceleratorModel::new(self.arch);
         let total_cycles: u64 = compiled.iter().map(|c| c.stats.total_cycles).sum();
         let layers: Vec<LayerReport> = compiled
             .iter()
@@ -218,13 +242,13 @@ impl NetworkSimulator {
             .collect();
         let total_latency: f64 = layers.iter().map(|l| l.latency.total_ns()).sum();
         let endurance = accelerator.endurance(total_latency, total_cycles);
-        Ok(NetworkReport {
-            name: model.name().to_string(),
+        NetworkReport {
+            name: name.to_string(),
             act_bits: self.compiler.act_bits,
             cse: self.compiler.enable_cse,
             layers,
             endurance,
-        })
+        }
     }
 }
 

@@ -1,0 +1,304 @@
+//! Shared compilation memoisation for experiment sweeps.
+//!
+//! A design-space sweep (networks × activation bits × geometries × accelerator
+//! configurations) re-visits the same `(layer, CompilerOptions)` pairs many
+//! times: every scenario that shares a workload and compiler configuration —
+//! for example an architecture sweep at a fixed geometry — would otherwise
+//! recompile identical layers from scratch. [`CompileCache`] is a concurrent
+//! memo table keyed by ([`LayerSignature`], [`CompilerOptions`]) that
+//! guarantees each distinct pair is compiled **exactly once**, even when many
+//! parallel jobs request it simultaneously, and exposes hit/miss counters so
+//! callers can assert the reuse they expect.
+//!
+//! # Example
+//!
+//! ```
+//! use apc::{CompileCache, CompilerOptions, LayerCompiler};
+//! use tnn::model::vgg9;
+//!
+//! let cache = CompileCache::new();
+//! let compiler = LayerCompiler::new(CompilerOptions::default());
+//! let model = vgg9(0.9, 1);
+//! let first = cache.compile_model(&compiler, &model).expect("compile");
+//! let second = cache.compile_model(&compiler, &model).expect("compile");
+//! assert_eq!(first, second);
+//! let stats = cache.stats();
+//! assert_eq!(stats.misses, first.len() as u64); // each layer compiled once
+//! assert_eq!(stats.hits, first.len() as u64); // second pass fully cached
+//! ```
+
+use crate::passes::{CompiledLayer, CompilerOptions, LayerCompiler};
+use crate::{ApcError, Result};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use tnn::model::{ConvLayerInfo, ModelGraph};
+
+/// A content fingerprint of one weighted layer: everything layer compilation
+/// depends on — the structural description plus a digest of the ternary
+/// weights. Two layers with equal signatures compile to identical
+/// [`CompiledLayer`]s under equal [`CompilerOptions`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSignature {
+    /// Layer name (propagated into the compiled result, so part of the key).
+    pub name: String,
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel size.
+    pub kernel: (usize, usize),
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// Input spatial size.
+    pub input_hw: (usize, usize),
+    /// Output spatial size.
+    pub output_hw: (usize, usize),
+    /// Number of weight values.
+    pub weight_len: usize,
+    /// FNV-1a digest of the ternary weight values.
+    pub weight_digest: u64,
+}
+
+impl LayerSignature {
+    /// Computes the signature of `layer`.
+    pub fn of(layer: &ConvLayerInfo) -> Self {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for &w in layer.weights.as_slice() {
+            digest ^= w as u8 as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        LayerSignature {
+            name: layer.name.clone(),
+            cin: layer.cin,
+            cout: layer.cout,
+            kernel: layer.kernel,
+            stride: layer.stride,
+            padding: layer.padding,
+            input_hw: layer.input_hw,
+            output_hw: layer.output_hw,
+            weight_len: layer.weights.len(),
+            weight_digest: digest,
+        }
+    }
+}
+
+/// Hit/miss counters of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests served from an already-compiled entry.
+    pub hits: u64,
+    /// Requests that performed the compilation (equals the number of distinct
+    /// `(layer signature, options)` pairs ever requested).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of compile requests.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests() as f64
+        }
+    }
+}
+
+type CacheKey = (LayerSignature, CompilerOptions);
+type CacheSlot = Arc<OnceLock<std::result::Result<Arc<CompiledLayer>, ApcError>>>;
+
+/// A concurrent memo table for layer compilation.
+///
+/// Thread-safe and shareable across parallel jobs: each distinct
+/// `(layer signature, options)` pair is compiled exactly once — concurrent
+/// requesters of the same key block on the in-flight compilation instead of
+/// duplicating it — and every subsequent request returns the shared
+/// [`Arc<CompiledLayer>`]. Compilation errors are memoised too, so a failing
+/// configuration fails consistently without being retried per scenario.
+#[derive(Default)]
+pub struct CompileCache {
+    slots: Mutex<HashMap<CacheKey, CacheSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `layer` with `compiler`'s options, reusing a previous result
+    /// for the same `(layer signature, options)` pair if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoises) the compilation error of the underlying
+    /// [`LayerCompiler::compile`].
+    pub fn compile(
+        &self,
+        compiler: &LayerCompiler,
+        layer: &ConvLayerInfo,
+    ) -> Result<Arc<CompiledLayer>> {
+        let key = (LayerSignature::of(layer), *compiler.options());
+        let slot = {
+            let mut slots = self.slots.lock().expect("compile cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut computed = false;
+        let result = slot.get_or_init(|| {
+            computed = true;
+            compiler.compile(layer).map(Arc::new)
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Compiles every weighted layer of `model` through the cache, in network
+    /// order (one rayon job per layer, like
+    /// [`LayerCompiler::compile_model`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in network order) failing layer's error.
+    pub fn compile_model(
+        &self,
+        compiler: &LayerCompiler,
+        model: &ModelGraph,
+    ) -> Result<Vec<Arc<CompiledLayer>>> {
+        let results: Vec<Result<Arc<CompiledLayer>>> = model
+            .conv_like_layers()
+            .into_par_iter()
+            .map(|layer| self.compile(compiler, &layer))
+            .collect();
+        results.into_iter().collect()
+    }
+
+    /// Number of distinct `(layer signature, options)` pairs ever requested.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("compile cache poisoned").len()
+    }
+
+    /// Whether the cache has served no requests yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::vgg9;
+
+    #[test]
+    fn cached_compilation_is_bit_identical_and_counted() {
+        let model = vgg9(0.85, 9);
+        let compiler = LayerCompiler::new(CompilerOptions::default());
+        let cache = CompileCache::new();
+        let cached = cache.compile_model(&compiler, &model).expect("cached");
+        let direct = compiler.compile_model(&model).expect("direct");
+        assert_eq!(cached.len(), direct.len());
+        for (c, d) in cached.iter().zip(&direct) {
+            assert_eq!(c.as_ref(), d);
+        }
+        let layers = direct.len() as u64;
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: layers
+            }
+        );
+        // A second pass over the same model is served entirely from the cache.
+        let again = cache.compile_model(&compiler, &model).expect("again");
+        for (c, d) in again.iter().zip(&cached) {
+            assert!(Arc::ptr_eq(c, d), "second pass must reuse the same entry");
+        }
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: layers,
+                misses: layers
+            }
+        );
+    }
+
+    #[test]
+    fn different_options_occupy_different_entries() {
+        let model = vgg9(0.85, 9);
+        let cache = CompileCache::new();
+        let cse = LayerCompiler::new(CompilerOptions::default());
+        let unroll = LayerCompiler::new(CompilerOptions::unroll_only());
+        let layers = model.conv_like_layers().len() as u64;
+        cache.compile_model(&cse, &model).expect("cse");
+        cache.compile_model(&unroll, &model).expect("unroll");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2 * layers
+            }
+        );
+    }
+
+    #[test]
+    fn signature_tracks_weight_content() {
+        let a = vgg9(0.85, 1);
+        let b = vgg9(0.85, 2);
+        let la = &a.conv_like_layers()[0];
+        let lb = &b.conv_like_layers()[0];
+        assert_ne!(LayerSignature::of(la), LayerSignature::of(lb));
+        assert_eq!(LayerSignature::of(la), LayerSignature::of(la));
+    }
+
+    #[test]
+    fn errors_are_memoised() {
+        // A geometry far too small for any VGG layer.
+        let options = CompilerOptions {
+            geometry: crate::layout::CamGeometry {
+                rows: 8,
+                cols: 8,
+                domains: 4,
+            },
+            ..CompilerOptions::default()
+        };
+        let model = vgg9(0.85, 9);
+        let layer = &model.conv_like_layers()[0];
+        let cache = CompileCache::new();
+        let compiler = LayerCompiler::new(options);
+        let first = cache.compile(&compiler, layer).expect_err("must not fit");
+        let second = cache.compile(&compiler, layer).expect_err("must not fit");
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+}

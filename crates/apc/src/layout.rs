@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use tnn::model::ConvLayerInfo;
 
 /// Geometry of one CAM array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CamGeometry {
     /// Number of rows (SIMD lanes).
     pub rows: usize,

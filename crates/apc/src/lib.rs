@@ -44,6 +44,7 @@
 
 pub mod alloc;
 pub mod bitwidth;
+pub mod cache;
 pub mod codegen;
 pub mod cse;
 pub mod dfg;
@@ -54,6 +55,7 @@ pub mod loopir;
 mod passes;
 mod stats;
 
+pub use cache::{CacheStats, CompileCache, LayerSignature};
 pub use error::ApcError;
 pub use passes::{CompiledLayer, CompiledSlice, CompilerOptions, LayerCompiler};
 pub use stats::CompileStats;

@@ -18,7 +18,7 @@ use tnn::model::{ConvLayerInfo, ModelGraph};
 /// (loop unrolling, constant weight folding and custom integer types) is
 /// [`CompilerOptions::unroll_only`]; `unroll+CSE` (all optimisations of Fig. 3a) is
 /// the default.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CompilerOptions {
     /// Target CAM geometry.
     pub geometry: CamGeometry,

@@ -1,20 +1,26 @@
 //! Ablation benches for the design choices called out in DESIGN.md §5:
 //! in-place vs out-of-place operation mix, activation precision, and CAM geometry.
 //!
+//! The precision and geometry ablations are declarative sweeps through one
+//! shared session, so the configurations that coincide (4-bit activations on
+//! the 256-row geometry) reuse each other's compiled layers.
+//!
 //! Run with `cargo run -p camdnn-bench --bin ablation --release`.
 
 use apc::layout::CamGeometry;
 use apc::{CompilerOptions, LayerCompiler};
-use camdnn::{ArchConfig, FullStackPipeline};
+use camdnn::experiment::{Session, SweepGrid};
+use camdnn::BackendKind;
 use tnn::model::vgg9;
 
 fn main() {
     let model = vgg9(0.9, 5);
+    let session = Session::new();
 
     println!("== In-place vs out-of-place instruction mix (VGG-9 conv layers) ==");
     let compiler = LayerCompiler::new(CompilerOptions::default());
     for layer in model.conv_like_layers().iter().take(6) {
-        let compiled = compiler.compile(layer).expect("compile");
+        let compiled = session.cache().compile(&compiler, layer).expect("compile");
         println!(
             "  {:<10} in-place {:7}  out-of-place {:7}  ({:4.1}% in place, 8 vs 10 cycles/bit)",
             layer.name,
@@ -25,39 +31,47 @@ fn main() {
     }
 
     println!("\n== Activation precision (energy / latency / resident channels per cell) ==");
-    for act_bits in [2u8, 4, 6, 8] {
-        let report = FullStackPipeline::new(model.clone())
-            .with_activation_bits(act_bits)
-            .run()
-            .expect("pipeline");
+    let precision = session
+        .run(
+            &SweepGrid::new()
+                .workload(model.clone())
+                .act_bits([2, 4, 6, 8]),
+        )
+        .expect("precision sweep");
+    for record in precision.for_backend(BackendKind::RtmAp) {
         println!(
-            "  {act_bits} bits: {:8.2} uJ  {:7.3} ms  {:2} channels/cell",
-            report.rtm_ap.energy_uj(),
-            report.rtm_ap.latency_ms(),
-            64 / act_bits as usize
+            "  {} bits: {:8.2} uJ  {:7.3} ms  {:2} channels/cell",
+            record.act_bits,
+            record.energy_uj,
+            record.latency_ms,
+            64 / record.act_bits as usize
         );
     }
 
     println!("\n== CAM geometry (rows per array) ==");
-    for rows in [128usize, 256, 512] {
-        let geometry = CamGeometry {
-            rows,
-            cols: 256,
-            domains: 64,
-        };
-        let report = FullStackPipeline::new(model.clone())
-            .with_arch(ArchConfig::default().with_geometry(geometry))
-            .with_compiler_options(CompilerOptions {
-                geometry,
-                ..CompilerOptions::default()
-            })
-            .run()
-            .expect("pipeline");
+    let geometry = session
+        .run(
+            &SweepGrid::new()
+                .workload(model)
+                .geometries([128usize, 256, 512].map(|rows| CamGeometry {
+                    rows,
+                    cols: 256,
+                    domains: 64,
+                })),
+        )
+        .expect("geometry sweep");
+    for record in geometry.for_backend(BackendKind::RtmAp) {
         println!(
-            "  {rows:4} rows: {:8.2} uJ  {:7.3} ms  {:3} arrays",
-            report.rtm_ap.energy_uj(),
-            report.rtm_ap.latency_ms(),
-            report.rtm_ap.arrays()
+            "  {:4} rows: {:8.2} uJ  {:7.3} ms  {:3} arrays",
+            record.geometry.rows, record.energy_uj, record.latency_ms, record.arrays
         );
     }
+
+    let stats = session.cache_stats();
+    println!(
+        "\ncompile cache: {} layer compilations served {} requests ({:.0}% hit rate)",
+        stats.misses,
+        stats.requests(),
+        stats.hit_rate() * 100.0
+    );
 }

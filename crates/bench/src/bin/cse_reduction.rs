@@ -2,69 +2,69 @@
 //! third (ResNet-18: 1 499 K → 931 K in the paper), with the largest gains in layers
 //! with big kernels.
 //!
+//! One sweep over the five workloads with the two RTM-AP compiler
+//! configurations as the backend axis; the per-layer view reuses the same
+//! records instead of recompiling.
+//!
 //! Run with `cargo run -p camdnn-bench --bin cse_reduction --release`.
 
-use apc::{CompilerOptions, LayerCompiler};
-use tnn::model::{resnet18, vgg11, vgg9, ModelGraph};
-
-fn network_reduction(model: &ModelGraph) -> (f64, f64, f64) {
-    let cse = LayerCompiler::new(CompilerOptions::default());
-    let unroll = LayerCompiler::new(CompilerOptions::unroll_only());
-    let mut with = 0u64;
-    let mut without = 0u64;
-    for layer in model.conv_like_layers() {
-        with += cse
-            .compile(&layer)
-            .expect("compile")
-            .stats
-            .counted_adds_subs;
-        without += unroll
-            .compile(&layer)
-            .expect("compile")
-            .stats
-            .counted_adds_subs;
-    }
-    (
-        without as f64 / 1e3,
-        with as f64 / 1e3,
-        1.0 - with as f64 / without as f64,
-    )
-}
+use camdnn::experiment::{BackendPlan, Session, SweepGrid};
+use camdnn::BackendKind;
+use tnn::model::{resnet18, vgg11, vgg9};
 
 fn main() {
     println!(
         "CSE reduction in add/sub operations (paper: ResNet-18 1499K -> 931K, ~31% average)\n"
     );
-    for (label, model) in [
-        ("ResNet18/ImageNet (0.80)", resnet18(0.8, 7)),
-        ("VGG-9/CIFAR10 (0.85)", vgg9(0.85, 3)),
-        ("VGG-9/CIFAR10 (0.90)", vgg9(0.90, 3)),
-        ("VGG-11/CIFAR10 (0.85)", vgg11(0.85, 3)),
-        ("VGG-11/CIFAR10 (0.90)", vgg11(0.90, 3)),
-    ] {
-        let (unroll_k, cse_k, reduction) = network_reduction(&model);
+    let resnet = resnet18(0.8, 7);
+    let resnet_kernels: Vec<(usize, usize)> =
+        resnet.conv_like_layers().iter().map(|l| l.kernel).collect();
+    let grid = SweepGrid::new()
+        .workloads([
+            ("ResNet18/ImageNet (0.80)", resnet),
+            ("VGG-9/CIFAR10 (0.85)", vgg9(0.85, 3)),
+            ("VGG-9/CIFAR10 (0.90)", vgg9(0.90, 3)),
+            ("VGG-11/CIFAR10 (0.85)", vgg11(0.85, 3)),
+            ("VGG-11/CIFAR10 (0.90)", vgg11(0.90, 3)),
+        ])
+        .backends([BackendPlan::rtm_ap(), BackendPlan::rtm_ap_unroll()]);
+    let session = Session::new();
+    let results = session.run(&grid).expect("the CSE grid compiles");
+
+    for scenario in results.scenarios() {
+        let cse = results
+            .get(scenario, BackendKind::RtmAp)
+            .expect("cse record");
+        let unroll = results
+            .get(scenario, BackendKind::RtmApUnroll)
+            .expect("unroll record");
+        let cse_k = cse.report.as_rtm_ap().expect("rtm").adds_subs_k();
+        let unroll_k = unroll.report.as_rtm_ap().expect("rtm").adds_subs_k();
         println!(
-            "{label:<28} unroll={unroll_k:9.0}K  unroll+CSE={cse_k:9.0}K  reduction={:5.1}%",
-            reduction * 100.0
+            "{:<28} unroll={unroll_k:9.0}K  unroll+CSE={cse_k:9.0}K  reduction={:5.1}%",
+            cse.workload,
+            (1.0 - cse_k / unroll_k) * 100.0
         );
     }
 
     // Per-layer view for ResNet-18: the 7x7 stem benefits the most.
     println!("\nResNet-18 per-layer reduction (first 6 layers):");
-    let model = resnet18(0.8, 7);
-    let cse = LayerCompiler::new(CompilerOptions::default());
-    let unroll = LayerCompiler::new(CompilerOptions::unroll_only());
-    for layer in model.conv_like_layers().iter().take(6) {
-        let a = cse.compile(layer).expect("compile").stats.counted_adds_subs as f64;
-        let b = unroll
-            .compile(layer)
-            .expect("compile")
-            .stats
-            .counted_adds_subs as f64;
+    let scenario = results.scenarios()[0].to_string();
+    let cse = results
+        .get(&scenario, BackendKind::RtmAp)
+        .and_then(|r| r.report.as_rtm_ap())
+        .expect("rtm-ap report");
+    let unroll = results
+        .get(&scenario, BackendKind::RtmApUnroll)
+        .and_then(|r| r.report.as_rtm_ap())
+        .expect("unroll report");
+    for (i, layer) in cse.layers.iter().take(6).enumerate() {
+        let a = layer.adds_subs as f64;
+        let b = unroll.layers[i].adds_subs as f64;
         println!(
             "  {:<24} kernel {:?}  reduction {:5.1}%",
             layer.name,
-            layer.kernel,
+            resnet_kernels[i],
             (1.0 - a / b) * 100.0
         );
     }

@@ -5,18 +5,21 @@
 //! Run with `cargo run -p camdnn-bench --bin data_movement --release`.
 
 use baseline::CrossbarTechnology;
-use camdnn_bench::evaluate;
+use camdnn::experiment::{Session, SweepGrid};
+use camdnn_bench::scenario_views;
 use tnn::model::{resnet18, vgg9};
 
 fn main() {
     println!("Data-movement share of total energy (paper: RTM-AP ~3%, crossbar ~41%)\n");
-    for (label, model) in [
+    let grid = SweepGrid::new().workloads([
         ("ResNet18/ImageNet", resnet18(0.8, 7)),
         ("VGG-9/CIFAR10", vgg9(0.9, 3)),
-    ] {
-        let report = evaluate(model, 4);
+    ]);
+    let session = Session::new();
+    let results = session.run(&grid).expect("the grid compiles");
+    for (record, report) in scenario_views(&results) {
         let energy = report.rtm_ap.energy();
-        println!("{label:<20}");
+        println!("{:<20}", record.workload);
         println!(
             "  RTM-AP total            : {:8.2} uJ",
             report.rtm_ap.energy_uj()

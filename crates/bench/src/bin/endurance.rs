@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo run -p camdnn-bench --bin endurance --release`.
 
-use camdnn_bench::evaluate;
+use camdnn::experiment::{Session, SweepGrid};
+use camdnn::BackendKind;
 use rtm::endurance::{column_rewrite_interval_ns, EnduranceReport};
 use rtm::RtmTechnology;
 use tnn::model::vgg9;
@@ -23,9 +24,15 @@ fn main() {
         );
     }
 
-    let report = evaluate(vgg9(0.9, 3), 4);
+    let session = Session::new();
+    let results = session
+        .run(&SweepGrid::new().workload(vgg9(0.9, 3)))
+        .expect("the workload compiles");
+    let rtm = &results.records[0];
+    assert_eq!(rtm.backend, BackendKind::RtmAp.id());
+    let endurance = rtm.report.as_rtm_ap().expect("rtm-ap report").endurance;
     println!(
         "\nWorkload-derived estimate (VGG-9, 4-bit): rewrite every {:.1} ns -> {:.1} years",
-        report.rtm_ap.endurance.write_interval_ns, report.rtm_ap.endurance.lifetime_years
+        endurance.write_interval_ns, endurance.lifetime_years
     );
 }

@@ -2,21 +2,38 @@
 //! `unroll` and `unroll+CSE` configurations next to the crossbar baseline, broken
 //! into DFG / accumulation / peripherals / data-movement components.
 //!
-//! Run with `cargo run -p camdnn-bench --bin fig4 --release`.
+//! One scenario, three backends — the per-layer series are read out of the
+//! structured backend reports instead of re-compiling layer by layer.
+//!
+//! Run with `cargo run -p camdnn-bench --bin fig4 --release`; add
+//! `--json <path>` to dump the raw records as JSON lines (see `BENCH_schema.md`).
 
-use accel::{AcceleratorModel, ArchConfig};
-use apc::{CompilerOptions, LayerCompiler};
-use baseline::CrossbarModel;
+use camdnn::experiment::{BackendPlan, Session, SweepGrid};
+use camdnn::BackendKind;
+use camdnn_bench::maybe_write_json;
 use tnn::model::resnet18;
 
 fn main() {
     let act_bits = 4u8;
-    let model = resnet18(0.8, 7);
-    let layers = model.conv_like_layers();
-    let accelerator = AcceleratorModel::new(ArchConfig::default());
-    let crossbar = CrossbarModel::default();
-    let cse = LayerCompiler::new(CompilerOptions::default().with_act_bits(act_bits));
-    let unroll = LayerCompiler::new(CompilerOptions::unroll_only().with_act_bits(act_bits));
+    let grid = SweepGrid::new()
+        .workload(resnet18(0.8, 7))
+        .act_bits([act_bits])
+        .backends([
+            BackendPlan::rtm_ap(),
+            BackendPlan::rtm_ap_unroll(),
+            BackendPlan::crossbar(),
+        ]);
+    let session = Session::new();
+    let results = session.run(&grid).expect("the Fig. 4 scenario compiles");
+    let scenario = results.scenarios()[0].to_string();
+    let report = |kind: BackendKind| &results.get(&scenario, kind).expect("record").report;
+    let cse = report(BackendKind::RtmAp).as_rtm_ap().expect("rtm-ap");
+    let unroll = report(BackendKind::RtmApUnroll)
+        .as_rtm_ap()
+        .expect("rtm-ap unroll");
+    let crossbar = report(BackendKind::Crossbar)
+        .as_crossbar()
+        .expect("crossbar");
 
     println!("Fig. 4 — ResNet-18 layer-by-layer comparison (4-bit activations)\n");
     println!(
@@ -34,19 +51,14 @@ fn main() {
     );
 
     let mut totals = [0.0f64; 6];
-    for layer in &layers {
-        let compiled_cse = cse.compile(layer).expect("compile");
-        let compiled_unroll = unroll.compile(layer).expect("compile");
-        let report_cse = accelerator.simulate_layer(&compiled_cse);
-        let report_unroll = accelerator.simulate_layer(&compiled_unroll);
-        let (xbar_energy, xbar_latency) = crossbar.evaluate_layer(layer, act_bits);
-
+    for (i, report_cse) in cse.layers.iter().enumerate() {
+        let report_unroll = &unroll.layers[i];
         let e_cse = report_cse.energy.total_fj() * 1e-9;
         let e_unroll = report_unroll.energy.total_fj() * 1e-9;
-        let e_xbar = xbar_energy * 1e-9;
+        let e_xbar = crossbar.layer_energy_fj[i] * 1e-9;
         let l_cse = report_cse.latency.total_ns() * 1e-3;
         let l_unroll = report_unroll.latency.total_ns() * 1e-3;
-        let l_xbar = xbar_latency * 1e-3;
+        let l_xbar = crossbar.layer_latency_ns[i] * 1e-3;
         totals[0] += e_unroll;
         totals[1] += e_cse;
         totals[2] += e_xbar;
@@ -57,7 +69,7 @@ fn main() {
         let total = report_cse.energy.total_fj().max(1.0);
         println!(
             "{:<28} | {:>9.2} {:>9.2} {:>9.2} | {:>9.1} {:>9.1} {:>9.1} | {:>7.1}% {:>7.1}% {:>7.1}%",
-            layer.name,
+            report_cse.name,
             e_unroll,
             e_cse,
             e_xbar,
@@ -78,4 +90,5 @@ fn main() {
         totals[2],
         totals[5] * 1e-3
     );
+    maybe_write_json(&results);
 }

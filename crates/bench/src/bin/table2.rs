@@ -2,9 +2,15 @@
 //! add/sub counts for ResNet-18/ImageNet and VGG-9/VGG-11/CIFAR-10 at 4- and 8-bit
 //! activations, next to the crossbar baseline.
 //!
-//! Run with `cargo run -p camdnn-bench --bin table2 --release`.
+//! The whole table is one declarative sweep — 5 workloads × {4, 8}-bit
+//! activations — executed as a single parallel job pool with shared layer
+//! compilation.
+//!
+//! Run with `cargo run -p camdnn-bench --bin table2 --release`; add
+//! `--json <path>` to dump the raw records as JSON lines (see `BENCH_schema.md`).
 
-use camdnn_bench::{evaluate, table2_header, table2_row};
+use camdnn::experiment::{Session, SweepGrid};
+use camdnn_bench::{maybe_write_json, scenario_views, table2_header, table2_row};
 use tnn::model::{resnet18, vgg11, vgg9};
 use tnn::train::accuracy_experiment;
 
@@ -12,19 +18,21 @@ fn main() {
     println!("Table II — RTM-AP (unroll+CSE) vs DNN+NeuroSim-style crossbar\n");
     println!("{}", table2_header());
 
-    let workloads: Vec<(&str, tnn::model::ModelGraph)> = vec![
-        ("ResNet18/ImageNet .80", resnet18(0.8, 7)),
-        ("VGG-9/CIFAR10   .85", vgg9(0.85, 3)),
-        ("VGG-9/CIFAR10   .90", vgg9(0.90, 3)),
-        ("VGG-11/CIFAR10  .85", vgg11(0.85, 3)),
-        ("VGG-11/CIFAR10  .90", vgg11(0.90, 3)),
-    ];
-    for (label, model) in workloads {
-        for act_bits in [4u8, 8] {
-            let report = evaluate(model.clone(), act_bits);
-            println!("{}", table2_row(label, &report));
-        }
+    let grid = SweepGrid::new()
+        .workloads([
+            ("ResNet18/ImageNet .80", resnet18(0.8, 7)),
+            ("VGG-9/CIFAR10   .85", vgg9(0.85, 3)),
+            ("VGG-9/CIFAR10   .90", vgg9(0.90, 3)),
+            ("VGG-11/CIFAR10  .85", vgg11(0.85, 3)),
+            ("VGG-11/CIFAR10  .90", vgg11(0.90, 3)),
+        ])
+        .act_bits([4, 8]);
+    let session = Session::new();
+    let results = session.run(&grid).expect("the Table II grid compiles");
+    for (record, report) in scenario_views(&results) {
+        println!("{}", table2_row(&record.workload, &report));
     }
+    maybe_write_json(&results);
 
     println!("\nAccuracy columns (synthetic-task substitute, see DESIGN.md):");
     let (fp, q8, q4) = accuracy_experiment(21).expect("accuracy experiment");

@@ -2,25 +2,68 @@
 //!
 //! Every table and figure of the paper's evaluation has a binary in `src/bin/` that
 //! prints the corresponding rows or series; see DESIGN.md §4 for the experiment
-//! index and EXPERIMENTS.md for paper-vs-measured numbers.
+//! index and EXPERIMENTS.md for paper-vs-measured numbers. The binaries declare
+//! their configuration grids with [`camdnn::experiment::SweepGrid`] and execute
+//! them through a shared [`camdnn::experiment::Session`]; `--json <path>` dumps
+//! the raw [`ResultSet`] as JSON lines (schema: `BENCH_schema.md`).
 
 #![warn(missing_docs)]
 
-use camdnn::{FullStackPipeline, PipelineReport};
-use tnn::model::ModelGraph;
+use camdnn::experiment::{ResultSet, ScenarioRecord};
+use camdnn::{BackendKind, PipelineReport};
+use std::path::PathBuf;
 
-/// Runs the full pipeline (RTM-AP with and without CSE, crossbar and DeepCAM
-/// baselines) for one workload at one activation precision.
+/// Pairs every scenario of `results` with its RTM-AP record and the legacy
+/// [`PipelineReport`] view — the shape the table/figure printers consume.
+///
+/// Scenarios without all four standard backends are skipped.
+pub fn scenario_views(results: &ResultSet) -> Vec<(&ScenarioRecord, PipelineReport)> {
+    results
+        .scenarios()
+        .into_iter()
+        .filter_map(|scenario| {
+            let record = results.get(scenario, BackendKind::RtmAp)?;
+            Some((record, results.pipeline(scenario)?))
+        })
+        .collect()
+}
+
+/// Parses a `--json <path>` argument from the process command line.
 ///
 /// # Panics
 ///
-/// Panics when the model cannot be compiled for the default geometry — the bundled
-/// workloads always can.
-pub fn evaluate(model: ModelGraph, act_bits: u8) -> PipelineReport {
-    FullStackPipeline::new(model)
-        .with_activation_bits(act_bits)
-        .run()
-        .expect("the bundled workloads compile on the default geometry")
+/// Panics when `--json` is passed without a path, so a forgotten argument
+/// fails loudly instead of silently skipping the output file.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return Some(PathBuf::from(
+                args.next().expect("--json needs a path argument"),
+            ));
+        }
+    }
+    None
+}
+
+/// If `--json <path>` was passed, writes `results` as JSON lines to the path
+/// via [`ResultSet::write_json`] (which proves the document parses back into
+/// an identical set before touching the file).
+///
+/// # Panics
+///
+/// Panics when the round-trip check fails or the file cannot be written; the
+/// benchmark binaries treat both as fatal.
+pub fn maybe_write_json(results: &ResultSet) {
+    let Some(path) = json_path_from_args() else {
+        return;
+    };
+    results.write_json(&path).expect("write JSON output");
+    eprintln!(
+        "wrote {} records to {} (schema: BENCH_schema.md)",
+        results.records.len(),
+        path.display()
+    );
 }
 
 /// Formats a Table II row header.
@@ -60,13 +103,25 @@ pub fn table2_row(label: &str, report: &PipelineReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tnn::model::vgg9;
+    use camdnn::experiment::{Session, SweepGrid};
+    use tnn::model::micro_cnn;
 
     #[test]
-    fn helpers_produce_printable_rows() {
-        let report = evaluate(vgg9(0.9, 1), 4);
-        let row = table2_row("VGG-9/CIFAR10", &report);
-        assert!(row.contains("VGG-9"));
+    fn scenario_views_cover_every_scenario() {
+        let session = Session::new();
+        let results = session
+            .run(
+                &SweepGrid::new()
+                    .workload(micro_cnn("micro", 8, 0.8, 1))
+                    .act_bits([4, 8]),
+            )
+            .expect("sweep");
+        let views = scenario_views(&results);
+        assert_eq!(views.len(), 2);
         assert!(table2_header().contains("energy"));
+        for (record, view) in views {
+            assert_eq!(view.rtm_ap.act_bits, record.act_bits);
+            assert!(table2_row(&record.workload, &view).contains("micro"));
+        }
     }
 }

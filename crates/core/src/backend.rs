@@ -3,14 +3,17 @@
 //! Every way of executing a model — the RTM-AP full stack in its `unroll` and
 //! `unroll+CSE` configurations, the DNN+NeuroSim-style crossbar and the
 //! DeepCAM-style baseline — implements [`InferenceBackend`]: *given a model
-//! graph, produce a [`BackendReport`]*. The pipeline no longer hard-codes the
-//! four evaluation points; it fans a [`BackendRegistry`] out over the model
-//! (in parallel, one rayon job per backend) and assembles the familiar
-//! [`PipelineReport`](crate::PipelineReport) from the results.
+//! graph, produce a [`BackendReport`]*. Backends are keyed by [`BackendId`],
+//! an interned string newtype, so downstream code can register arbitrary
+//! comparison points (different geometries, sparsity settings, future
+//! accelerator models) without touching this crate; [`BackendKind`] survives
+//! only as the set of well-known identifiers the bundled pipeline registers.
 //!
-//! New comparison points (different geometries, sparsity settings, future
-//! accelerator models) plug in by implementing the trait and registering —
-//! no pipeline changes required.
+//! A [`BackendRegistry`] fans its backends out over a model in parallel (one
+//! rayon job per backend) and returns results in registration order. For
+//! sweeps, [`InferenceBackend::evaluate_cached`] lets backends that compile
+//! the model share an [`apc::CompileCache`] across scenarios — see the
+//! [`experiment`](crate::experiment) module.
 //!
 //! # Example
 //!
@@ -27,17 +30,100 @@
 //! );
 //! let results = registry.evaluate_all(&vgg9(0.9, 1)).expect("evaluate");
 //! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0].0.as_str(), "rtm-ap");
 //! assert!(results[0].1.energy_uj() > 0.0);
 //! ```
 
 use accel::{NetworkReport, NetworkSimulator};
+use apc::{CompileCache, LayerCompiler};
 use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use tnn::model::ModelGraph;
 
-/// Identifies a backend slot in a [`BackendRegistry`] and its result in a
-/// pipeline run.
+/// The global [`BackendId`] intern table: every distinct identifier string is
+/// leaked exactly once, so ids are `Copy` and comparisons touch a `&'static
+/// str`.
+static INTERNED_IDS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// An interned backend identifier — the key of a [`BackendRegistry`] slot and
+/// of a result row in a sweep.
+///
+/// `BackendId` is an *open* key space: any crate can mint new identifiers with
+/// [`BackendId::new`] (or `From<&str>`), so registering a custom backend does
+/// not require extending an enum in this crate. The well-known backends of the
+/// bundled pipeline keep their [`BackendKind`] names and convert via
+/// `From<BackendKind>`.
+///
+/// ```
+/// use camdnn::{BackendId, BackendKind};
+///
+/// let custom = BackendId::new("my-accelerator[v2]");
+/// assert_eq!(custom.as_str(), "my-accelerator[v2]");
+/// assert_eq!(custom, BackendId::new("my-accelerator[v2]"));
+/// assert_ne!(custom, BackendId::from(BackendKind::RtmAp));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackendId(&'static str);
+
+impl BackendId {
+    /// Returns the id for `name`, interning the string on first use.
+    pub fn new(name: &str) -> Self {
+        let mut table = INTERNED_IDS.lock().expect("backend id table poisoned");
+        if let Some(existing) = table.iter().find(|s| **s == name) {
+            return BackendId(existing);
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        table.push(leaked);
+        BackendId(leaked)
+    }
+
+    /// The identifier string.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&str> for BackendId {
+    fn from(name: &str) -> Self {
+        BackendId::new(name)
+    }
+}
+
+impl From<BackendKind> for BackendId {
+    fn from(kind: BackendKind) -> Self {
+        kind.id()
+    }
+}
+
+impl Serialize for BackendId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for BackendId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => Ok(BackendId::new(s)),
+            _ => Err(serde::Error::msg("expected a backend id string")),
+        }
+    }
+}
+
+/// The well-known backends of the bundled evaluation pipeline.
+///
+/// Since the registry is keyed by [`BackendId`], this enum is no longer the
+/// extension point — it survives as the canonical set of identifiers the
+/// [`FullStackPipeline`](crate::FullStackPipeline) registers, converting via
+/// `From<BackendKind> for BackendId`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum BackendKind {
@@ -49,6 +135,18 @@ pub enum BackendKind {
     Crossbar,
     /// The DeepCAM-style fully CAM-based baseline.
     DeepCam,
+}
+
+impl BackendKind {
+    /// The canonical interned identifier of this well-known backend.
+    pub fn id(self) -> BackendId {
+        BackendId::new(match self {
+            BackendKind::RtmAp => "rtm-ap",
+            BackendKind::RtmApUnroll => "rtm-ap-unroll",
+            BackendKind::Crossbar => "crossbar",
+            BackendKind::DeepCam => "deepcam",
+        })
+    }
 }
 
 /// The normalized result of evaluating one backend on one model.
@@ -103,6 +201,30 @@ impl BackendReport {
         }
     }
 
+    /// Borrows the RTM-AP report, if this is one.
+    pub fn as_rtm_ap(&self) -> Option<&NetworkReport> {
+        match self {
+            BackendReport::RtmAp(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrows the crossbar report, if this is one.
+    pub fn as_crossbar(&self) -> Option<&CrossbarReport> {
+        match self {
+            BackendReport::Crossbar(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrows the DeepCAM report, if this is one.
+    pub fn as_deepcam(&self) -> Option<&DeepCamReport> {
+        match self {
+            BackendReport::DeepCam(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Extracts the RTM-AP report, if this is one.
     pub fn into_rtm_ap(self) -> Option<NetworkReport> {
         match self {
@@ -144,6 +266,27 @@ pub trait InferenceBackend: Send + Sync {
     /// example a layer that does not fit the configured CAM geometry);
     /// closed-form baselines never fail.
     fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport>;
+
+    /// Evaluates `model`, reusing previously compiled layers from `cache`
+    /// where possible.
+    ///
+    /// The default forwards to [`evaluate`](Self::evaluate) — correct for
+    /// backends that do not compile anything. Backends with a compilation
+    /// step (the RTM-AP simulator) override this to memoise per-layer
+    /// compilation across the scenarios of a sweep; the result must be
+    /// byte-identical to `evaluate`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`](Self::evaluate).
+    fn evaluate_cached(
+        &self,
+        model: &ModelGraph,
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        let _ = cache;
+        self.evaluate(model)
+    }
 }
 
 impl InferenceBackend for NetworkSimulator {
@@ -162,6 +305,18 @@ impl InferenceBackend for NetworkSimulator {
 
     fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport> {
         Ok(BackendReport::RtmAp(self.simulate(model)?))
+    }
+
+    fn evaluate_cached(
+        &self,
+        model: &ModelGraph,
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        let compiler = LayerCompiler::new(*self.compiler_options());
+        let compiled = cache.compile_model(&compiler, model)?;
+        Ok(BackendReport::RtmAp(
+            self.simulate_precompiled(model, &compiled),
+        ))
     }
 }
 
@@ -196,13 +351,13 @@ impl InferenceBackend for DeepCamModel {
 /// worker count.
 #[derive(Default)]
 pub struct BackendRegistry {
-    entries: Vec<(BackendKind, Box<dyn InferenceBackend>)>,
+    entries: Vec<(BackendId, Box<dyn InferenceBackend>)>,
 }
 
 impl std::fmt::Debug for BackendRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_list()
-            .entries(self.entries.iter().map(|(kind, b)| (kind, b.name())))
+            .entries(self.entries.iter().map(|(id, b)| (id, b.name())))
             .finish()
     }
 }
@@ -213,16 +368,23 @@ impl BackendRegistry {
         Self::default()
     }
 
-    /// Registers `backend` under `kind`, appending to the evaluation order.
-    pub fn register(&mut self, kind: BackendKind, backend: Box<dyn InferenceBackend>) -> &mut Self {
-        self.entries.push((kind, backend));
+    /// Registers `backend` under `id`, appending to the evaluation order.
+    ///
+    /// The id space is open: pass a [`BackendKind`], a string, or a
+    /// [`BackendId`] minted elsewhere.
+    pub fn register(
+        &mut self,
+        id: impl Into<BackendId>,
+        backend: Box<dyn InferenceBackend>,
+    ) -> &mut Self {
+        self.entries.push((id.into(), backend));
         self
     }
 
     /// Builder-style [`register`](Self::register).
     #[must_use]
-    pub fn with(mut self, kind: BackendKind, backend: Box<dyn InferenceBackend>) -> Self {
-        self.entries.push((kind, backend));
+    pub fn with(mut self, id: impl Into<BackendId>, backend: Box<dyn InferenceBackend>) -> Self {
+        self.entries.push((id.into(), backend));
         self
     }
 
@@ -236,27 +398,49 @@ impl BackendRegistry {
         self.entries.is_empty()
     }
 
-    /// The registered kinds and backend names, in evaluation order.
-    pub fn names(&self) -> Vec<(BackendKind, String)> {
-        self.entries
-            .iter()
-            .map(|(kind, b)| (*kind, b.name()))
-            .collect()
+    /// The registered ids and backend names, in evaluation order.
+    pub fn names(&self) -> Vec<(BackendId, String)> {
+        self.entries.iter().map(|(id, b)| (*id, b.name())).collect()
     }
 
     /// Evaluates every registered backend on `model` as parallel jobs.
     ///
     /// # Errors
     ///
+    /// Returns the first (in registration order) backend error: all jobs run
+    /// to completion and the error of the lowest-index failing backend is
+    /// reported, independent of which job failed first on the wall clock.
+    pub fn evaluate_all(&self, model: &ModelGraph) -> apc::Result<Vec<(BackendId, BackendReport)>> {
+        self.evaluate_with(|backend| backend.evaluate(model))
+    }
+
+    /// Like [`evaluate_all`](Self::evaluate_all), but backends that compile
+    /// the model reuse `cache` (see [`InferenceBackend::evaluate_cached`]).
+    ///
+    /// # Errors
+    ///
     /// Returns the first (in registration order) backend error.
-    pub fn evaluate_all(
+    pub fn evaluate_all_cached(
         &self,
         model: &ModelGraph,
-    ) -> apc::Result<Vec<(BackendKind, BackendReport)>> {
-        self.entries
+        cache: &CompileCache,
+    ) -> apc::Result<Vec<(BackendId, BackendReport)>> {
+        self.evaluate_with(|backend| backend.evaluate_cached(model, cache))
+    }
+
+    /// Runs `eval` over every backend as parallel jobs, collecting **all**
+    /// outcomes before reporting the lowest-index error so the failure mode is
+    /// deterministic.
+    fn evaluate_with(
+        &self,
+        eval: impl Fn(&dyn InferenceBackend) -> apc::Result<BackendReport> + Sync,
+    ) -> apc::Result<Vec<(BackendId, BackendReport)>> {
+        let results: Vec<apc::Result<(BackendId, BackendReport)>> = self
+            .entries
             .par_iter()
-            .map(|(kind, backend)| backend.evaluate(model).map(|report| (*kind, report)))
-            .collect()
+            .map(|(id, backend)| eval(backend.as_ref()).map(|report| (*id, report)))
+            .collect();
+        results.into_iter().collect()
     }
 }
 
@@ -285,13 +469,13 @@ mod tests {
     fn registry_preserves_registration_order() {
         let registry = registry();
         let results = registry.evaluate_all(&vgg9(0.9, 1)).expect("evaluate");
-        let kinds: Vec<BackendKind> = results.iter().map(|(k, _)| *k).collect();
+        let ids: Vec<BackendId> = results.iter().map(|(id, _)| *id).collect();
         assert_eq!(
-            kinds,
+            ids,
             vec![
-                BackendKind::RtmAp,
-                BackendKind::Crossbar,
-                BackendKind::DeepCam
+                BackendKind::RtmAp.id(),
+                BackendKind::Crossbar.id(),
+                BackendKind::DeepCam.id()
             ]
         );
         for (_, report) in &results {
@@ -314,11 +498,40 @@ mod tests {
     }
 
     #[test]
+    fn cached_dispatch_matches_uncached_bit_for_bit() {
+        let model = vgg9(0.9, 3);
+        let simulator = NetworkSimulator::new(ArchConfig::default(), CompilerOptions::default());
+        let cache = CompileCache::new();
+        let cached = simulator
+            .evaluate_cached(&model, &cache)
+            .expect("evaluate cached");
+        let direct = simulator.evaluate(&model).expect("evaluate");
+        assert_eq!(cached, direct);
+        assert!(cache.stats().misses > 0);
+    }
+
+    #[test]
     fn backend_names_describe_the_configuration() {
         let names: Vec<String> = registry().names().into_iter().map(|(_, n)| n).collect();
         assert_eq!(
             names,
             vec!["rtm-ap[4b,unroll+cse]", "crossbar[4b]", "deepcam[h16]"]
+        );
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_open() {
+        let a = BackendId::new("sweep-point[a]");
+        let b = BackendId::new("sweep-point[a]");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "sweep-point[a]");
+        assert!(std::ptr::eq(a.as_str(), b.as_str()), "ids are interned");
+        assert_eq!(format!("{a}"), "sweep-point[a]");
+        assert_ne!(a, BackendId::new("sweep-point[b]"));
+        // Well-known kinds map onto canonical ids.
+        assert_eq!(
+            BackendId::from(BackendKind::RtmApUnroll).as_str(),
+            "rtm-ap-unroll"
         );
     }
 }

@@ -1,0 +1,753 @@
+//! Declarative experiment API: scenario sweeps over an open backend registry
+//! with shared compilation and structured results.
+//!
+//! The paper's evaluation is a *grid* — networks × sparsities × activation
+//! bits × CAM geometries × backends (Table II, Fig. 4, the ablations). This
+//! module lets callers declare that grid once and execute it as one flat
+//! parallel job pool:
+//!
+//! * [`ScenarioSpec`] — one evaluation point: a workload, an activation
+//!   precision, a CAM geometry, an accelerator configuration and the backends
+//!   to run ([`BackendPlan`]s, keyed by open [`BackendId`]s).
+//! * [`SweepGrid`] — a builder that does the cartesian expansion
+//!   (`.workloads(…).act_bits([4, 8]).geometries(…)`).
+//! * [`Session`] — executes a grid by flattening *scenario × backend* into a
+//!   single rayon job pool (no nested per-scenario fan-outs) and memoising
+//!   layer compilation in a shared [`CompileCache`], so scenarios that share
+//!   `(layer, compiler options)` pairs compile each layer exactly once.
+//! * [`ResultSet`] — deterministic, registration-ordered records
+//!   ([`ScenarioRecord`]) with JSON-lines serialization
+//!   ([`ResultSet::to_json`]), table rendering, and a
+//!   [`PipelineReport`](crate::PipelineReport) compatibility view.
+//!
+//! # Example: a three-axis sweep
+//!
+//! ```
+//! use apc::layout::CamGeometry;
+//! use camdnn::experiment::{Session, SweepGrid};
+//! use tnn::model::micro_cnn;
+//!
+//! let grid = SweepGrid::new()
+//!     .workloads([micro_cnn("micro-a", 8, 0.8, 1), micro_cnn("micro-b", 4, 0.9, 2)])
+//!     .act_bits([4, 8])
+//!     .geometries([
+//!         CamGeometry { rows: 128, cols: 256, domains: 64 },
+//!         CamGeometry::default(),
+//!     ]);
+//! assert_eq!(grid.len(), 2 * 2 * 2);
+//!
+//! let session = Session::new();
+//! let results = session.run(&grid).expect("sweep");
+//! assert_eq!(results.records.len(), grid.len() * 4); // scenarios × standard backends
+//! assert!(results.to_json().lines().count() == results.records.len());
+//! println!("{}", results.to_table());
+//! ```
+//!
+//! Migrating from [`FullStackPipeline`](crate::FullStackPipeline): a pipeline
+//! is exactly a one-scenario session — `FullStackPipeline::run` is now
+//! implemented as one — so replace per-configuration pipeline loops with one
+//! grid and read the same numbers out of
+//! [`ResultSet::pipeline`].
+
+use crate::backend::{BackendId, BackendKind, BackendReport, InferenceBackend};
+use crate::pipeline::PipelineReport;
+use accel::{ArchConfig, NetworkSimulator};
+use apc::layout::CamGeometry;
+use apc::{CacheStats, CompileCache, CompilerOptions};
+use baseline::{CrossbarModel, DeepCamModel};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+use tnn::model::ModelGraph;
+
+/// A labelled model: one point of the workload axis.
+///
+/// The label distinguishes grid rows that evaluate the same architecture at
+/// different sparsities (for example `"vgg9 .85"` and `"vgg9 .90"`); plain
+/// [`ModelGraph`]s convert with the model name as the label. The model is
+/// held behind an [`Arc`] so grid expansion shares one copy of the weights
+/// across every scenario of the bits/geometry/arch axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Display label of this workload (unique within one grid).
+    pub label: String,
+    /// The model to evaluate (shared across the scenarios of a grid).
+    pub model: Arc<ModelGraph>,
+}
+
+impl From<ModelGraph> for Workload {
+    fn from(model: ModelGraph) -> Self {
+        Workload {
+            label: model.name().to_string(),
+            model: Arc::new(model),
+        }
+    }
+}
+
+impl From<(&str, ModelGraph)> for Workload {
+    fn from((label, model): (&str, ModelGraph)) -> Self {
+        Workload {
+            label: label.to_string(),
+            model: Arc::new(model),
+        }
+    }
+}
+
+impl From<(String, ModelGraph)> for Workload {
+    fn from((label, model): (String, ModelGraph)) -> Self {
+        Workload {
+            label,
+            model: Arc::new(model),
+        }
+    }
+}
+
+type BackendBuilder = dyn Fn(&ScenarioSpec) -> Box<dyn InferenceBackend> + Send + Sync;
+
+/// A backend slot of a scenario: an open [`BackendId`] plus a factory that
+/// materialises the backend for a concrete scenario (so one plan adapts to
+/// every activation precision / geometry / architecture of the grid).
+///
+/// The four well-known plans of the bundled pipeline are provided as
+/// constructors; arbitrary backends plug in through [`BackendPlan::custom`]
+/// without touching this crate.
+#[derive(Clone)]
+pub struct BackendPlan {
+    id: BackendId,
+    build: Arc<BackendBuilder>,
+}
+
+impl std::fmt::Debug for BackendPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("BackendPlan").field(&self.id).finish()
+    }
+}
+
+impl BackendPlan {
+    /// A plan with an arbitrary id and factory.
+    pub fn custom(
+        id: impl Into<BackendId>,
+        build: impl Fn(&ScenarioSpec) -> Box<dyn InferenceBackend> + Send + Sync + 'static,
+    ) -> Self {
+        BackendPlan {
+            id: id.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The RTM-AP full stack with all compiler optimisations (`unroll+CSE`).
+    pub fn rtm_ap() -> Self {
+        BackendPlan::custom(BackendKind::RtmAp, |spec| {
+            let options = CompilerOptions {
+                enable_cse: true,
+                ..spec.compiler_options()
+            };
+            Box::new(NetworkSimulator::new(spec.arch, options))
+        })
+    }
+
+    /// The RTM-AP full stack without CSE (the paper's `unroll` configuration).
+    pub fn rtm_ap_unroll() -> Self {
+        BackendPlan::custom(BackendKind::RtmApUnroll, |spec| {
+            let options = CompilerOptions {
+                enable_cse: false,
+                ..spec.compiler_options()
+            };
+            Box::new(NetworkSimulator::new(spec.arch, options))
+        })
+    }
+
+    /// The DNN+NeuroSim-style RRAM crossbar baseline.
+    pub fn crossbar() -> Self {
+        BackendPlan::custom(BackendKind::Crossbar, |spec| {
+            Box::new(CrossbarModel::default().with_act_bits(spec.act_bits))
+        })
+    }
+
+    /// The DeepCAM-style fully CAM-based baseline.
+    pub fn deepcam() -> Self {
+        BackendPlan::custom(BackendKind::DeepCam, |_| Box::new(DeepCamModel::default()))
+    }
+
+    /// The four comparison points of the bundled pipeline, in the order
+    /// [`FullStackPipeline`](crate::FullStackPipeline) registers them.
+    pub fn standard() -> Vec<BackendPlan> {
+        vec![
+            BackendPlan::rtm_ap(),
+            BackendPlan::rtm_ap_unroll(),
+            BackendPlan::crossbar(),
+            BackendPlan::deepcam(),
+        ]
+    }
+
+    /// The id this plan registers under.
+    pub fn id(&self) -> BackendId {
+        self.id
+    }
+
+    /// Materialises the backend for `spec`.
+    pub fn build(&self, spec: &ScenarioSpec) -> Box<dyn InferenceBackend> {
+        (self.build)(spec)
+    }
+}
+
+/// One evaluation point of a sweep: workload × activation precision × CAM
+/// geometry × accelerator configuration, plus the backends to run on it.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display label (unique within one grid; used as the `scenario` key of
+    /// the result records).
+    pub label: String,
+    /// The model under evaluation.
+    pub workload: Workload,
+    /// Activation precision in bits.
+    pub act_bits: u8,
+    /// Target CAM geometry.
+    pub geometry: CamGeometry,
+    /// Accelerator configuration (used exactly as given — callers that sweep
+    /// geometries are responsible for keeping `arch.geometry` in sync, which
+    /// [`SweepGrid`] does automatically).
+    pub arch: ArchConfig,
+    /// The backends evaluated on this scenario, in registration order.
+    pub backends: Vec<BackendPlan>,
+    /// Template for the remaining compiler knobs (CSE temp budget, retained
+    /// programs, …); `act_bits` and `geometry` above override its
+    /// corresponding fields, and the CSE flag is set per backend plan.
+    pub compiler_template: CompilerOptions,
+}
+
+impl ScenarioSpec {
+    /// A one-workload scenario with the default precision, geometry,
+    /// architecture and the four standard backends.
+    pub fn new(workload: impl Into<Workload>) -> Self {
+        let workload = workload.into();
+        let template = CompilerOptions::default();
+        ScenarioSpec {
+            label: workload.label.clone(),
+            workload,
+            act_bits: template.act_bits,
+            geometry: template.geometry,
+            arch: ArchConfig::default(),
+            backends: BackendPlan::standard(),
+            compiler_template: template,
+        }
+    }
+
+    /// The effective compiler options of this scenario: the template with the
+    /// scenario's activation precision and geometry applied.
+    pub fn compiler_options(&self) -> CompilerOptions {
+        CompilerOptions {
+            act_bits: self.act_bits,
+            geometry: self.geometry,
+            ..self.compiler_template
+        }
+    }
+}
+
+/// Declarative cartesian sweep: axes of workloads, activation precisions, CAM
+/// geometries and accelerator configurations, expanded into
+/// [`ScenarioSpec`]s in a fixed order (workloads outermost, then activation
+/// bits, then geometries, then architectures).
+///
+/// Unset axes default to a single point: 4-bit activations, the default
+/// geometry, the default architecture and the four standard backends. The
+/// architecture axis combines with the geometry axis via
+/// [`ArchConfig::with_geometry`], so the two stay consistent.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    workloads: Vec<Workload>,
+    act_bits: Vec<u8>,
+    geometries: Vec<CamGeometry>,
+    archs: Vec<ArchConfig>,
+    backends: Vec<BackendPlan>,
+    compiler_template: CompilerOptions,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        let template = CompilerOptions::default();
+        SweepGrid {
+            workloads: Vec::new(),
+            act_bits: vec![template.act_bits],
+            geometries: vec![template.geometry],
+            archs: vec![ArchConfig::default()],
+            backends: BackendPlan::standard(),
+            compiler_template: template,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Creates an empty grid (no workloads yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the workload axis.
+    #[must_use]
+    pub fn workloads<W: Into<Workload>>(mut self, workloads: impl IntoIterator<Item = W>) -> Self {
+        self.workloads = workloads.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one workload.
+    #[must_use]
+    pub fn workload(mut self, workload: impl Into<Workload>) -> Self {
+        self.workloads.push(workload.into());
+        self
+    }
+
+    /// Replaces the activation-precision axis.
+    #[must_use]
+    pub fn act_bits(mut self, bits: impl IntoIterator<Item = u8>) -> Self {
+        self.act_bits = bits.into_iter().collect();
+        self
+    }
+
+    /// Replaces the CAM-geometry axis.
+    #[must_use]
+    pub fn geometries(mut self, geometries: impl IntoIterator<Item = CamGeometry>) -> Self {
+        self.geometries = geometries.into_iter().collect();
+        self
+    }
+
+    /// Replaces the accelerator-configuration axis. Each configuration is
+    /// re-targeted to every geometry of the geometry axis.
+    #[must_use]
+    pub fn archs(mut self, archs: impl IntoIterator<Item = ArchConfig>) -> Self {
+        self.archs = archs.into_iter().collect();
+        self
+    }
+
+    /// Replaces the backends evaluated on every scenario.
+    #[must_use]
+    pub fn backends(mut self, backends: impl IntoIterator<Item = BackendPlan>) -> Self {
+        self.backends = backends.into_iter().collect();
+        self
+    }
+
+    /// Replaces the compiler-option template (CSE temp budget, retained
+    /// programs, …) applied to every scenario.
+    #[must_use]
+    pub fn compiler_template(mut self, template: CompilerOptions) -> Self {
+        self.compiler_template = template;
+        self
+    }
+
+    /// Number of scenarios the grid expands to (the product of the axis
+    /// lengths).
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.act_bits.len() * self.geometries.len() * self.archs.len()
+    }
+
+    /// Whether the grid expands to no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into concrete scenarios.
+    ///
+    /// Labels are `"<workload> <bits>b <rows>x<cols>"`, extended with a
+    /// ` dN` domain suffix when the geometry axis varies in its domain count
+    /// and an ` archN` suffix when the architecture axis has more than one
+    /// point — unique as long as the workload labels and axis points are.
+    pub fn scenarios(&self) -> Vec<ScenarioSpec> {
+        let label_domains = self
+            .geometries
+            .iter()
+            .any(|g| g.domains != self.geometries[0].domains);
+        let mut scenarios = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for &act_bits in &self.act_bits {
+                for &geometry in &self.geometries {
+                    for (arch_index, arch) in self.archs.iter().enumerate() {
+                        let mut label = format!(
+                            "{} {}b {}x{}",
+                            workload.label, act_bits, geometry.rows, geometry.cols
+                        );
+                        if label_domains {
+                            label.push_str(&format!(" d{}", geometry.domains));
+                        }
+                        if self.archs.len() > 1 {
+                            label.push_str(&format!(" arch{arch_index}"));
+                        }
+                        scenarios.push(ScenarioSpec {
+                            label,
+                            workload: workload.clone(),
+                            act_bits,
+                            geometry,
+                            arch: arch.with_geometry(geometry),
+                            backends: self.backends.clone(),
+                            compiler_template: self.compiler_template,
+                        });
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+/// One row of a [`ResultSet`]: the outcome of one backend on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// Scenario label (see [`SweepGrid::scenarios`]).
+    pub scenario: String,
+    /// Workload label.
+    pub workload: String,
+    /// Model name (`ModelGraph::name`).
+    pub network: String,
+    /// Overall weight sparsity of the model.
+    pub sparsity: f64,
+    /// Activation precision of the scenario, in bits.
+    pub act_bits: u8,
+    /// CAM geometry of the scenario.
+    pub geometry: CamGeometry,
+    /// Registry id of the backend.
+    pub backend: BackendId,
+    /// Configured backend instance name (`InferenceBackend::name`).
+    pub backend_name: String,
+    /// Total energy of one inference, in microjoules.
+    pub energy_uj: f64,
+    /// Total latency of one inference, in milliseconds.
+    pub latency_ms: f64,
+    /// Number of memory arrays occupied.
+    pub arrays: usize,
+    /// The backend's full native report.
+    pub report: BackendReport,
+}
+
+/// The deterministic, registration-ordered outcome of a sweep: one
+/// [`ScenarioRecord`] per *scenario × backend*, in scenario-expansion ×
+/// backend-registration order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// The result records, in deterministic order.
+    pub records: Vec<ScenarioRecord>,
+}
+
+impl ResultSet {
+    /// Serializes the records as JSON lines (one record object per line) —
+    /// the format documented in `BENCH_schema.md`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&serde_json::to_string(record).expect("record serialization cannot fail"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the records as JSON lines to `path`, first proving the document
+    /// parses back into an identical set (so a file that exists is always
+    /// consumable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] when the round-trip check fails
+    /// ([`ErrorKind::InvalidData`](std::io::ErrorKind::InvalidData)) or the
+    /// file cannot be written.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let text = self.to_json();
+        let lossless = ResultSet::from_json(&text)
+            .map(|parsed| &parsed == self)
+            .unwrap_or(false);
+        if !lossless {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "result set did not survive a JSON round-trip",
+            ));
+        }
+        std::fs::write(path, text)
+    }
+
+    /// Parses a JSON-lines document produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serde error when a line is not a valid record.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        let records = text
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<ScenarioRecord>, serde::Error>>()?;
+        Ok(ResultSet { records })
+    }
+
+    /// Renders the shared metrics as a fixed-width table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<32} {:<22} {:>5} {:>12} {:>10} {:>7}\n",
+            "scenario", "backend", "act", "energy[uJ]", "lat[ms]", "arrays"
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:<32} {:<22} {:>4}b {:>12.2} {:>10.3} {:>7}\n",
+                r.scenario, r.backend_name, r.act_bits, r.energy_uj, r.latency_ms, r.arrays
+            ));
+        }
+        out
+    }
+
+    /// The record of `backend` on the scenario labelled `scenario`, if any.
+    pub fn get(&self, scenario: &str, backend: impl Into<BackendId>) -> Option<&ScenarioRecord> {
+        let backend = backend.into();
+        self.records
+            .iter()
+            .find(|r| r.scenario == scenario && r.backend == backend)
+    }
+
+    /// The distinct scenario labels, in first-appearance order (robust to
+    /// interleaved or concatenated record sets).
+    pub fn scenarios(&self) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        self.records
+            .iter()
+            .map(|r| r.scenario.as_str())
+            .filter(|label| seen.insert(*label))
+            .collect()
+    }
+
+    /// All records of one backend, in result order.
+    pub fn for_backend(&self, backend: impl Into<BackendId>) -> Vec<&ScenarioRecord> {
+        let backend = backend.into();
+        self.records
+            .iter()
+            .filter(|r| r.backend == backend)
+            .collect()
+    }
+
+    /// Assembles the legacy [`PipelineReport`] compatibility view of one
+    /// scenario. Returns `None` unless all four standard backends
+    /// ([`BackendKind`]) have a record for the scenario.
+    pub fn pipeline(&self, scenario: &str) -> Option<PipelineReport> {
+        let report = |kind: BackendKind| Some(self.get(scenario, kind)?.report.clone());
+        Some(PipelineReport {
+            rtm_ap: report(BackendKind::RtmAp)?.into_rtm_ap()?,
+            rtm_ap_unroll: report(BackendKind::RtmApUnroll)?.into_rtm_ap()?,
+            crossbar: report(BackendKind::Crossbar)?.into_crossbar()?,
+            deepcam: report(BackendKind::DeepCam)?.into_deepcam()?,
+            sparsity: self.get(scenario, BackendKind::RtmAp)?.sparsity,
+        })
+    }
+}
+
+/// Executes sweeps with a shared compilation memo.
+///
+/// A session owns one [`CompileCache`]; every grid (or scenario list) run
+/// through it flattens *scenario × backend* into a single parallel job pool,
+/// and all RTM-AP jobs memoise per-layer compilation in the shared cache, so
+/// each distinct `(layer signature, compiler options)` pair is compiled
+/// exactly once per session — across scenarios and across successive `run`
+/// calls.
+#[derive(Debug, Default)]
+pub struct Session {
+    cache: CompileCache,
+}
+
+impl Session {
+    /// Creates a session with an empty compile cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The session's shared compile cache.
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// The cache's hit/miss counters (misses = distinct pairs compiled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Expands `grid` and runs it; see
+    /// [`run_scenarios`](Self::run_scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in scenario × backend order.
+    pub fn run(&self, grid: &SweepGrid) -> apc::Result<ResultSet> {
+        self.run_scenarios(&grid.scenarios())
+    }
+
+    /// Runs every backend of every scenario as one flat parallel job pool and
+    /// collects the records in scenario × backend-registration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`apc::ApcError::InvalidArgument`] when two scenarios share a
+    /// label (the label is the lookup key of the result set, so collisions
+    /// would silently shadow records). Otherwise all jobs run to completion
+    /// and the error of the lowest-index failing job (in scenario × backend
+    /// order) is returned, independent of wall-clock completion order.
+    pub fn run_scenarios(&self, scenarios: &[ScenarioSpec]) -> apc::Result<ResultSet> {
+        let mut labels = HashSet::new();
+        for spec in scenarios {
+            if !labels.insert(spec.label.as_str()) {
+                return Err(apc::ApcError::InvalidArgument {
+                    reason: format!(
+                        "duplicate scenario label `{}` — give colliding workloads distinct labels",
+                        spec.label
+                    ),
+                });
+            }
+        }
+
+        struct Job<'a> {
+            scenario_index: usize,
+            scenario: &'a ScenarioSpec,
+            id: BackendId,
+            backend: Box<dyn InferenceBackend>,
+        }
+
+        let jobs: Vec<Job> = scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(scenario_index, scenario)| {
+                scenario.backends.iter().map(move |plan| Job {
+                    scenario_index,
+                    scenario,
+                    id: plan.id(),
+                    backend: plan.build(scenario),
+                })
+            })
+            .collect();
+
+        let outcomes: Vec<apc::Result<BackendReport>> = jobs
+            .par_iter()
+            .map(|job| {
+                job.backend
+                    .evaluate_cached(&job.scenario.workload.model, &self.cache)
+            })
+            .collect();
+
+        // Sparsity scans every weight value — compute it once per scenario,
+        // not once per record.
+        let sparsities: Vec<f64> = scenarios
+            .iter()
+            .map(|spec| spec.workload.model.overall_sparsity())
+            .collect();
+
+        let mut records = Vec::with_capacity(jobs.len());
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            let report = outcome?;
+            records.push(ScenarioRecord {
+                scenario: job.scenario.label.clone(),
+                workload: job.scenario.workload.label.clone(),
+                network: job.scenario.workload.model.name().to_string(),
+                sparsity: sparsities[job.scenario_index],
+                act_bits: job.scenario.act_bits,
+                geometry: job.scenario.geometry,
+                backend: job.id,
+                backend_name: job.backend.name(),
+                energy_uj: report.energy_uj(),
+                latency_ms: report.latency_ms(),
+                arrays: report.arrays(),
+                report,
+            });
+        }
+        Ok(ResultSet { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::micro_cnn;
+
+    fn micro_grid() -> SweepGrid {
+        SweepGrid::new()
+            .workloads([
+                micro_cnn("micro-a", 8, 0.8, 1),
+                micro_cnn("micro-b", 4, 0.9, 2),
+            ])
+            .act_bits([4, 8])
+    }
+
+    #[test]
+    fn grid_expansion_is_the_cartesian_product() {
+        let grid = micro_grid().geometries([
+            CamGeometry::default(),
+            CamGeometry {
+                rows: 128,
+                cols: 256,
+                domains: 64,
+            },
+        ]);
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), grid.len());
+        let labels: std::collections::HashSet<&str> =
+            scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels.len(), scenarios.len(), "labels must be unique");
+        // Workloads are the outermost axis.
+        assert!(scenarios[0].label.starts_with("micro-a"));
+        assert!(scenarios[4].label.starts_with("micro-b"));
+    }
+
+    #[test]
+    fn session_records_are_registration_ordered() {
+        let grid = micro_grid();
+        let session = Session::new();
+        let results = session.run(&grid).expect("sweep");
+        assert_eq!(results.records.len(), 4 * 4);
+        let expected = [
+            BackendKind::RtmAp.id(),
+            BackendKind::RtmApUnroll.id(),
+            BackendKind::Crossbar.id(),
+            BackendKind::DeepCam.id(),
+        ];
+        for (i, record) in results.records.iter().enumerate() {
+            assert_eq!(record.backend, expected[i % 4]);
+        }
+        // Every scenario yields a complete pipeline view.
+        for scenario in results.scenarios() {
+            let view = results.pipeline(scenario).expect("pipeline view");
+            assert!(view.rtm_ap.energy_uj() > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let session = Session::new();
+        let results = session
+            .run(&SweepGrid::new().workload(micro_cnn("micro-a", 8, 0.8, 1)))
+            .expect("run");
+        let text = results.to_json();
+        assert_eq!(text.lines().count(), results.records.len());
+        let back = ResultSet::from_json(&text).expect("parse");
+        assert_eq!(back, results);
+    }
+
+    #[test]
+    fn shared_cache_compiles_each_distinct_pair_once() {
+        // Two architecture points at the same geometry: every RTM-AP job of
+        // the second architecture reuses the layers compiled for the first.
+        let arch_a = ArchConfig::default();
+        let arch_b = ArchConfig {
+            max_channel_groups: 4,
+            ..ArchConfig::default()
+        };
+        let grid = SweepGrid::new()
+            .workload(micro_cnn("micro-a", 8, 0.8, 1))
+            .archs([arch_a, arch_b]);
+        let session = Session::new();
+        let results = session.run(&grid).expect("sweep");
+        assert_eq!(results.records.len(), 2 * 4);
+        let stats = session.cache_stats();
+        let layers = 3u64; // micro_cnn weighted layers
+                           // 2 scenarios × 2 RTM-AP configurations × 3 layers requested…
+        assert_eq!(stats.requests(), 2 * 2 * layers);
+        // …but only the first scenario's pairs are compiled.
+        assert_eq!(stats.misses, 2 * layers);
+        assert_eq!(stats.hits, 2 * layers);
+        // The architecture difference still shows up in the results.
+        let a = &results.records[0];
+        let b = &results.records[4];
+        assert_eq!(a.backend, b.backend);
+        assert_ne!(a.scenario, b.scenario);
+    }
+}

@@ -15,13 +15,18 @@
 //!
 //! Evaluation is organised around the [`InferenceBackend`] trait (module
 //! [`backend`]): the RTM-AP simulator and both baselines implement
-//! `evaluate(&ModelGraph) -> BackendReport`, and [`FullStackPipeline::run`]
-//! fans a [`BackendRegistry`] of them out as parallel jobs instead of calling
-//! concrete types. Layer compilation inside each RTM-AP job is itself
-//! parallelised (see [`apc::LayerCompiler::compile_model`]); results are
-//! deterministic and independent of the worker count.
+//! `evaluate(&ModelGraph) -> BackendReport`, keyed in a [`BackendRegistry`]
+//! by open, interned [`BackendId`]s so new comparison points register without
+//! touching this crate. The [`experiment`] module turns the paper's grid of
+//! configurations into a first-class object: declare a
+//! [`SweepGrid`](experiment::SweepGrid) (workloads × activation bits ×
+//! geometries × architectures), run it through a
+//! [`Session`](experiment::Session) — one flat parallel job pool over
+//! *scenario × backend* with a shared [`apc::CompileCache`] — and collect a
+//! serializable [`ResultSet`](experiment::ResultSet).
 //!
-//! The main entry point is [`FullStackPipeline`]:
+//! For a single configuration, [`FullStackPipeline`] remains the convenience
+//! entry point (now a one-scenario session under the hood):
 //!
 //! ```
 //! use camdnn::FullStackPipeline;
@@ -37,10 +42,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod experiment;
 mod pipeline;
 pub mod verify;
 
-pub use backend::{BackendKind, BackendRegistry, BackendReport, InferenceBackend};
+pub use backend::{BackendId, BackendKind, BackendRegistry, BackendReport, InferenceBackend};
+pub use experiment::{
+    BackendPlan, ResultSet, ScenarioRecord, ScenarioSpec, Session, SweepGrid, Workload,
+};
 pub use pipeline::{FullStackPipeline, PipelineReport};
 
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};

@@ -1,4 +1,5 @@
 use crate::backend::{BackendKind, BackendRegistry};
+use crate::experiment::{ScenarioSpec, Session};
 use accel::{ArchConfig, NetworkReport, NetworkSimulator};
 use apc::CompilerOptions;
 use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
@@ -64,6 +65,16 @@ impl PipelineReport {
 
 /// Builder for the end-to-end flow: model → compilation → RTM-AP simulation →
 /// baseline comparison.
+///
+/// This is the *one-scenario* convenience wrapper around the experiment API:
+/// [`run`](Self::run) materialises a single
+/// [`ScenarioSpec`](crate::experiment::ScenarioSpec) with the four standard
+/// backends and executes it through a fresh
+/// [`Session`](crate::experiment::Session). Code that evaluates a *grid* of
+/// configurations should build a [`SweepGrid`](crate::experiment::SweepGrid)
+/// instead — one session shares layer compilation across all scenarios and
+/// returns machine-readable records (see the
+/// [`experiment`](crate::experiment) module for the migration path).
 ///
 /// # Example
 ///
@@ -158,38 +169,34 @@ impl FullStackPipeline {
             .with(BackendKind::DeepCam, Box::new(self.deepcam))
     }
 
+    /// The one-scenario [`ScenarioSpec`] this pipeline corresponds to: the
+    /// model at the configured compiler options and architecture, with the
+    /// four standard backends.
+    pub fn scenario(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.model.clone());
+        spec.act_bits = self.options.act_bits;
+        spec.geometry = self.options.geometry;
+        spec.arch = self.arch;
+        spec.compiler_template = self.options;
+        spec
+    }
+
     /// Runs the full stack (both `unroll` and `unroll+CSE` configurations) and the
-    /// baselines as parallel [`InferenceBackend`](crate::InferenceBackend) jobs.
+    /// baselines as parallel [`InferenceBackend`](crate::InferenceBackend) jobs —
+    /// implemented as a one-scenario [`Session`] run.
     ///
     /// # Errors
     ///
     /// Propagates compilation errors (for example a layer that does not fit the
     /// configured CAM geometry).
     pub fn run(&self) -> apc::Result<PipelineReport> {
-        let results = self.registry().evaluate_all(&self.model)?;
-
-        let mut rtm_ap = None;
-        let mut rtm_ap_unroll = None;
-        let mut crossbar = None;
-        let mut deepcam = None;
-        for (kind, report) in results {
-            match kind {
-                BackendKind::RtmAp => rtm_ap = report.into_rtm_ap(),
-                BackendKind::RtmApUnroll => rtm_ap_unroll = report.into_rtm_ap(),
-                BackendKind::Crossbar => crossbar = report.into_crossbar(),
-                BackendKind::DeepCam => deepcam = report.into_deepcam(),
-            }
-        }
-        let missing = |what: &str| apc::ApcError::Internal {
-            reason: format!("backend registry produced no {what} report"),
-        };
-        Ok(PipelineReport {
-            rtm_ap: rtm_ap.ok_or_else(|| missing("rtm-ap"))?,
-            rtm_ap_unroll: rtm_ap_unroll.ok_or_else(|| missing("rtm-ap unroll"))?,
-            crossbar: crossbar.ok_or_else(|| missing("crossbar"))?,
-            deepcam: deepcam.ok_or_else(|| missing("deepcam"))?,
-            sparsity: self.model.overall_sparsity(),
-        })
+        let spec = self.scenario();
+        let results = Session::new().run_scenarios(std::slice::from_ref(&spec))?;
+        results
+            .pipeline(&spec.label)
+            .ok_or_else(|| apc::ApcError::Internal {
+                reason: "one-scenario session produced an incomplete pipeline view".to_string(),
+            })
     }
 }
 

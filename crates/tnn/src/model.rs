@@ -371,6 +371,54 @@ fn act(model: &mut ModelGraph, from: usize, bits: u8) -> usize {
 /// the precision at the pipeline level; the graph only needs a placeholder.
 const DEFAULT_ACT_BITS: u8 = 8;
 
+/// Builds a miniature convnet — two ternary convolutions and one fully
+/// connected layer on an 8×8 input — for tests, doctests and sweep demos
+/// where compiling a full CIFAR/ImageNet network would dominate the runtime.
+///
+/// `channels` sets the width of both convolutions (4–16 keeps every layer
+/// well inside the default CAM geometry).
+///
+/// # Example
+///
+/// ```
+/// use tnn::model::micro_cnn;
+///
+/// let model = micro_cnn("micro-a", 8, 0.8, 1);
+/// assert_eq!(model.name(), "micro-a");
+/// assert_eq!(model.conv_like_layers().len(), 3);
+/// ```
+pub fn micro_cnn(name: impl Into<String>, channels: usize, sparsity: f64, seed: u64) -> ModelGraph {
+    let mut model = ModelGraph::new(name, (3, 8, 8));
+    let bits = DEFAULT_ACT_BITS;
+    let id = model
+        .chain(conv("conv1", channels, 3, 3, 1, 1, sparsity, seed), None)
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            conv("conv2", channels, channels, 3, 1, 1, sparsity, seed + 1),
+            Some(id),
+        )
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            LayerOp::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            Some(id),
+        )
+        .expect("chain");
+    model
+        .chain(
+            linear("fc", 10, channels * 4 * 4, sparsity, seed + 2),
+            Some(id),
+        )
+        .expect("chain");
+    model
+}
+
 /// Builds the VGG-9 CIFAR-10 model of the paper (6 ternary convolutions and
 /// 3 fully connected layers) with synthetic weights at the given sparsity.
 pub fn vgg9(sparsity: f64, seed: u64) -> ModelGraph {

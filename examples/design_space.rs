@@ -2,51 +2,84 @@
 //! observe how energy, latency and array count move. This is the ablation the paper
 //! motivates with its "custom integer types" and array-utilisation discussions.
 //!
-//! Run with `cargo run --release --example design_space`.
+//! Both sweeps are declared as [`SweepGrid`]s and executed through one shared
+//! [`Session`]: the 4-bit/256-row point appears in both grids, so the second
+//! sweep reuses the layers the first one compiled (watch the cache counters at
+//! the end).
+//!
+//! Run with `cargo run --release --example design_space`; add `--json <path>`
+//! to dump the raw records as JSON lines (see `BENCH_schema.md`).
 
 use apc::layout::CamGeometry;
-use camdnn::{ArchConfig, CompilerOptions, FullStackPipeline};
+use camdnn::experiment::{ResultSet, Session, SweepGrid};
+use camdnn::BackendKind;
 use tnn::model::vgg9;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = vgg9(0.9, 5);
+    let session = Session::new();
 
     println!("== Activation-precision sweep (VGG-9, 256x256 arrays) ==");
-    for act_bits in [2u8, 4, 6, 8] {
-        let report = FullStackPipeline::new(model.clone())
-            .with_activation_bits(act_bits)
-            .run()?;
+    let precision = session.run(
+        &SweepGrid::new()
+            .workload(model.clone())
+            .act_bits([2, 4, 6, 8]),
+    )?;
+    for record in precision.for_backend(BackendKind::RtmAp) {
+        let adds_k = record
+            .report
+            .as_rtm_ap()
+            .expect("rtm-ap records carry network reports")
+            .adds_subs_k();
         println!(
-            "act={act_bits}b  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}  adds={:7.0}K",
-            report.rtm_ap.energy_uj(),
-            report.rtm_ap.latency_ms(),
-            report.rtm_ap.arrays(),
-            report.rtm_ap.adds_subs_k(),
+            "act={}b  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}  adds={adds_k:7.0}K",
+            record.act_bits, record.energy_uj, record.latency_ms, record.arrays,
         );
     }
 
     println!("\n== CAM-geometry sweep (VGG-9, 4-bit activations) ==");
-    for rows in [128usize, 256, 512] {
-        let geometry = CamGeometry {
+    let geometry = session.run(&SweepGrid::new().workload(model).geometries(
+        [128usize, 256, 512].map(|rows| CamGeometry {
             rows,
             cols: 256,
             domains: 64,
-        };
-        let arch = ArchConfig::default().with_geometry(geometry);
-        let options = CompilerOptions {
-            geometry,
-            ..CompilerOptions::default()
-        };
-        let report = FullStackPipeline::new(model.clone())
-            .with_arch(arch)
-            .with_compiler_options(options)
-            .run()?;
+        }),
+    ))?;
+    for record in geometry.for_backend(BackendKind::RtmAp) {
         println!(
-            "rows={rows:4}  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}",
-            report.rtm_ap.energy_uj(),
-            report.rtm_ap.latency_ms(),
-            report.rtm_ap.arrays(),
+            "rows={:4}  energy={:8.2} uJ  latency={:7.3} ms  arrays={:3}",
+            record.geometry.rows, record.energy_uj, record.latency_ms, record.arrays,
         );
+    }
+
+    let stats = session.cache_stats();
+    println!(
+        "\ncompile cache: {} layer compilations served {} requests ({:.0}% hit rate — the shared 4-bit/256-row point compiles once)",
+        stats.misses,
+        stats.requests(),
+        stats.hit_rate() * 100.0
+    );
+
+    // `--json <path>`: dump both sweeps' records as one JSON-lines document,
+    // keeping one record per (scenario, backend) — the 4-bit/256-row point
+    // appears in both sweeps but must not appear twice in the file.
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().ok_or("--json needs a path")?;
+            let mut seen = std::collections::HashSet::new();
+            let combined = ResultSet {
+                records: precision
+                    .records
+                    .iter()
+                    .chain(&geometry.records)
+                    .filter(|r| seen.insert((r.scenario.clone(), r.backend)))
+                    .cloned()
+                    .collect(),
+            };
+            combined.write_json(&path)?; // round-trip-validated JSON lines
+            eprintln!("wrote {} records to {path}", combined.records.len());
+        }
     }
     Ok(())
 }

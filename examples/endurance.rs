@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo run --release --example endurance`.
 
-use camdnn::FullStackPipeline;
+use camdnn::experiment::{Session, SweepGrid};
+use camdnn::BackendKind;
 use rtm::endurance::{column_rewrite_interval_ns, EnduranceReport};
 use rtm::RtmTechnology;
 use tnn::model::vgg9;
@@ -26,10 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same estimate derived from an actual workload simulation.
-    let report = FullStackPipeline::new(vgg9(0.9, 1)).run()?;
+    let session = Session::new();
+    let results = session.run(&SweepGrid::new().workload(vgg9(0.9, 1)))?;
+    let scenario = results.scenarios()[0].to_string();
+    let endurance = results
+        .get(&scenario, BackendKind::RtmAp)
+        .and_then(|r| r.report.as_rtm_ap())
+        .expect("rtm-ap report")
+        .endurance;
     println!(
         "\nVGG-9 workload estimate: rewrite interval {:.1} ns -> lifetime {:.1} years",
-        report.rtm_ap.endurance.write_interval_ns, report.rtm_ap.endurance.lifetime_years
+        endurance.write_interval_ns, endurance.lifetime_years
     );
     Ok(())
 }

@@ -1,11 +1,11 @@
 //! Quickstart: compile a tiny ternary convolution for the RTM-AP, prove that the
 //! associative processor reproduces the reference integer result bit-exactly, and
-//! print a first cost estimate.
+//! print a first cost estimate through the experiment API.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use camdnn::experiment::{Session, SweepGrid};
 use camdnn::verify::verify_random_layer;
-use camdnn::FullStackPipeline;
 use tnn::model::vgg9;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,16 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
-    // 2. Full-stack cost estimate for VGG-9 on CIFAR-10-shaped inputs.
-    let pipeline = FullStackPipeline::new(vgg9(0.9, 1)).with_activation_bits(4);
-    let result = pipeline.run()?;
+    // 2. Full-stack cost estimate for VGG-9 on CIFAR-10-shaped inputs: a
+    //    one-workload sweep (the four standard backends) through a session.
+    let session = Session::new();
+    let results = session.run(&SweepGrid::new().workload(vgg9(0.9, 1)))?;
     println!("\nVGG-9 (sparsity 0.90, 4-bit activations):");
-    println!("{}", result.table_row());
+    print!("{}", results.to_table());
+
+    let scenario = results.scenarios()[0].to_string();
+    let view = results.pipeline(&scenario).expect("pipeline view");
     println!(
         "CSE removes {:.1}% of the additions; RTM-AP improves energy by {:.1}x and latency by {:.1}x over the crossbar baseline.",
-        result.cse_reduction() * 100.0,
-        result.energy_improvement(),
-        result.latency_improvement()
+        view.cse_reduction() * 100.0,
+        view.energy_improvement(),
+        view.latency_improvement()
     );
     Ok(())
 }

@@ -1,10 +1,12 @@
 //! ResNet-18 / ImageNet: the largest workload of the paper's evaluation (Table II,
 //! first block of rows). Prints the RTM-AP result at 4- and 8-bit activations next
-//! to the crossbar and DeepCAM baselines.
+//! to the crossbar and DeepCAM baselines — one workload, two activation
+//! precisions, one session (the two precisions share nothing at compile time,
+//! but the flat job pool still runs all eight backend jobs in parallel).
 //!
 //! Run with `cargo run --release --example resnet18_imagenet`.
 
-use camdnn::FullStackPipeline;
+use camdnn::experiment::{Session, SweepGrid};
 use tnn::model::resnet18;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,11 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.overall_sparsity()
     );
 
-    for act_bits in [4u8, 8] {
-        let report = FullStackPipeline::new(model.clone())
-            .with_activation_bits(act_bits)
-            .run()?;
-        println!("-- {act_bits}-bit activations --");
+    let session = Session::new();
+    let results = session.run(&SweepGrid::new().workload(model).act_bits([4, 8]))?;
+    for scenario in results.scenarios() {
+        let report = results.pipeline(scenario).expect("pipeline view");
+        println!("-- {}-bit activations --", report.rtm_ap.act_bits);
         println!("{}", report.table_row());
         println!(
             "   energy improvement {:.1}x, latency improvement {:.1}x, CSE reduction {:.1}%, data-movement share {:.1}%",

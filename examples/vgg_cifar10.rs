@@ -1,32 +1,27 @@
 //! VGG-9 and VGG-11 on CIFAR-10: the remaining rows of Table II, including both
-//! sparsity levels (0.85 and 0.90) evaluated in the paper.
+//! sparsity levels (0.85 and 0.90) evaluated in the paper — declared as one
+//! 4-workload × {4, 8}-bit grid and executed as a single parallel job pool.
 //!
 //! Run with `cargo run --release --example vgg_cifar10`.
 
-use camdnn::FullStackPipeline;
+use camdnn::experiment::{Session, SweepGrid};
 use tnn::model::{vgg11, vgg9};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== VGG-9 / VGG-11 on CIFAR-10 ==\n");
-    let workloads: Vec<(&str, f64)> = vec![
-        ("vgg9", 0.85),
-        ("vgg9", 0.90),
-        ("vgg11", 0.85),
-        ("vgg11", 0.90),
-    ];
-    for (name, sparsity) in workloads {
-        let model = if name == "vgg9" {
-            vgg9(sparsity, 3)
-        } else {
-            vgg11(sparsity, 3)
-        };
-        for act_bits in [4u8, 8] {
-            let report = FullStackPipeline::new(model.clone())
-                .with_activation_bits(act_bits)
-                .run()?;
-            println!("{}", report.table_row());
-        }
-        println!();
+    let grid = SweepGrid::new()
+        .workloads([
+            ("vgg9 .85", vgg9(0.85, 3)),
+            ("vgg9 .90", vgg9(0.90, 3)),
+            ("vgg11 .85", vgg11(0.85, 3)),
+            ("vgg11 .90", vgg11(0.90, 3)),
+        ])
+        .act_bits([4, 8]);
+    let session = Session::new();
+    let results = session.run(&grid)?;
+    for scenario in results.scenarios() {
+        let view = results.pipeline(scenario).expect("pipeline view");
+        println!("{}", view.table_row());
     }
     Ok(())
 }

@@ -110,9 +110,13 @@ fn registry_is_extensible_with_custom_backends() {
     let pipeline = FullStackPipeline::new(model.clone());
     let mut registry = pipeline.registry();
     assert_eq!(registry.len(), 4);
-    registry.register(BackendKind::RtmAp, Box::new(EightBit));
+    // The id space is open: downstream code mints its own key instead of
+    // extending a closed enum.
+    registry.register("rtm-ap-sweep[8b]", Box::new(EightBit));
     let results = registry.evaluate_all(&model).expect("evaluate");
     assert_eq!(results.len(), 5);
+    assert_eq!(results[0].0, BackendKind::RtmAp.id());
+    assert_eq!(results[4].0.as_str(), "rtm-ap-sweep[8b]");
     // The sweep point costs more energy than the 4-bit default it extends.
     assert!(results[4].1.energy_uj() > results[0].1.energy_uj());
 }

@@ -1,0 +1,272 @@
+//! Integration tests of the declarative experiment API.
+//!
+//! Pins the acceptance criteria of the `camdnn::experiment` redesign:
+//!
+//! * a 4-workload × {4, 8}-bit × 3-geometry sweep through one [`Session`]
+//!   produces **byte-identical** metrics to the old per-scenario
+//!   `FullStackPipeline::run` loop, while compiling each distinct
+//!   `(layer signature, compiler options)` pair **exactly once** (asserted
+//!   via the cache counters);
+//! * `ResultSet::to_json` round-trips through serde;
+//! * grid expansion is the exact cartesian product with no duplicate
+//!   scenarios (property test);
+//! * backend errors are reported deterministically — the lowest registration
+//!   index wins, regardless of which parallel job fails first.
+
+use accel::ArchConfig;
+use apc::layout::CamGeometry;
+use apc::{CompilerOptions, LayerSignature};
+use camdnn::experiment::{BackendPlan, ResultSet, ScenarioSpec, Session, SweepGrid, Workload};
+use camdnn::{
+    BackendId, BackendKind, BackendRegistry, BackendReport, FullStackPipeline, InferenceBackend,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tnn::model::{micro_cnn, ModelGraph};
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::from(micro_cnn("micro-a", 4, 0.80, 1)),
+        Workload::from(micro_cnn("micro-b", 8, 0.85, 2)),
+        Workload::from(micro_cnn("micro-c", 8, 0.90, 3)),
+        Workload::from(micro_cnn("micro-d", 16, 0.90, 4)),
+    ]
+}
+
+fn geometries() -> [CamGeometry; 3] {
+    [128usize, 256, 512].map(|rows| CamGeometry {
+        rows,
+        cols: 256,
+        domains: 64,
+    })
+}
+
+#[test]
+fn sweep_is_bit_identical_to_per_scenario_pipelines_and_compiles_each_pair_once() {
+    let grid = SweepGrid::new()
+        .workloads(workloads())
+        .act_bits([4, 8])
+        .geometries(geometries());
+    assert_eq!(grid.len(), 4 * 2 * 3);
+
+    let session = Session::new();
+    let results = session.run(&grid).expect("sweep");
+    assert_eq!(results.records.len(), grid.len() * 4);
+
+    // --- Byte-identical to the old per-scenario pipeline loop -----------------
+    let mut layers_per_workload = std::collections::HashMap::new();
+    for spec in grid.scenarios() {
+        let view = results.pipeline(&spec.label).expect("pipeline view");
+        let pipeline = FullStackPipeline::new((*spec.workload.model).clone())
+            .with_arch(ArchConfig::default().with_geometry(spec.geometry))
+            .with_compiler_options(CompilerOptions {
+                act_bits: spec.act_bits,
+                geometry: spec.geometry,
+                ..CompilerOptions::default()
+            })
+            .run()
+            .expect("pipeline");
+        assert_eq!(view, pipeline, "scenario {}", spec.label);
+        layers_per_workload.insert(
+            spec.workload.label.clone(),
+            spec.workload.model.conv_like_layers().len() as u64,
+        );
+    }
+
+    // --- Each distinct (layer signature, options) pair compiled exactly once --
+    let mut distinct: HashSet<(LayerSignature, CompilerOptions)> = HashSet::new();
+    let mut requests = 0u64;
+    for spec in grid.scenarios() {
+        for enable_cse in [true, false] {
+            let options = CompilerOptions {
+                enable_cse,
+                ..spec.compiler_options()
+            };
+            for layer in spec.workload.model.conv_like_layers() {
+                distinct.insert((LayerSignature::of(&layer), options));
+                requests += 1;
+            }
+        }
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.requests(), requests);
+    assert_eq!(
+        stats.misses,
+        distinct.len() as u64,
+        "each distinct (layer, options) pair must be compiled exactly once"
+    );
+    assert_eq!(stats.hits, requests - distinct.len() as u64);
+
+    // --- Structured results round-trip through serde --------------------------
+    let text = results.to_json();
+    assert_eq!(text.lines().count(), results.records.len());
+    let parsed = ResultSet::from_json(&text).expect("parse JSON lines");
+    assert_eq!(parsed, results);
+    // One record also survives a standalone serde round-trip.
+    let record = &results.records[0];
+    let one = serde_json::to_string(record).expect("serialize record");
+    let back: camdnn::ScenarioRecord = serde_json::from_str(&one).expect("parse record");
+    assert_eq!(&back, record);
+}
+
+#[test]
+fn rerunning_a_grid_in_the_same_session_is_fully_cached() {
+    let grid = SweepGrid::new().workload(micro_cnn("micro-a", 8, 0.8, 1));
+    let session = Session::new();
+    let first = session.run(&grid).expect("first run");
+    let after_first = session.cache_stats();
+    assert_eq!(after_first.hits, 0);
+    let second = session.run(&grid).expect("second run");
+    assert_eq!(first, second);
+    let after_second = session.cache_stats();
+    assert_eq!(after_second.misses, after_first.misses, "no recompilation");
+    assert_eq!(after_second.hits, after_first.misses);
+}
+
+/// A backend that always fails, tagged so tests can tell the failures apart.
+struct FailingBackend(&'static str);
+
+impl InferenceBackend for FailingBackend {
+    fn name(&self) -> String {
+        format!("failing[{}]", self.0)
+    }
+
+    fn evaluate(&self, _model: &ModelGraph) -> apc::Result<BackendReport> {
+        Err(apc::ApcError::Internal {
+            reason: format!("injected failure: {}", self.0),
+        })
+    }
+}
+
+#[test]
+fn registry_reports_the_lowest_index_error_with_two_failing_backends() {
+    let model = micro_cnn("micro-a", 8, 0.8, 1);
+    // The fast closed-form baseline is registered between the two failures, so
+    // with racing jobs the *second* failure regularly finishes first on the
+    // wall clock — the registry must still report the first one.
+    for _ in 0..8 {
+        let registry = BackendRegistry::new()
+            .with(
+                BackendKind::DeepCam,
+                Box::new(baseline::DeepCamModel::default()),
+            )
+            .with("failing-first", Box::new(FailingBackend("first")))
+            .with("failing-second", Box::new(FailingBackend("second")))
+            .with(
+                BackendKind::Crossbar,
+                Box::new(baseline::CrossbarModel::default()),
+            );
+        let error = registry.evaluate_all(&model).expect_err("must fail");
+        assert!(
+            error.to_string().contains("injected failure: first"),
+            "expected the first registered failure, got: {error}"
+        );
+    }
+}
+
+#[test]
+fn session_reports_the_lowest_index_error_in_scenario_backend_order() {
+    let mut spec = ScenarioSpec::new(micro_cnn("micro-a", 8, 0.8, 1));
+    spec.backends = vec![
+        BackendPlan::deepcam(),
+        BackendPlan::custom("failing-first", |_| Box::new(FailingBackend("first"))),
+        BackendPlan::custom("failing-second", |_| Box::new(FailingBackend("second"))),
+    ];
+    let session = Session::new();
+    let error = session
+        .run_scenarios(std::slice::from_ref(&spec))
+        .expect_err("must fail");
+    assert!(
+        error.to_string().contains("injected failure: first"),
+        "expected the first failing job, got: {error}"
+    );
+}
+
+#[test]
+fn duplicate_scenario_labels_are_rejected_up_front() {
+    // Two workloads that both label themselves "micro" would collide into one
+    // result-set key and silently shadow each other's records — the session
+    // must refuse to run instead.
+    let grid = SweepGrid::new()
+        .workload(micro_cnn("micro", 4, 0.8, 1))
+        .workload(micro_cnn("micro", 8, 0.9, 2));
+    let error = Session::new().run(&grid).expect_err("must reject");
+    assert!(
+        error.to_string().contains("duplicate scenario label"),
+        "got: {error}"
+    );
+}
+
+#[test]
+fn custom_backends_join_a_sweep_through_the_open_registry() {
+    // A sweep point registered under a downstream-minted BackendId: the
+    // default RTM-AP re-targeted to half the channel-group parallelism.
+    let narrow = BackendPlan::custom("rtm-ap[narrow]", |spec| {
+        let arch = ArchConfig {
+            max_channel_groups: 1,
+            ..spec.arch
+        };
+        Box::new(accel::NetworkSimulator::new(arch, spec.compiler_options()))
+    });
+    let mut backends = BackendPlan::standard();
+    backends.push(narrow);
+    let grid = SweepGrid::new()
+        .workload(micro_cnn("micro-a", 8, 0.8, 1))
+        .backends(backends);
+    let session = Session::new();
+    let results = session.run(&grid).expect("sweep");
+    assert_eq!(results.records.len(), 5);
+    let scenario = results.scenarios()[0].to_string();
+    let narrow = results
+        .get(&scenario, BackendId::new("rtm-ap[narrow]"))
+        .expect("custom record");
+    let standard = results.get(&scenario, BackendKind::RtmAp).expect("rtm-ap");
+    assert!(narrow.latency_ms >= standard.latency_ms);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_grid_expansion_is_the_exact_product_with_no_duplicates(
+        n_workloads in 1usize..4,
+        n_bits in 1usize..3,
+        n_geometries in 1usize..4,
+        n_archs in 1usize..3,
+    ) {
+        let base = micro_cnn("micro", 4, 0.8, 1);
+        let grid = SweepGrid::new()
+            .workloads((0..n_workloads).map(|i| (format!("w{i}"), base.clone())))
+            .act_bits((0..n_bits).map(|i| 4 + 2 * i as u8))
+            .geometries((0..n_geometries).map(|i| CamGeometry {
+                // Vary rows and domains so points that differ *only* in the
+                // domain count still get distinct labels.
+                rows: 128 << (i % 2),
+                cols: 256,
+                domains: 32 << (i / 2),
+            }))
+            .archs((0..n_archs).map(|i| ArchConfig {
+                max_channel_groups: 4 + i,
+                ..ArchConfig::default()
+            }));
+        let scenarios = grid.scenarios();
+        prop_assert_eq!(grid.len(), n_workloads * n_bits * n_geometries * n_archs);
+        prop_assert_eq!(scenarios.len(), grid.len());
+        // No duplicate scenarios: every (workload, bits, geometry, arch) point
+        // appears exactly once, and every label is unique.
+        let mut points = HashSet::new();
+        let mut labels = HashSet::new();
+        for spec in &scenarios {
+            prop_assert_eq!(spec.arch.geometry, spec.geometry);
+            points.insert((
+                spec.workload.label.clone(),
+                spec.act_bits,
+                spec.geometry,
+                spec.arch.max_channel_groups,
+            ));
+            labels.insert(spec.label.clone());
+        }
+        prop_assert_eq!(points.len(), scenarios.len());
+        prop_assert_eq!(labels.len(), scenarios.len());
+    }
+}
