@@ -11,7 +11,11 @@
 //! * [`Lut`] — the Table I lookup tables of the paper: in-place (8 cycles/bit) and
 //!   out-of-place (10 cycles/bit) 1-bit addition and subtraction,
 //! * [`ApInstruction`] / [`ApProgram`] — the instruction set the compiler targets,
-//! * [`ApController`] — a functional, bit-accurate executor over a [`cam::CamArray`],
+//! * [`ApController`] — a functional, bit-accurate executor over a [`cam::CamArray`]
+//!   (the scalar ground truth),
+//! * [`ApEngine`] — the word-parallel executor over a [`cam::BitPlaneArray`]:
+//!   the same instruction surface and the same [`cam::CamStats`] accounting, but
+//!   each LUT pass runs as bitwise operations over 64 rows per word,
 //! * [`CostModel`] — the closed-form cycle/energy model used when simulating full
 //!   networks where bit-level execution would be prohibitively slow.
 //!
@@ -41,6 +45,7 @@
 
 mod controller;
 mod cost;
+mod engine;
 mod error;
 mod isa;
 mod lut;
@@ -49,6 +54,7 @@ mod program;
 
 pub use controller::ApController;
 pub use cost::{CostModel, InstructionCost};
+pub use engine::ApEngine;
 pub use error::ApError;
 pub use isa::{ApInstruction, CarrySlot};
 pub use lut::{Lut, LutEntry, LutKind};

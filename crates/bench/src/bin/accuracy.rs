@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run -p camdnn-bench --bin accuracy --release`.
 
+use camdnn::experiment::{BackendPlan, Session, SweepGrid};
 use camdnn::verify::verify_random_layer;
+use tnn::model::micro_cnn;
 use tnn::train::accuracy_experiment;
 
 fn main() {
@@ -49,6 +51,37 @@ fn main() {
             } else {
                 "MISMATCH"
             }
+        );
+    }
+
+    // End-to-end: the `functional` backend column executes whole networks on
+    // the word-parallel AP engine and pins the logits to `tnn::infer`. Only
+    // the functional column is swept — this bin reads nothing else.
+    println!("\nEnd-to-end functional execution (word-parallel AP engine):");
+    let grid = SweepGrid::new()
+        .workloads([
+            micro_cnn("micro s=.80", 8, 0.80, 1),
+            micro_cnn("micro s=.90", 8, 0.90, 2),
+        ])
+        .act_bits([4, 8])
+        .backends([BackendPlan::functional()]);
+    let session = Session::new();
+    let results = session.run(&grid).expect("functional sweep");
+    for scenario in results.scenarios() {
+        let record = results
+            .get(scenario, "functional")
+            .expect("functional record");
+        let report = record.report.as_functional().expect("functional report");
+        println!(
+            "  {scenario:<24} {} values checked, {} mismatches -> {}; class {:?}",
+            report.checked_values,
+            report.mismatched_values,
+            if report.is_bit_exact() {
+                "bit-exact"
+            } else {
+                "MISMATCH"
+            },
+            report.predicted_class
         );
     }
 }

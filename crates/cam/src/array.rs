@@ -389,7 +389,9 @@ impl CamArray {
     }
 }
 
-fn validate_width(width: u8, value: i64) -> Result<()> {
+/// Checks that `value` fits in `width` bits (shared by the scalar and
+/// bit-plane arrays so both accept exactly the same staged values).
+pub(crate) fn validate_width(width: u8, value: i64) -> Result<()> {
     if width == 0 || width > 63 {
         return Err(CamError::ValueOverflow { value, width });
     }

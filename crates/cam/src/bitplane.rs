@@ -1,0 +1,706 @@
+use crate::array::validate_width;
+use crate::{CamError, CamStats, CamTechnology, Result, SearchKey, TagVector};
+
+/// The tag register of the word-parallel CAM model: one bit per row, packed 64
+/// rows per `u64` word (row `r` lives in bit `r % 64` of word `r / 64`).
+///
+/// [`BitPlaneArray::search`] produces a `PackedTags` and
+/// [`BitPlaneArray::write_tagged`] consumes one, so a whole search/write pass
+/// touches every row with a handful of word operations instead of a per-row
+/// loop. Bits beyond the row count are always zero.
+///
+/// # Example
+///
+/// ```
+/// use cam::{PackedTags, TagVector};
+///
+/// let tags = PackedTags::from_tag_vector(&TagVector::from_bits(vec![true, false, true]));
+/// assert_eq!(tags.count(), 2);
+/// assert!(tags.is_set(0) && !tags.is_set(1) && tags.is_set(2));
+/// assert_eq!(tags.to_tag_vector().as_bits(), &[true, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTags {
+    words: Vec<u64>,
+    rows: usize,
+}
+
+/// Number of rows packed into one tag word.
+const WORD_BITS: usize = 64;
+
+fn words_for(rows: usize) -> usize {
+    rows.div_ceil(WORD_BITS).max(1)
+}
+
+/// Mask of the valid bits of the last word covering `rows` rows.
+fn last_word_mask(rows: usize) -> u64 {
+    match rows % WORD_BITS {
+        0 if rows > 0 => u64::MAX,
+        0 => 0,
+        partial => (1u64 << partial) - 1,
+    }
+}
+
+impl PackedTags {
+    /// Creates a register of `rows` cleared tags.
+    pub fn new(rows: usize) -> Self {
+        PackedTags {
+            words: vec![0; words_for(rows)],
+            rows,
+        }
+    }
+
+    /// Creates a register with all `rows` tags set.
+    pub fn all_set(rows: usize) -> Self {
+        let mut words = vec![u64::MAX; words_for(rows)];
+        if let Some(last) = words.last_mut() {
+            *last = last_word_mask(rows);
+        }
+        PackedTags { words, rows }
+    }
+
+    /// Packs a per-row [`TagVector`].
+    pub fn from_tag_vector(tags: &TagVector) -> Self {
+        let mut packed = PackedTags::new(tags.len());
+        for row in tags.iter_set() {
+            packed.words[row / WORD_BITS] |= 1u64 << (row % WORD_BITS);
+        }
+        packed
+    }
+
+    /// Unpacks into a per-row [`TagVector`].
+    pub fn to_tag_vector(&self) -> TagVector {
+        (0..self.rows).map(|row| self.is_set(row)).collect()
+    }
+
+    /// Number of rows covered by the register.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when the register covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of tagged (matching) rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether row `row` is tagged. Rows outside the register are untagged.
+    pub fn is_set(&self, row: usize) -> bool {
+        row < self.rows && self.words[row / WORD_BITS] & (1u64 << (row % WORD_BITS)) != 0
+    }
+
+    /// Borrowed view of the packed words (64 rows per word, LSB = lowest row).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A word-parallel CAM array storing each (column, domain) bit of all rows as a
+/// packed `u64` bit-plane.
+///
+/// `BitPlaneArray` is the vectorised counterpart of [`CamArray`](crate::CamArray):
+/// it models the same `rows × cols` array of `domains`-bit racetrack cells and
+/// exposes the same primitives with the same event accounting ([`CamStats`],
+/// including the lockstep shift counts of the per-column domain-wall clusters),
+/// but a masked search or parallel write runs as a few bitwise operations over
+/// `ceil(rows / 64)` words instead of a per-row, per-cell loop. The scalar
+/// [`CamArray`](crate::CamArray) remains the structural ground truth (it models
+/// individual nanowires, per-domain write counts and endurance); this array is
+/// the execution substrate of the fast functional simulation path and is pinned
+/// bit-identical to the scalar model by the `engine_equivalence` test suite.
+///
+/// # Example
+///
+/// ```
+/// use cam::{BitPlaneArray, CamTechnology, SearchKey};
+///
+/// # fn main() -> Result<(), cam::CamError> {
+/// let mut array = BitPlaneArray::new(100, 4, 16, CamTechnology::default())?;
+/// array.write_value(0, 2, 0, 4, 5)?;
+/// assert_eq!(array.read_value(0, 2, 0, 4, false)?, 5);
+/// array.align_column(0, 0)?;
+/// let tags = array.search(&SearchKey::new().with(0, true))?;
+/// assert!(tags.is_set(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitPlaneArray {
+    /// Bit-planes, indexed `[(col * domains + domain) * words + word]`.
+    planes: Vec<u64>,
+    /// Domain currently aligned with the access ports, per column.
+    positions: Vec<usize>,
+    rows: usize,
+    cols: usize,
+    domains: usize,
+    words: usize,
+    tech: CamTechnology,
+    stats: CamStats,
+}
+
+impl BitPlaneArray {
+    /// Creates an array of `rows × cols` cells, each `domains_per_cell` bits deep,
+    /// using the timing/energy model `tech`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::EmptyGeometry`] if any dimension is zero.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        domains_per_cell: usize,
+        tech: CamTechnology,
+    ) -> Result<Self> {
+        if rows == 0 {
+            return Err(CamError::EmptyGeometry {
+                what: "number of rows",
+            });
+        }
+        if cols == 0 {
+            return Err(CamError::EmptyGeometry {
+                what: "number of columns",
+            });
+        }
+        if domains_per_cell == 0 {
+            return Err(CamError::EmptyGeometry {
+                what: "domains per cell",
+            });
+        }
+        let words = words_for(rows);
+        Ok(BitPlaneArray {
+            planes: vec![0; cols * domains_per_cell * words],
+            positions: vec![0; cols],
+            rows,
+            cols,
+            domains: domains_per_cell,
+            words,
+            tech,
+            stats: CamStats::new(),
+        })
+    }
+
+    /// Number of rows (SIMD lanes).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (operand slots).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of domains (storable bits) per cell.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The technology model in use.
+    pub fn technology(&self) -> &CamTechnology {
+        &self.tech
+    }
+
+    /// Event counters accumulated so far.
+    pub fn stats(&self) -> CamStats {
+        self.stats
+    }
+
+    /// Resets the event counters without touching stored data.
+    pub fn reset_stats(&mut self) {
+        self.stats = CamStats::new();
+    }
+
+    /// Returns the counters and resets them.
+    pub fn take_stats(&mut self) -> CamStats {
+        let stats = self.stats;
+        self.reset_stats();
+        stats
+    }
+
+    fn check_col(&self, col: usize) -> Result<()> {
+        if col >= self.cols {
+            return Err(CamError::ColumnOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.rows {
+            return Err(CamError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_domain(&self, domain: usize) -> Result<()> {
+        if domain >= self.domains {
+            return Err(CamError::DomainOutOfRange {
+                domain,
+                domains: self.domains,
+            });
+        }
+        Ok(())
+    }
+
+    fn plane_index(&self, col: usize, domain: usize) -> usize {
+        (col * self.domains + domain) * self.words
+    }
+
+    fn plane(&self, col: usize, domain: usize) -> &[u64] {
+        let start = self.plane_index(col, domain);
+        &self.planes[start..start + self.words]
+    }
+
+    fn plane_mut(&mut self, col: usize, domain: usize) -> &mut [u64] {
+        let start = self.plane_index(col, domain);
+        &mut self.planes[start..start + self.words]
+    }
+
+    /// Lockstep shift distance of the column's domain-wall cluster, mirroring the
+    /// single-port nanowire model: the minimal circular distance along the track.
+    fn shift_distance(&self, col: usize, domain: usize) -> u64 {
+        let raw = self.positions[col].abs_diff(domain);
+        let folded = raw % self.domains;
+        folded.min(self.domains - folded) as u64
+    }
+
+    /// Aligns `col` so that bit position `domain` sits under the access ports,
+    /// recording the lockstep shift cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `col` or `domain` is out of range.
+    pub fn align_column(&mut self, col: usize, domain: usize) -> Result<()> {
+        self.check_col(col)?;
+        self.check_domain(domain)?;
+        self.stats.shifts += self.shift_distance(col, domain);
+        self.positions[col] = domain;
+        Ok(())
+    }
+
+    /// Domain currently aligned for `col`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::ColumnOutOfRange`] for an invalid column.
+    pub fn column_position(&self, col: usize) -> Result<usize> {
+        self.check_col(col)?;
+        Ok(self.positions[col])
+    }
+
+    /// Performs one parallel masked search against the *currently aligned* bit of
+    /// each keyed column and returns the packed tag vector of matching rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::ColumnOutOfRange`] if the key references a column outside
+    /// the array.
+    pub fn search(&mut self, key: &SearchKey) -> Result<PackedTags> {
+        if let Some(max) = key.max_column() {
+            self.check_col(max)?;
+        }
+        let mut tags = PackedTags::all_set(self.rows);
+        for (col, expected) in key.iter() {
+            let plane = self.plane(col, self.positions[col]);
+            if expected {
+                for (tag, &word) in tags.words.iter_mut().zip(plane) {
+                    *tag &= word;
+                }
+            } else {
+                for (tag, &word) in tags.words.iter_mut().zip(plane) {
+                    *tag &= !word;
+                }
+            }
+        }
+        // Rows beyond the array are masked off by the all_set construction and can
+        // only be cleared further, so no re-masking is needed.
+        self.stats.search_cycles += 1;
+        self.stats.searched_bits += (key.len() * self.rows) as u64;
+        Ok(tags)
+    }
+
+    /// Writes the bit pattern `pattern` into the currently aligned domain of each
+    /// listed column, but only in the rows tagged in `tags`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::TagLengthMismatch`] if the tag vector does not cover every
+    /// row, or [`CamError::ColumnOutOfRange`] for an invalid column.
+    pub fn write_tagged(&mut self, tags: &PackedTags, pattern: &SearchKey) -> Result<()> {
+        if tags.len() != self.rows {
+            return Err(CamError::TagLengthMismatch {
+                expected: self.rows,
+                found: tags.len(),
+            });
+        }
+        if let Some(max) = pattern.max_column() {
+            self.check_col(max)?;
+        }
+        for (col, bit) in pattern.iter() {
+            let position = self.positions[col];
+            let plane = self.plane_mut(col, position);
+            if bit {
+                for (word, &tag) in plane.iter_mut().zip(&tags.words) {
+                    *word |= tag;
+                }
+            } else {
+                for (word, &tag) in plane.iter_mut().zip(&tags.words) {
+                    *word &= !tag;
+                }
+            }
+        }
+        self.stats.write_cycles += 1;
+        self.stats.written_bits += (pattern.len() * tags.count()) as u64;
+        Ok(())
+    }
+
+    /// Stages one bit into `col`/`row` at `domain` (input loading; counted as I/O).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any index is out of range.
+    pub fn write_bit(&mut self, col: usize, row: usize, domain: usize, value: bool) -> Result<()> {
+        self.check_col(col)?;
+        self.check_row(row)?;
+        self.check_domain(domain)?;
+        self.align_column(col, domain)?;
+        let plane = self.plane_mut(col, domain);
+        let mask = 1u64 << (row % WORD_BITS);
+        if value {
+            plane[row / WORD_BITS] |= mask;
+        } else {
+            plane[row / WORD_BITS] &= !mask;
+        }
+        self.stats.io_written_bits += 1;
+        Ok(())
+    }
+
+    /// Reads one bit from `col`/`row` at `domain` through the sense amplifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any index is out of range.
+    pub fn read_bit(&mut self, col: usize, row: usize, domain: usize) -> Result<bool> {
+        self.check_col(col)?;
+        self.check_row(row)?;
+        self.check_domain(domain)?;
+        self.align_column(col, domain)?;
+        self.stats.read_bits += 1;
+        let plane = self.plane(col, self.positions[col]);
+        Ok(plane[row / WORD_BITS] & (1u64 << (row % WORD_BITS)) != 0)
+    }
+
+    /// Stages a two's-complement value of `width` bits into `col`/`row`, least
+    /// significant bit at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::ValueOverflow`] when the value does not fit in `width`
+    /// bits (values in `[-2^(width-1), 2^width)` are accepted), or an index error.
+    pub fn write_value(
+        &mut self,
+        col: usize,
+        row: usize,
+        base: usize,
+        width: u8,
+        value: i64,
+    ) -> Result<()> {
+        validate_width(width, value)?;
+        for bit in 0..width as usize {
+            let bit_value = (value >> bit) & 1 == 1;
+            self.write_bit(col, row, base + bit, bit_value)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a `width`-bit value from `col`/`row` starting at `base`. When `signed`
+    /// is true the top bit is interpreted as a two's-complement sign bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when the location is out of range.
+    pub fn read_value(
+        &mut self,
+        col: usize,
+        row: usize,
+        base: usize,
+        width: u8,
+        signed: bool,
+    ) -> Result<i64> {
+        let mut value: i64 = 0;
+        for bit in 0..width as usize {
+            if self.read_bit(col, row, base + bit)? {
+                value |= 1 << bit;
+            }
+        }
+        self.stats.read_ops += 1;
+        if signed && width > 0 && (value >> (width - 1)) & 1 == 1 {
+            value -= 1 << width;
+        }
+        Ok(value)
+    }
+
+    /// Stages one value per row into `col` (the common case when loading an im2col
+    /// column of the input feature map).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::TagLengthMismatch`] if `values` does not provide one value
+    /// per row, [`CamError::ValueOverflow`] or an index error otherwise.
+    pub fn write_column_values(
+        &mut self,
+        col: usize,
+        base: usize,
+        width: u8,
+        values: &[i64],
+    ) -> Result<()> {
+        if values.len() != self.rows {
+            return Err(CamError::TagLengthMismatch {
+                expected: self.rows,
+                found: values.len(),
+            });
+        }
+        for (row, &value) in values.iter().enumerate() {
+            self.write_value(col, row, base, width, value)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one value per row from `col`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when the location is out of range.
+    pub fn read_column_values(
+        &mut self,
+        col: usize,
+        base: usize,
+        width: u8,
+        signed: bool,
+    ) -> Result<Vec<i64>> {
+        (0..self.rows)
+            .map(|row| self.read_value(col, row, base, width, signed))
+            .collect()
+    }
+
+    /// Clears (writes zero into) `width` bits of every row of `col` starting at
+    /// `base`. Used to initialise result and carry columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when the location is out of range.
+    pub fn clear_column(&mut self, col: usize, base: usize, width: u8) -> Result<()> {
+        for bit in 0..width as usize {
+            self.check_domain(base + bit)?;
+        }
+        for bit in 0..width as usize {
+            self.align_column(col, base + bit)?;
+            let tags = PackedTags::all_set(self.rows);
+            self.write_tagged(&tags, &SearchKey::new().with(col, false))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CamArray;
+    use proptest::prelude::*;
+
+    fn array(rows: usize, cols: usize, domains: usize) -> BitPlaneArray {
+        BitPlaneArray::new(rows, cols, domains, CamTechnology::default()).expect("geometry")
+    }
+
+    #[test]
+    fn new_rejects_zero_dimensions() {
+        assert!(BitPlaneArray::new(0, 4, 8, CamTechnology::default()).is_err());
+        assert!(BitPlaneArray::new(4, 0, 8, CamTechnology::default()).is_err());
+        assert!(BitPlaneArray::new(4, 4, 0, CamTechnology::default()).is_err());
+    }
+
+    #[test]
+    fn packed_tags_round_trip_and_mask_partial_words() {
+        for rows in [1usize, 63, 64, 65, 100, 128, 130] {
+            let all = PackedTags::all_set(rows);
+            assert_eq!(all.count(), rows, "rows {rows}");
+            assert_eq!(all.to_tag_vector().count(), rows);
+            let none = PackedTags::new(rows);
+            assert_eq!(none.count(), 0);
+            assert!(!all.is_set(rows), "bit beyond the register must be clear");
+        }
+        let bits = vec![true, false, true, true, false];
+        let packed = PackedTags::from_tag_vector(&TagVector::from_bits(bits.clone()));
+        assert_eq!(packed.to_tag_vector().as_bits(), bits.as_slice());
+        assert_eq!(packed.as_words().len(), 1);
+    }
+
+    #[test]
+    fn search_tags_matching_rows_only_across_word_boundaries() {
+        // 70 rows spans two tag words.
+        let mut cam = array(70, 2, 4);
+        for row in 0..70 {
+            cam.write_bit(0, row, 0, row % 2 == 0).expect("write");
+            cam.write_bit(1, row, 0, true).expect("write");
+        }
+        cam.align_column(0, 0).expect("align");
+        cam.align_column(1, 0).expect("align");
+        let tags = cam
+            .search(&SearchKey::new().with(0, true).with(1, true))
+            .expect("search");
+        assert_eq!(tags.count(), 35);
+        assert!(tags.is_set(0) && tags.is_set(68) && !tags.is_set(69));
+        let stats = cam.stats();
+        assert_eq!(stats.search_cycles, 1);
+        assert_eq!(stats.searched_bits, 2 * 70);
+    }
+
+    #[test]
+    fn negative_key_search_does_not_match_phantom_rows() {
+        // A search for 0 must not tag the padding bits of the last word.
+        let mut cam = array(65, 1, 2);
+        cam.align_column(0, 0).expect("align");
+        let tags = cam
+            .search(&SearchKey::new().with(0, false))
+            .expect("search");
+        assert_eq!(tags.count(), 65);
+        assert!(!tags.is_set(65));
+        assert_eq!(tags.as_words()[1], 1);
+    }
+
+    #[test]
+    fn write_tagged_only_touches_tagged_rows() {
+        let mut cam = array(4, 1, 2);
+        cam.align_column(0, 1).expect("align");
+        let tags =
+            PackedTags::from_tag_vector(&TagVector::from_bits(vec![true, false, true, false]));
+        cam.write_tagged(&tags, &SearchKey::new().with(0, true))
+            .expect("write");
+        assert!(cam.read_bit(0, 0, 1).expect("read"));
+        assert!(!cam.read_bit(0, 1, 1).expect("read"));
+        assert!(cam.read_bit(0, 2, 1).expect("read"));
+        assert!(!cam.read_bit(0, 3, 1).expect("read"));
+    }
+
+    #[test]
+    fn write_tagged_rejects_wrong_tag_length() {
+        let mut cam = array(4, 1, 2);
+        let tags = PackedTags::new(3);
+        assert!(matches!(
+            cam.write_tagged(&tags, &SearchKey::new().with(0, true)),
+            Err(CamError::TagLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn value_round_trip_signed_and_unsigned() {
+        let mut cam = array(66, 2, 16);
+        cam.write_value(0, 65, 0, 8, -37).expect("write");
+        assert_eq!(cam.read_value(0, 65, 0, 8, true).expect("read"), -37);
+        cam.write_value(1, 1, 4, 8, 200).expect("write");
+        assert_eq!(cam.read_value(1, 1, 4, 8, false).expect("read"), 200);
+    }
+
+    #[test]
+    fn clear_column_zeroes_all_rows() {
+        let mut cam = array(3, 1, 8);
+        cam.write_column_values(0, 0, 4, &[7, 5, 3]).expect("write");
+        cam.clear_column(0, 0, 4).expect("clear");
+        assert_eq!(
+            cam.read_column_values(0, 0, 4, false).expect("read"),
+            vec![0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn take_stats_resets_counters() {
+        let mut cam = array(2, 1, 4);
+        cam.write_bit(0, 0, 0, true).expect("write");
+        let stats = cam.take_stats();
+        assert!(!stats.is_empty());
+        assert!(cam.stats().is_empty());
+    }
+
+    /// Replays the same primitive sequence on a scalar [`CamArray`] and the
+    /// bit-plane array and demands identical data, tags and counters.
+    #[test]
+    fn primitive_sequence_matches_scalar_cam_array() {
+        for rows in [3usize, 64, 65, 100] {
+            let mut scalar = CamArray::new(rows, 3, 8, CamTechnology::default()).expect("scalar");
+            let mut packed = array(rows, 3, 8);
+            let values: Vec<i64> = (0..rows as i64).map(|i| (i * 5 + 3) % 16).collect();
+            scalar.write_column_values(0, 0, 4, &values).expect("load");
+            packed.write_column_values(0, 0, 4, &values).expect("load");
+            for domain in [2usize, 0, 3] {
+                scalar.align_column(0, domain).expect("align");
+                packed.align_column(0, domain).expect("align");
+                for key_bit in [true, false] {
+                    let key = SearchKey::new().with(0, key_bit);
+                    let scalar_tags = scalar.search(&key).expect("search");
+                    let packed_tags = packed.search(&key).expect("search");
+                    assert_eq!(packed_tags.to_tag_vector(), scalar_tags, "rows {rows}");
+                }
+            }
+            let scalar_tags = scalar.search(&SearchKey::new().with(0, true)).expect("s");
+            let packed_tags = packed.search(&SearchKey::new().with(0, true)).expect("s");
+            scalar.align_column(1, 1).expect("align");
+            packed.align_column(1, 1).expect("align");
+            scalar
+                .write_tagged(&scalar_tags, &SearchKey::new().with(1, true))
+                .expect("write");
+            packed
+                .write_tagged(&packed_tags, &SearchKey::new().with(1, true))
+                .expect("write");
+            assert_eq!(
+                packed.read_column_values(1, 1, 1, false).expect("read"),
+                scalar.read_column_values(1, 1, 1, false).expect("read")
+            );
+            assert_eq!(packed.stats(), scalar.stats(), "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn shift_accounting_matches_the_circular_track_model() {
+        // The single-port nanowire folds the shift distance around the track.
+        let mut scalar = CamArray::new(2, 1, 16, CamTechnology::default()).expect("scalar");
+        let mut packed = array(2, 1, 16);
+        for domain in [15usize, 0, 8, 1, 15] {
+            scalar.align_column(0, domain).expect("align");
+            packed.align_column(0, domain).expect("align");
+            assert_eq!(packed.stats().shifts, scalar.stats().shifts, "d {domain}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_round_trip(width in 2u8..16, value in -1000i64..1000, row in 0usize..100) {
+            let min = -(1i64 << (width - 1));
+            let max = (1i64 << (width - 1)) - 1;
+            let value = value.clamp(min, max);
+            let mut cam = array(100, 1, 16);
+            cam.write_value(0, row, 0, width, value).expect("write");
+            prop_assert_eq!(cam.read_value(0, row, 0, width, true).expect("read"), value);
+        }
+
+        #[test]
+        fn prop_search_matches_model(bits in proptest::collection::vec(any::<bool>(), 70), key_bit in any::<bool>()) {
+            let mut cam = array(70, 1, 2);
+            for (row, &bit) in bits.iter().enumerate() {
+                cam.write_bit(0, row, 0, bit).expect("write");
+            }
+            cam.align_column(0, 0).expect("align");
+            let tags = cam.search(&SearchKey::new().with(0, key_bit)).expect("search");
+            for (row, &bit) in bits.iter().enumerate() {
+                prop_assert_eq!(tags.is_set(row), bit == key_bit);
+            }
+        }
+    }
+}

@@ -15,6 +15,13 @@
 //! one domain at a time, which matches the sequential access pattern racetrack
 //! memory is best at.
 //!
+//! Two implementations of the array are provided: [`CamArray`] models every
+//! nanowire individually (the structural ground truth, including per-domain
+//! write counts for endurance studies), while [`BitPlaneArray`] packs each
+//! (column, domain) bit of all rows into `u64` bit-planes so a search/write
+//! pass covers 64 rows per word operation — the execution substrate of the
+//! fast functional simulation path, pinned bit-identical to the scalar model.
+//!
 //! # Example
 //!
 //! ```
@@ -37,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod array;
+mod bitplane;
 mod error;
 mod key;
 mod stats;
@@ -44,6 +52,7 @@ mod tag;
 mod technology;
 
 pub use array::CamArray;
+pub use bitplane::{BitPlaneArray, PackedTags};
 pub use error::CamError;
 pub use key::SearchKey;
 pub use stats::CamStats;

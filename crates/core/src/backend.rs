@@ -34,6 +34,7 @@
 //! assert!(results[0].1.energy_uj() > 0.0);
 //! ```
 
+use crate::functional::FunctionalReport;
 use accel::{NetworkReport, NetworkSimulator};
 use apc::{CompileCache, LayerCompiler};
 use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
@@ -135,6 +136,9 @@ pub enum BackendKind {
     Crossbar,
     /// The DeepCAM-style fully CAM-based baseline.
     DeepCam,
+    /// Bit-level execution of the compiled programs on the word-parallel
+    /// [`ap::ApEngine`] (see [`FunctionalBackend`](crate::functional::FunctionalBackend)).
+    Functional,
 }
 
 impl BackendKind {
@@ -145,6 +149,7 @@ impl BackendKind {
             BackendKind::RtmApUnroll => "rtm-ap-unroll",
             BackendKind::Crossbar => "crossbar",
             BackendKind::DeepCam => "deepcam",
+            BackendKind::Functional => "functional",
         })
     }
 }
@@ -162,6 +167,8 @@ pub enum BackendReport {
     Crossbar(CrossbarReport),
     /// Result of the DeepCAM baseline.
     DeepCam(DeepCamReport),
+    /// Result of a bit-level functional execution on the AP engine.
+    Functional(FunctionalReport),
 }
 
 impl BackendReport {
@@ -171,6 +178,7 @@ impl BackendReport {
             BackendReport::RtmAp(r) => r.energy_uj(),
             BackendReport::Crossbar(r) => r.energy_uj(),
             BackendReport::DeepCam(r) => r.energy_uj,
+            BackendReport::Functional(r) => r.energy_uj,
         }
     }
 
@@ -180,6 +188,7 @@ impl BackendReport {
             BackendReport::RtmAp(r) => r.latency_ms(),
             BackendReport::Crossbar(r) => r.latency_ms(),
             BackendReport::DeepCam(r) => r.latency_ms,
+            BackendReport::Functional(r) => r.latency_ms,
         }
     }
 
@@ -189,6 +198,7 @@ impl BackendReport {
             BackendReport::RtmAp(r) => r.arrays(),
             BackendReport::Crossbar(r) => r.arrays,
             BackendReport::DeepCam(r) => r.arrays,
+            BackendReport::Functional(r) => r.arrays,
         }
     }
 
@@ -198,6 +208,7 @@ impl BackendReport {
             BackendReport::RtmAp(r) => &r.name,
             BackendReport::Crossbar(r) => &r.name,
             BackendReport::DeepCam(r) => &r.name,
+            BackendReport::Functional(r) => &r.name,
         }
     }
 
@@ -225,6 +236,14 @@ impl BackendReport {
         }
     }
 
+    /// Borrows the functional-execution report, if this is one.
+    pub fn as_functional(&self) -> Option<&FunctionalReport> {
+        match self {
+            BackendReport::Functional(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Extracts the RTM-AP report, if this is one.
     pub fn into_rtm_ap(self) -> Option<NetworkReport> {
         match self {
@@ -245,6 +264,14 @@ impl BackendReport {
     pub fn into_deepcam(self) -> Option<DeepCamReport> {
         match self {
             BackendReport::DeepCam(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extracts the functional-execution report, if this is one.
+    pub fn into_functional(self) -> Option<FunctionalReport> {
+        match self {
+            BackendReport::Functional(r) => Some(r),
             _ => None,
         }
     }

@@ -170,6 +170,20 @@ impl BackendPlan {
         BackendPlan::custom(BackendKind::DeepCam, |_| Box::new(DeepCamModel::default()))
     }
 
+    /// Bit-level execution of the compiled programs on the word-parallel AP
+    /// engine (see [`FunctionalBackend`](crate::functional::FunctionalBackend)).
+    /// Prefer it over the cost-model simulator when measured-by-construction
+    /// counters or end-to-end bit-exactness evidence are needed; it executes
+    /// every output position, so keep the workloads small.
+    pub fn functional() -> Self {
+        BackendPlan::custom(BackendKind::Functional, |spec| {
+            Box::new(crate::functional::FunctionalBackend::new(
+                spec.arch,
+                spec.compiler_options(),
+            ))
+        })
+    }
+
     /// The four comparison points of the bundled pipeline, in the order
     /// [`FullStackPipeline`](crate::FullStackPipeline) registers them.
     pub fn standard() -> Vec<BackendPlan> {

@@ -1,0 +1,446 @@
+//! The `functional` inference backend: bit-level execution of compiled layer
+//! programs on the word-parallel [`ap::ApEngine`].
+//!
+//! Where [`accel::NetworkSimulator`] prices a compiled network with the
+//! closed-form [`ap::CostModel`], [`FunctionalBackend`] *runs* it: every
+//! weighted layer's slice programs execute on a [`cam::BitPlaneArray`]-backed
+//! engine (64 rows per word operation), the non-weighted operators (ReLU,
+//! pooling, requantisation, residual adds) run on the reference integer
+//! engine, and the final logits are compared value-for-value against
+//! [`tnn::infer::run`] — the mechanism behind the paper's "retains software
+//! accuracy" claim, now end-to-end instead of per-layer.
+//!
+//! The backend registers under the open [`BackendId`](crate::BackendId) space
+//! as [`BackendKind::Functional`] (`"functional"`), so sweeps put its records
+//! next to `rtm-ap`/`crossbar`/`deepcam` columns. Its energy/latency figures
+//! come from the [`cam::CamStats`] the execution actually accumulated, not
+//! from an analytic model — use it when you need measured-by-construction
+//! numbers or end-to-end bit-exactness evidence; prefer the cost-model
+//! simulator for ImageNet-scale networks where bit-level execution of every
+//! position is unnecessary.
+
+use crate::backend::{BackendReport, InferenceBackend};
+use accel::ArchConfig;
+use ap::{ApEngine, Operand};
+use apc::{ApcError, CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
+use cam::{BitPlaneArray, CamStats};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tnn::im2col::{im2col_channel, Im2colSpec};
+use tnn::layer::LayerOp;
+use tnn::model::{ConvLayerInfo, ModelGraph, Source};
+use tnn::Tensor;
+
+/// The result of one functional (bit-level) inference.
+///
+/// `checked_values`/`mismatched_values` compare every weighted-layer output
+/// element produced by the associative processor against the reference integer
+/// inference; a correct stack reports zero mismatches. Energy and latency are
+/// derived from the [`CamStats`] counters of the actual execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionalReport {
+    /// The evaluated network's name.
+    pub name: String,
+    /// Activation precision used, in bits.
+    pub act_bits: u8,
+    /// Whether the executed programs were compiled with CSE.
+    pub cse: bool,
+    /// Seed of the deterministic synthetic input.
+    pub input_seed: u64,
+    /// The final node's output values (the logits).
+    pub logits: Vec<i64>,
+    /// Index of the largest logit (the predicted class), if any.
+    pub predicted_class: Option<usize>,
+    /// Weighted-layer output elements compared against the reference.
+    pub checked_values: u64,
+    /// Elements that differed from the reference (0 for a bit-exact stack).
+    pub mismatched_values: u64,
+    /// CAM event counters accumulated over the whole inference.
+    pub stats: CamStats,
+    /// Energy of the executed searches/writes/reads, in microjoules.
+    pub energy_uj: f64,
+    /// Serial latency of the executed cycles, in milliseconds.
+    pub latency_ms: f64,
+    /// Memory arrays occupied (maximum row groups over the layers).
+    pub arrays: usize,
+}
+
+impl FunctionalReport {
+    /// Returns `true` when every compared value matched the reference exactly.
+    pub fn is_bit_exact(&self) -> bool {
+        self.mismatched_values == 0 && self.checked_values > 0
+    }
+}
+
+/// An [`InferenceBackend`] that executes the compiled layer programs at bit
+/// level on the word-parallel [`ApEngine`].
+///
+/// The backend compiles each weighted layer with retained instruction streams
+/// (through the shared [`CompileCache`] in sweeps), stages a deterministic
+/// synthetic input, and runs every (output tile × row group) unit of every
+/// layer on its own [`BitPlaneArray`]. Units are independent, so they fan out
+/// over rayon; results and counters are merged in unit order, making the
+/// outcome identical at any `RAYON_NUM_THREADS`.
+///
+/// # Example
+///
+/// ```
+/// use camdnn::functional::FunctionalBackend;
+/// use camdnn::InferenceBackend;
+/// use tnn::model::micro_cnn;
+///
+/// let backend = FunctionalBackend::default();
+/// let report = backend
+///     .evaluate(&micro_cnn("micro", 4, 0.8, 1))
+///     .expect("functional inference");
+/// let functional = report.as_functional().expect("functional report");
+/// assert!(functional.is_bit_exact());
+/// assert_eq!(functional.logits.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalBackend {
+    arch: ArchConfig,
+    options: CompilerOptions,
+    input_seed: u64,
+}
+
+impl Default for FunctionalBackend {
+    fn default() -> Self {
+        FunctionalBackend::new(ArchConfig::default(), CompilerOptions::default())
+    }
+}
+
+impl FunctionalBackend {
+    /// Creates a backend executing on `arch.geometry`-sized arrays with the
+    /// compiler configuration `options` (retained programs are forced on).
+    pub fn new(arch: ArchConfig, options: CompilerOptions) -> Self {
+        FunctionalBackend {
+            arch,
+            options: options.with_programs(),
+            input_seed: 0,
+        }
+    }
+
+    /// Returns a copy using a different seed for the synthetic input.
+    #[must_use]
+    pub fn with_input_seed(mut self, seed: u64) -> Self {
+        self.input_seed = seed;
+        self
+    }
+
+    /// The compiler options in use (with retained programs).
+    pub fn compiler_options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// The deterministic synthetic input this backend stages for `model`:
+    /// element `i` is `(7·i + seed) mod 2^act_bits`, matching the operand
+    /// range of the compiled programs. Exposed so tests can reproduce the
+    /// reference inference ([`tnn::infer::run`]) on the identical input.
+    pub fn input_for(model: &ModelGraph, act_bits: u8, seed: u64) -> Tensor<i64> {
+        let (c, h, w) = model.input_shape();
+        // Computed in u64 so any seed (including >= 2^63) yields in-range,
+        // non-negative activations. Widths above 63 are clamped here so layer
+        // compilation gets to report its own validation error instead of the
+        // shift overflowing.
+        let limit = 1u64 << act_bits.min(63);
+        let data: Vec<i64> = (0..c * h * w)
+            .map(|i| ((i as u64).wrapping_mul(7).wrapping_add(seed) % limit) as i64)
+            .collect();
+        Tensor::from_vec(vec![c, h, w], data).expect("input shape is consistent by construction")
+    }
+
+    /// Executes one compiled weighted layer on the AP engine: every
+    /// (output tile × row group) unit runs as an independent job, and the
+    /// per-unit outputs/counters are merged in unit order.
+    fn execute_layer(
+        &self,
+        info: &ConvLayerInfo,
+        compiled: &CompiledLayer,
+        input: &Tensor<i64>,
+    ) -> apc::Result<(Tensor<i64>, CamStats)> {
+        let layout = &compiled.layout;
+        let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
+            reason: "functional backend requires retained programs".to_string(),
+        })?;
+        // Fully connected layers arrive as (1, 1)-kernel convolutions over a
+        // flattened input; reshape the activation tensor accordingly.
+        let staged;
+        let input = if input.shape() == [info.cin, info.input_hw.0, info.input_hw.1] {
+            input
+        } else {
+            staged = Tensor::from_vec(
+                vec![info.cin, info.input_hw.0, info.input_hw.1],
+                input.as_slice().to_vec(),
+            )?;
+            &staged
+        };
+        let spec = Im2colSpec {
+            fh: info.kernel.0,
+            fw: info.kernel.1,
+            stride: info.stride,
+            padding: info.padding,
+        };
+        // One im2col matrix per input channel, shared by all units.
+        let patches: Vec<Tensor<i64>> = (0..info.cin)
+            .map(|channel| im2col_channel(input, channel, spec))
+            .collect::<tnn::Result<_>>()?;
+
+        let units: Vec<(usize, usize)> = (0..layout.output_tiles)
+            .flat_map(|tile| (0..layout.row_groups).map(move |group| (tile, group)))
+            .filter(|&(tile, _)| !layout.tile_range(tile, info.cout).is_empty())
+            .collect();
+
+        let outcomes: Vec<apc::Result<(Vec<Vec<i64>>, CamStats)>> = units
+            .par_iter()
+            .map(|&(tile, group)| self.execute_unit(info, layout, slices, &patches, tile, group))
+            .collect();
+
+        let mut output = Tensor::zeros(vec![info.cout, info.output_hw.0, info.output_hw.1]);
+        let mut stats = CamStats::new();
+        for (&(tile, group), outcome) in units.iter().zip(outcomes) {
+            let (values, unit_stats) = outcome?;
+            stats += unit_stats;
+            let range = layout.tile_range(tile, info.cout);
+            let start = group * layout.geometry.rows;
+            for (offset, column) in values.into_iter().enumerate() {
+                let ofm = range.start + offset;
+                for (row, value) in column.into_iter().enumerate() {
+                    let position = start + row;
+                    let (oh, ow) = (
+                        position / info.output_hw.1.max(1),
+                        position % info.output_hw.1.max(1),
+                    );
+                    *output.get_mut(&[ofm, oh, ow])? = value;
+                }
+            }
+        }
+        Ok((output, stats))
+    }
+
+    /// Runs one (output tile, row group) unit on a fresh engine and returns
+    /// one accumulator column per output channel of the tile.
+    fn execute_unit(
+        &self,
+        info: &ConvLayerInfo,
+        layout: &apc::layout::LayerLayout,
+        slices: &[apc::CompiledSlice],
+        patches: &[Tensor<i64>],
+        tile: usize,
+        group: usize,
+    ) -> apc::Result<(Vec<Vec<i64>>, CamStats)> {
+        let rows = layout.rows_in_group(group);
+        let start = group * layout.geometry.rows;
+        let array = BitPlaneArray::new(
+            rows,
+            layout.geometry.cols,
+            layout.geometry.domains,
+            self.arch.cam_tech,
+        )
+        .map_err(ap::ApError::from)?;
+        let mut engine = ApEngine::new(array);
+        let range = layout.tile_range(tile, info.cout);
+        engine.run(&apc::codegen::tile_prologue(layout, range.len()))?;
+        for slice in slices.iter().filter(|s| s.tile == tile) {
+            let channel_patches = &patches[slice.channel];
+            for k in 0..layout.patch_size {
+                let column: apc::Result<Vec<i64>> = (0..rows)
+                    .map(|row| Ok(*channel_patches.get(&[k, start + row])?))
+                    .collect();
+                let operand = Operand::new(
+                    k,
+                    layout.channel_domain_base(slice.channel_in_group),
+                    layout.act_bits,
+                    false,
+                );
+                engine.load_column(&operand, &column?)?;
+            }
+            engine.run(&slice.program)?;
+        }
+        let mut values = Vec::with_capacity(range.len());
+        for output in 0..range.len() {
+            let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
+            values.push(engine.read_column(&acc)?);
+        }
+        Ok((values, engine.stats()))
+    }
+}
+
+impl InferenceBackend for FunctionalBackend {
+    fn name(&self) -> String {
+        format!(
+            "functional[{}b,{}]",
+            self.options.act_bits,
+            if self.options.enable_cse {
+                "unroll+cse"
+            } else {
+                "unroll"
+            }
+        )
+    }
+
+    fn evaluate(&self, model: &ModelGraph) -> apc::Result<BackendReport> {
+        self.evaluate_cached(model, &CompileCache::new())
+    }
+
+    fn evaluate_cached(
+        &self,
+        model: &ModelGraph,
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        let compiler = LayerCompiler::new(self.options);
+        let act_bits = self.options.act_bits;
+        let input = Self::input_for(model, act_bits, self.input_seed);
+        let reference = tnn::infer::run(model, &input, Some(act_bits))?;
+        let weighted: HashMap<usize, ConvLayerInfo> = model
+            .conv_like_layers()
+            .into_iter()
+            .map(|layer| (layer.node_id, layer))
+            .collect();
+
+        let mut stats = CamStats::new();
+        let mut checked = 0u64;
+        let mut mismatched = 0u64;
+        let mut arrays = 0usize;
+        let mut outputs: Vec<Tensor<i64>> = Vec::with_capacity(model.nodes().len());
+        for (id, node) in model.nodes().iter().enumerate() {
+            let fetch = |source: &Source| -> &Tensor<i64> {
+                match source {
+                    Source::Input => &input,
+                    Source::Node(i) => &outputs[*i],
+                }
+            };
+            let first = node
+                .inputs
+                .first()
+                .map(fetch)
+                .ok_or_else(|| ApcError::Internal {
+                    reason: format!("node {id} has no inputs"),
+                })?;
+            let result = match &node.op {
+                LayerOp::Conv2d(_) | LayerOp::Linear(_) => {
+                    let info = weighted.get(&id).ok_or_else(|| ApcError::Internal {
+                        reason: format!("weighted node {id} has no layer description"),
+                    })?;
+                    let compiled = cache.compile(&compiler, info)?;
+                    arrays = arrays.max(compiled.layout.row_groups);
+                    let (output, layer_stats) = self.execute_layer(info, &compiled, first)?;
+                    stats += layer_stats;
+                    let expected = &reference.node_outputs[id];
+                    checked += output.as_slice().len() as u64;
+                    mismatched += output
+                        .as_slice()
+                        .iter()
+                        .zip(expected.as_slice())
+                        .filter(|(got, want)| got != want)
+                        .count() as u64;
+                    output
+                }
+                LayerOp::MaxPool2d { kernel, stride } => {
+                    tnn::infer::max_pool2d(first, *kernel, *stride)?
+                }
+                LayerOp::GlobalAvgPool => tnn::infer::global_avg_pool(first)?,
+                LayerOp::Relu => tnn::infer::relu(first),
+                LayerOp::Requantize { .. } => tnn::infer::requantize(first, act_bits).0,
+                LayerOp::Add => {
+                    let second =
+                        node.inputs
+                            .get(1)
+                            .map(fetch)
+                            .ok_or_else(|| ApcError::Internal {
+                                reason: format!("add node {id} needs two inputs"),
+                            })?;
+                    tnn::infer::add(first, second)?
+                }
+                op => {
+                    return Err(ApcError::Internal {
+                        reason: format!("functional backend cannot execute node {id}: {op:?}"),
+                    })
+                }
+            };
+            outputs.push(result);
+        }
+
+        let logits: Vec<i64> = outputs
+            .last()
+            .map(|t| t.as_slice().to_vec())
+            .unwrap_or_default();
+        let predicted_class = logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i);
+        let tech = &self.arch.cam_tech;
+        Ok(BackendReport::Functional(FunctionalReport {
+            name: model.name().to_string(),
+            act_bits,
+            cse: self.options.enable_cse,
+            input_seed: self.input_seed,
+            logits,
+            predicted_class,
+            checked_values: checked,
+            mismatched_values: mismatched,
+            stats,
+            energy_uj: stats.energy_fj(tech) / 1e9,
+            latency_ms: stats.latency_ns(tech) / 1e6,
+            arrays,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::micro_cnn;
+
+    #[test]
+    fn functional_inference_matches_the_reference_end_to_end() {
+        let model = micro_cnn("micro-f", 8, 0.8, 5);
+        let backend = FunctionalBackend::default().with_input_seed(3);
+        let report = backend.evaluate(&model).expect("functional inference");
+        let functional = report.as_functional().expect("functional variant");
+        assert!(functional.is_bit_exact(), "{functional:?}");
+        assert_eq!(functional.logits.len(), 10);
+        // The logits are the reference logits on the same input.
+        let input = FunctionalBackend::input_for(&model, 4, 3);
+        let reference = tnn::infer::run(&model, &input, Some(4)).expect("reference");
+        assert_eq!(
+            functional.logits,
+            reference.output().expect("logits").as_slice()
+        );
+        assert_eq!(functional.predicted_class, reference.predicted_class());
+        // The executed searches/writes back real energy/latency figures.
+        assert!(functional.stats.compute_cycles() > 0);
+        assert!(report.energy_uj() > 0.0);
+        assert!(report.latency_ms() > 0.0);
+        assert!(report.arrays() >= 1);
+        assert_eq!(report.network(), "micro-f");
+    }
+
+    #[test]
+    fn cached_and_uncached_evaluation_are_identical() {
+        let model = micro_cnn("micro-g", 4, 0.85, 7);
+        let backend = FunctionalBackend::default();
+        let cache = CompileCache::new();
+        let cached = backend.evaluate_cached(&model, &cache).expect("cached");
+        let direct = backend.evaluate(&model).expect("direct");
+        assert_eq!(cached, direct);
+        assert!(cache.stats().misses > 0);
+        // A second cached run recompiles nothing.
+        let again = backend.evaluate_cached(&model, &cache).expect("again");
+        assert_eq!(again, cached);
+        assert_eq!(cache.stats().misses, model.conv_like_layers().len() as u64);
+    }
+
+    #[test]
+    fn unroll_configuration_is_also_bit_exact() {
+        let model = micro_cnn("micro-u", 4, 0.7, 9);
+        let backend = FunctionalBackend::new(ArchConfig::default(), CompilerOptions::unroll_only());
+        let report = backend.evaluate(&model).expect("functional inference");
+        let functional = report.as_functional().expect("functional variant");
+        assert!(functional.is_bit_exact(), "{functional:?}");
+        assert!(!functional.cse);
+        assert!(backend.name().contains("unroll"));
+    }
+}

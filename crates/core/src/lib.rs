@@ -43,6 +43,7 @@
 
 pub mod backend;
 pub mod experiment;
+pub mod functional;
 mod pipeline;
 pub mod verify;
 
@@ -50,6 +51,7 @@ pub use backend::{BackendId, BackendKind, BackendRegistry, BackendReport, Infere
 pub use experiment::{
     BackendPlan, ResultSet, ScenarioRecord, ScenarioSpec, Session, SweepGrid, Workload,
 };
+pub use functional::{FunctionalBackend, FunctionalReport};
 pub use pipeline::{FullStackPipeline, PipelineReport};
 
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};

@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use camdnn::experiment::{Session, SweepGrid};
+use camdnn::experiment::{BackendPlan, Session, SweepGrid};
 use camdnn::verify::verify_random_layer;
-use tnn::model::vgg9;
+use tnn::model::{micro_cnn, vgg9};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== CAM-only DNN inference: quickstart ==\n");
@@ -40,6 +40,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         view.cse_reduction() * 100.0,
         view.energy_improvement(),
         view.latency_improvement()
+    );
+
+    // 3. End-to-end bit-exact execution: the `functional` backend column runs
+    //    the compiled programs on the word-parallel AP engine (64 rows per
+    //    bitwise word operation) and pins the logits to the reference integer
+    //    inference.
+    let mut backends = BackendPlan::standard();
+    backends.push(BackendPlan::functional());
+    let micro = SweepGrid::new()
+        .workload(micro_cnn("micro", 8, 0.8, 1))
+        .backends(backends);
+    let results = session.run(&micro)?;
+    println!("\nmicro CNN with the `functional` execution column:");
+    print!("{}", results.to_table());
+    let scenario = results.scenarios()[0].to_string();
+    let functional = results
+        .get(&scenario, "functional")
+        .and_then(|record| record.report.as_functional())
+        .expect("functional record");
+    println!(
+        "functional execution: {} values checked against tnn::infer, {} mismatches -> {}; predicted class {:?}",
+        functional.checked_values,
+        functional.mismatched_values,
+        if functional.is_bit_exact() {
+            "bit-exact"
+        } else {
+            "MISMATCH"
+        },
+        functional.predicted_class
     );
     Ok(())
 }

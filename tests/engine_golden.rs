@@ -1,0 +1,225 @@
+//! Golden-vector regression tests for the AP execution engines.
+//!
+//! Small fixed programs with *checked-in* expected column dumps and event
+//! counters, asserted against **both** the scalar [`ap::ApController`] and the
+//! word-parallel [`ap::ApEngine`]. A packing or accounting bug cannot hide
+//! behind "both implementations drifted together": the expectations here are
+//! literals, independently derivable by hand (the counter arithmetic is spelled
+//! out in comments).
+
+use ap::{ApController, ApEngine, ApInstruction, ApProgram, CarrySlot, Operand};
+use cam::{BitPlaneArray, CamArray, CamStats, CamTechnology};
+
+fn pair(rows: usize, cols: usize, domains: usize) -> (ApController, ApEngine) {
+    let scalar = CamArray::new(rows, cols, domains, CamTechnology::default()).expect("scalar");
+    let packed = BitPlaneArray::new(rows, cols, domains, CamTechnology::default()).expect("packed");
+    (ApController::new(scalar), ApEngine::new(packed))
+}
+
+/// Golden case 1: 4-row in-place addition `acc ← acc + a`.
+///
+/// a (3-bit unsigned, col 0)   = [ 1,  2, 3,  7]
+/// acc (5-bit signed,  col 1)  = [ 0, -1, 5, -8]
+/// expected acc                = [ 1,  1, 8, -1]
+/// expected carry bit (col 2)  = [ 0,  1, 0,  0]   (carry-out of the 5-bit add)
+/// expected raw dump of col 1  = [ 1,  1, 8, 31]   (8 domains, unsigned view;
+///                                -1 is 0b11111 in the low five domains)
+#[test]
+fn golden_add_in_place_column_dumps() {
+    let a = Operand::new(0, 0, 3, false);
+    let acc = Operand::new(1, 0, 5, true);
+    let add = ApInstruction::AddInPlace {
+        a,
+        acc,
+        carry: CarrySlot::new(2, 0),
+    };
+    // Scalar ground truth.
+    let (mut controller, mut engine) = pair(4, 4, 8);
+    for ap_load in [&mut controller as &mut dyn GoldenAp, &mut engine] {
+        ap_load.load(&a, &[1, 2, 3, 7]);
+        ap_load.load(&acc, &[0, -1, 5, -8]);
+        ap_load.exec(&add);
+        assert_eq!(ap_load.read(&acc), vec![1, 1, 8, -1]);
+        assert_eq!(ap_load.dump(2, 1), vec![0, 1, 0, 0], "carry column");
+        assert_eq!(ap_load.dump(1, 8), vec![1, 1, 8, 31], "raw acc dump");
+    }
+}
+
+/// Golden case 1 counters, asserted as a full literal on both implementations.
+///
+/// Derivation (acc.width = 5 bits, a zero-extended beyond bit 2, 4 rows):
+/// * searches: bits 0–2 run all 4 LUT passes with a 3-column key, bits 3–4 run
+///   the 2 constant-a passes with a 2-column key →
+///   `search_cycles = 3·4 + 2·2 = 16`, `searched_bits = (12·3 + 4·2)·4 = 176`.
+/// * writes: one pass-write per search plus the carry clear →
+///   `write_cycles = 17`; `written_bits` = 4 (clear, all rows) + 2 bits per
+///   matching row over the 16 passes = 26 for these inputs.
+/// * shifts: staging walks each column's cluster per row (col 0: 2+4+4+4 = 14,
+///   col 1: 4+8+8+8 = 28) and execution re-aligns per bit
+///   (4+2 at bit 0, then 2+2+1+1 across bits 1–4 = 12) → 54 total.
+/// * I/O: 4 rows × (3 + 5) staged bits = 32.
+#[test]
+fn golden_add_in_place_stats() {
+    let expected = CamStats {
+        search_cycles: 16,
+        searched_bits: 176,
+        write_cycles: 17,
+        written_bits: 26,
+        read_bits: 0,
+        read_ops: 0,
+        shifts: 54,
+        io_written_bits: 32,
+    };
+    let a = Operand::new(0, 0, 3, false);
+    let acc = Operand::new(1, 0, 5, true);
+    let add = ApInstruction::AddInPlace {
+        a,
+        acc,
+        carry: CarrySlot::new(2, 0),
+    };
+    let (mut controller, mut engine) = pair(4, 4, 8);
+    for ap in [&mut controller as &mut dyn GoldenAp, &mut engine] {
+        ap.load(&a, &[1, 2, 3, 7]);
+        ap.load(&acc, &[0, -1, 5, -8]);
+        ap.exec(&add);
+        assert_eq!(ap.stats(), expected);
+    }
+}
+
+/// Golden case 2: out-of-place subtraction `d ← b − a` leaves the sources
+/// intact and zero-initialises the destination first.
+///
+/// a (col 0) = [5, 0, 7], b (col 1) = [3, 6, 7] → d (col 2) = [-2, 6, 0];
+/// raw 5-domain dump of d = [30, 6, 0] (-2 is 0b11110 two's complement).
+#[test]
+fn golden_sub_out_of_place_column_dumps() {
+    let a = Operand::new(0, 0, 3, false);
+    let b = Operand::new(1, 0, 3, false);
+    let d = Operand::new(2, 0, 5, true);
+    let sub = ApInstruction::SubOutOfPlace {
+        a,
+        b,
+        dests: vec![d],
+        carry: CarrySlot::new(3, 0),
+    };
+    let (mut controller, mut engine) = pair(3, 5, 8);
+    for ap in [&mut controller as &mut dyn GoldenAp, &mut engine] {
+        ap.load(&a, &[5, 0, 7]);
+        ap.load(&b, &[3, 6, 7]);
+        // Garbage in the destination must be cleared by the instruction.
+        ap.load(&d, &[11, -9, 3]);
+        ap.exec(&sub);
+        assert_eq!(ap.read(&d), vec![-2, 6, 0]);
+        assert_eq!(ap.read(&a), vec![5, 0, 7], "source a must be preserved");
+        assert_eq!(ap.read(&b), vec![3, 6, 7], "source b must be preserved");
+        assert_eq!(ap.dump(2, 5), vec![30, 6, 0], "raw destination dump");
+    }
+}
+
+/// Golden case 3: a 66-row program crosses the packed-word boundary; the
+/// expectations are closed-form `i64` arithmetic (independent of both AP
+/// implementations), with literal spot checks around rows 63–65.
+#[test]
+fn golden_word_boundary_accumulation() {
+    let rows = 66;
+    let a = Operand::new(0, 0, 4, false);
+    let b = Operand::new(1, 0, 4, false);
+    let sum = Operand::new(2, 0, 6, true);
+    let acc = Operand::new(3, 0, 8, true);
+    let a_vals: Vec<i64> = (0..rows as i64).map(|i| (3 * i + 1) % 16).collect();
+    let b_vals: Vec<i64> = (0..rows as i64).map(|i| (7 * i) % 16).collect();
+    let program = ApProgram::from_instructions(vec![
+        ApInstruction::Clear { dst: acc },
+        ApInstruction::AddOutOfPlace {
+            a,
+            b,
+            dests: vec![sum],
+            carry: CarrySlot::new(4, 0),
+        },
+        ApInstruction::AddInPlace {
+            a: sum,
+            acc,
+            carry: CarrySlot::new(4, 0),
+        },
+        ApInstruction::SubInPlace {
+            a,
+            acc,
+            carry: CarrySlot::new(4, 0),
+        },
+    ]);
+    // acc = 0 + (a + b) - a, so the closed-form expectation is b itself.
+    let expected = b_vals.clone();
+    // Literal spot checks at the word boundary: b[63] = 441 % 16 = 9,
+    // b[64] = 448 % 16 = 0, b[65] = 455 % 16 = 7.
+    assert_eq!(&expected[63..66], &[9, 0, 7]);
+    let (mut controller, mut engine) = pair(rows, 6, 16);
+    for ap in [&mut controller as &mut dyn GoldenAp, &mut engine] {
+        ap.load(&a, &a_vals);
+        ap.load(&b, &b_vals);
+        for instruction in program.iter() {
+            ap.exec(instruction);
+        }
+        assert_eq!(ap.read(&acc), expected);
+        assert_eq!(
+            ap.read(&sum),
+            a_vals
+                .iter()
+                .zip(&b_vals)
+                .map(|(x, y)| x + y)
+                .collect::<Vec<_>>()
+        );
+    }
+    // And the two implementations agree on every counter for this program.
+    assert_eq!(engine.stats(), controller.stats());
+}
+
+/// The minimal shared driver so every golden case runs unchanged on both
+/// implementations (the point of the regression suite).
+trait GoldenAp {
+    fn load(&mut self, operand: &Operand, values: &[i64]);
+    fn exec(&mut self, instruction: &ApInstruction);
+    fn read(&mut self, operand: &Operand) -> Vec<i64>;
+    /// Raw unsigned dump of `width` domains of `col`, one value per row.
+    fn dump(&mut self, col: usize, width: u8) -> Vec<i64>;
+    fn stats(&self) -> CamStats;
+}
+
+impl GoldenAp for ApController {
+    fn load(&mut self, operand: &Operand, values: &[i64]) {
+        ApController::load_column(self, operand, values).expect("scalar load");
+    }
+    fn exec(&mut self, instruction: &ApInstruction) {
+        ApController::execute(self, instruction).expect("scalar execute");
+    }
+    fn read(&mut self, operand: &Operand) -> Vec<i64> {
+        ApController::read_column(self, operand).expect("scalar read")
+    }
+    fn dump(&mut self, col: usize, width: u8) -> Vec<i64> {
+        self.array_mut()
+            .read_column_values(col, 0, width, false)
+            .expect("scalar dump")
+    }
+    fn stats(&self) -> CamStats {
+        ApController::stats(self)
+    }
+}
+
+impl GoldenAp for ApEngine {
+    fn load(&mut self, operand: &Operand, values: &[i64]) {
+        ApEngine::load_column(self, operand, values).expect("packed load");
+    }
+    fn exec(&mut self, instruction: &ApInstruction) {
+        ApEngine::execute(self, instruction).expect("packed execute");
+    }
+    fn read(&mut self, operand: &Operand) -> Vec<i64> {
+        ApEngine::read_column(self, operand).expect("packed read")
+    }
+    fn dump(&mut self, col: usize, width: u8) -> Vec<i64> {
+        self.array_mut()
+            .read_column_values(col, 0, width, false)
+            .expect("packed dump")
+    }
+    fn stats(&self) -> CamStats {
+        ApEngine::stats(self)
+    }
+}

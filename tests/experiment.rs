@@ -18,7 +18,8 @@ use apc::layout::CamGeometry;
 use apc::{CompilerOptions, LayerSignature};
 use camdnn::experiment::{BackendPlan, ResultSet, ScenarioSpec, Session, SweepGrid, Workload};
 use camdnn::{
-    BackendId, BackendKind, BackendRegistry, BackendReport, FullStackPipeline, InferenceBackend,
+    BackendId, BackendKind, BackendRegistry, BackendReport, FullStackPipeline, FunctionalBackend,
+    InferenceBackend,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -195,6 +196,62 @@ fn duplicate_scenario_labels_are_rejected_up_front() {
         error.to_string().contains("duplicate scenario label"),
         "got: {error}"
     );
+}
+
+#[test]
+fn functional_backend_sweeps_next_to_the_standard_columns_and_pins_the_reference() {
+    // The `functional` backend joins the sweep as a fifth column, and its
+    // accuracy records are pinned equal to the `tnn::infer` reference outputs
+    // on the micro workloads — end-to-end bit-exactness as a grid column.
+    let mut backends = BackendPlan::standard();
+    backends.push(BackendPlan::functional());
+    let grid = SweepGrid::new()
+        .workloads([
+            micro_cnn("micro-a", 4, 0.80, 1),
+            micro_cnn("micro-b", 8, 0.85, 2),
+        ])
+        .act_bits([4, 8])
+        .backends(backends);
+    let session = Session::new();
+    let results = session.run(&grid).expect("sweep");
+    assert_eq!(results.records.len(), grid.len() * 5);
+    // Registration order puts the functional column fifth in every scenario.
+    for (i, record) in results.records.iter().enumerate() {
+        if i % 5 == 4 {
+            assert_eq!(record.backend, BackendKind::Functional.id());
+            assert!(record.backend_name.starts_with("functional["));
+        }
+    }
+    for spec in grid.scenarios() {
+        let record = results
+            .get(&spec.label, BackendKind::Functional)
+            .expect("functional record");
+        let functional = record.report.as_functional().expect("functional report");
+        assert!(
+            functional.is_bit_exact(),
+            "scenario {}: {functional:?}",
+            spec.label
+        );
+        assert_eq!(functional.act_bits, spec.act_bits);
+        // The logits are exactly the reference integer inference on the same
+        // deterministic input.
+        let input = FunctionalBackend::input_for(&spec.workload.model, spec.act_bits, 0);
+        let reference = tnn::infer::run(&spec.workload.model, &input, Some(spec.act_bits))
+            .expect("reference inference");
+        assert_eq!(
+            functional.logits,
+            reference.output().expect("logits").as_slice(),
+            "scenario {}",
+            spec.label
+        );
+        assert_eq!(functional.predicted_class, reference.predicted_class());
+        // The executed counters price the inference.
+        assert!(record.energy_uj > 0.0 && record.latency_ms > 0.0);
+        assert!(functional.stats.compute_cycles() > 0);
+    }
+    // The new record shape survives the JSON-lines round-trip.
+    let parsed = ResultSet::from_json(&results.to_json()).expect("parse");
+    assert_eq!(parsed, results);
 }
 
 #[test]
