@@ -11,28 +11,37 @@ use tnn::train::accuracy_experiment;
 
 fn main() {
     println!("Accuracy experiment (synthetic blob task, ternary MLP)\n");
-    println!("{:<8} {:>8} {:>8} {:>8}", "seed", "FP", "8-bit", "4-bit");
-    let mut sums = [0.0f64; 3];
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "seed", "FP", "8-bit", "4-bit", "graph4"
+    );
+    let mut sums = [0.0f64; 4];
     let runs = 5;
     for seed in 0..runs {
-        let (fp, q8, q4) = accuracy_experiment(100 + seed).expect("accuracy experiment");
+        // The graph column scores the exported model batch-wise: the test set
+        // is staged as one `tnn::dataset::Batch` and executed through
+        // `tnn::infer::run_batch` instead of a per-sample loop.
+        let columns = accuracy_experiment(100 + seed).expect("accuracy experiment");
         println!(
-            "{:<8} {:>7.1}% {:>7.1}% {:>7.1}%",
+            "{:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
             seed,
-            fp * 100.0,
-            q8 * 100.0,
-            q4 * 100.0
+            columns.fp * 100.0,
+            columns.q8 * 100.0,
+            columns.q4 * 100.0,
+            columns.graph4 * 100.0
         );
-        sums[0] += fp;
-        sums[1] += q8;
-        sums[2] += q4;
+        sums[0] += columns.fp;
+        sums[1] += columns.q8;
+        sums[2] += columns.q4;
+        sums[3] += columns.graph4;
     }
     println!(
-        "{:<8} {:>7.1}% {:>7.1}% {:>7.1}%",
+        "{:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
         "mean",
         sums[0] / runs as f64 * 100.0,
         sums[1] / runs as f64 * 100.0,
-        sums[2] / runs as f64 * 100.0
+        sums[2] / runs as f64 * 100.0,
+        sums[3] / runs as f64 * 100.0
     );
 
     println!("\nBit-exactness of the associative processor vs the quantized reference:");
@@ -54,16 +63,18 @@ fn main() {
         );
     }
 
-    // End-to-end: the `functional` backend column executes whole networks on
-    // the word-parallel AP engine and pins the logits to `tnn::infer`. Only
-    // the functional column is swept — this bin reads nothing else.
-    println!("\nEnd-to-end functional execution (word-parallel AP engine):");
+    // End-to-end: the `functional` backend executes whole networks on the
+    // word-parallel AP engine and pins every sample's logits to `tnn::infer`.
+    // The batch axis packs B samples into shared bit-plane arrays, so the
+    // sweep traces the throughput curve next to the accuracy evidence.
+    println!("\nEnd-to-end functional execution (word-parallel AP engine, batched):");
     let grid = SweepGrid::new()
         .workloads([
             micro_cnn("micro s=.80", 8, 0.80, 1),
             micro_cnn("micro s=.90", 8, 0.90, 2),
         ])
         .act_bits([4, 8])
+        .batch_sizes([1, 16])
         .backends([BackendPlan::functional()]);
     let session = Session::new();
     let results = session.run(&grid).expect("functional sweep");
@@ -71,17 +82,28 @@ fn main() {
         let record = results
             .get(scenario, "functional")
             .expect("functional record");
-        let report = record.report.as_functional().expect("functional report");
+        let (checked, mismatched, exact) = match (
+            record.report.as_functional(),
+            record.report.as_functional_batch(),
+        ) {
+            (Some(report), _) => (
+                report.checked_values,
+                report.mismatched_values,
+                report.is_bit_exact(),
+            ),
+            (_, Some(batch)) => (
+                batch.samples.iter().map(|s| s.checked_values).sum(),
+                batch.samples.iter().map(|s| s.mismatched_values).sum(),
+                batch.is_bit_exact(),
+            ),
+            _ => unreachable!("functional records are functional reports"),
+        };
         println!(
-            "  {scenario:<24} {} values checked, {} mismatches -> {}; class {:?}",
-            report.checked_values,
-            report.mismatched_values,
-            if report.is_bit_exact() {
-                "bit-exact"
-            } else {
-                "MISMATCH"
-            },
-            report.predicted_class
+            "  {scenario:<28} b{:<3} {checked:>6} values checked, {mismatched} mismatches -> {}; {:>10.0} samples/s, {:.2e} J/sample",
+            record.batch_size,
+            if exact { "bit-exact" } else { "MISMATCH" },
+            record.samples_per_s,
+            record.joules_per_sample,
         );
     }
 }

@@ -35,12 +35,13 @@ fn main() {
     maybe_write_json(&results);
 
     println!("\nAccuracy columns (synthetic-task substitute, see DESIGN.md):");
-    let (fp, q8, q4) = accuracy_experiment(21).expect("accuracy experiment");
+    let columns = accuracy_experiment(21).expect("accuracy experiment");
     println!(
-        "  full precision: {:.1}%   ternary + 8-bit: {:.1}%   ternary + 4-bit: {:.1}%",
-        fp * 100.0,
-        q8 * 100.0,
-        q4 * 100.0
+        "  full precision: {:.1}%   ternary + 8-bit: {:.1}%   ternary + 4-bit: {:.1}%   graph 4-bit: {:.1}%",
+        columns.fp * 100.0,
+        columns.q8 * 100.0,
+        columns.q4 * 100.0,
+        columns.graph4 * 100.0
     );
     println!("  (the AP itself is bit-exact against the quantized software model — see the bit_exactness tests)");
 }

@@ -88,6 +88,27 @@ impl PackedTags {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of tagged rows within `start..end` (clamped to the register).
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        let end = end.min(self.rows);
+        if start >= end {
+            return 0;
+        }
+        let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+        (first..=last)
+            .map(|word| {
+                let mut bits = self.words[word];
+                if word == first {
+                    bits &= u64::MAX << (start % WORD_BITS);
+                }
+                if word == last && !end.is_multiple_of(WORD_BITS) {
+                    bits &= (1u64 << (end % WORD_BITS)) - 1;
+                }
+                bits.count_ones() as usize
+            })
+            .sum()
+    }
+
     /// Whether row `row` is tagged. Rows outside the register are untagged.
     pub fn is_set(&self, row: usize) -> bool {
         row < self.rows && self.words[row / WORD_BITS] & (1u64 << (row % WORD_BITS)) != 0
@@ -140,6 +161,60 @@ pub struct BitPlaneArray {
     words: usize,
     tech: CamTechnology,
     stats: CamStats,
+    tracker: Option<SegmentTracker>,
+}
+
+/// Per-segment "as-if-solo" event attribution (see
+/// [`BitPlaneArray::track_segments`]).
+///
+/// Each segment carries its own [`CamStats`] and a *shadow* port-position
+/// vector that starts from the fresh (all-zero) state a standalone array would
+/// have. Column-global operations (aligns, searches, tagged writes) charge
+/// every segment as if it were the whole array; row-addressed I/O charges only
+/// the segment owning the row, with shift distances taken from the segment's
+/// shadow positions. Because the align sequence of a program is
+/// data-independent and row results never cross rows, the per-segment counters
+/// are *exactly* the counters a solo run of that segment's rows on a
+/// segment-sized array would produce — the invariant the batch-equivalence
+/// suite pins.
+#[derive(Debug, Clone)]
+struct SegmentTracker {
+    segment_rows: usize,
+    /// Charges every segment pays identically (column-global aligns,
+    /// searches, cycle counts) — folded into each segment's total lazily, so
+    /// the hot passes update one counter set instead of one per segment.
+    shared: CamStats,
+    /// Segment-specific charges: data-dependent tagged-write bits and
+    /// row-addressed I/O.
+    individual: Vec<CamStats>,
+    shadow: ShadowPositions,
+}
+
+/// Per-segment shadow port positions. Column-global operations move every
+/// segment's shadow identically, so the common case is one shared vector;
+/// the first row-addressed align diverges it into per-segment copies.
+#[derive(Debug, Clone)]
+enum ShadowPositions {
+    Shared(Vec<usize>),
+    Diverged(Vec<Vec<usize>>),
+}
+
+impl SegmentTracker {
+    fn diverged(&mut self) -> &mut Vec<Vec<usize>> {
+        if let ShadowPositions::Shared(shared) = &self.shadow {
+            self.shadow = ShadowPositions::Diverged(vec![shared.clone(); self.individual.len()]);
+        }
+        match &mut self.shadow {
+            ShadowPositions::Diverged(per_segment) => per_segment,
+            ShadowPositions::Shared(_) => unreachable!("shadow was just diverged"),
+        }
+    }
+}
+
+/// Minimal circular distance between two domains on a `domains`-deep track.
+fn circular_distance(from: usize, to: usize, domains: usize) -> u64 {
+    let folded = from.abs_diff(to) % domains;
+    folded.min(domains - folded) as u64
 }
 
 impl BitPlaneArray {
@@ -180,7 +255,63 @@ impl BitPlaneArray {
             words,
             tech,
             stats: CamStats::new(),
+            tracker: None,
         })
+    }
+
+    /// Splits the array into consecutive `segment_rows`-row segments and
+    /// starts attributing events to them "as-if-solo": every segment's
+    /// [`CamStats`] accumulate exactly what a standalone `segment_rows`-row
+    /// array replaying this segment's slice of the operation stream would
+    /// record. Column-global operations (aligns, searches, tagged writes)
+    /// charge each segment a full cycle plus its row share of the touched
+    /// bits; row-addressed I/O charges only the owning segment, with shift
+    /// distances taken from a per-segment shadow of the port positions that
+    /// starts from the fresh state.
+    ///
+    /// This is the accounting substrate of batched execution: B samples
+    /// packed as B segments share one physical search/write sweep (the
+    /// aggregate [`stats`](Self::stats) show the amortization) while each
+    /// sample's attributed cost stays bit-identical to a solo run.
+    ///
+    /// Calling this again resets the per-segment counters and shadows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::SegmentMismatch`] unless `segment_rows` is
+    /// non-zero and evenly divides the row count.
+    pub fn track_segments(&mut self, segment_rows: usize) -> Result<()> {
+        if segment_rows == 0 || !self.rows.is_multiple_of(segment_rows) {
+            return Err(CamError::SegmentMismatch {
+                rows: self.rows,
+                segment_rows,
+            });
+        }
+        let count = self.rows / segment_rows;
+        self.tracker = Some(SegmentTracker {
+            segment_rows,
+            shared: CamStats::new(),
+            individual: vec![CamStats::new(); count],
+            shadow: ShadowPositions::Shared(vec![0; self.cols]),
+        });
+        Ok(())
+    }
+
+    /// The per-segment counters, in segment order (empty when
+    /// [`track_segments`](Self::track_segments) was never called).
+    pub fn segment_stats(&self) -> Vec<CamStats> {
+        self.tracker.as_ref().map_or_else(Vec::new, |tracker| {
+            tracker
+                .individual
+                .iter()
+                .map(|stats| tracker.shared + *stats)
+                .collect()
+        })
+    }
+
+    /// Rows per tracked segment, if segment tracking is enabled.
+    pub fn segment_rows(&self) -> Option<usize> {
+        self.tracker.as_ref().map(|t| t.segment_rows)
     }
 
     /// Number of rows (SIMD lanes).
@@ -208,9 +339,14 @@ impl BitPlaneArray {
         self.stats
     }
 
-    /// Resets the event counters without touching stored data.
+    /// Resets the event counters (including any per-segment counters) without
+    /// touching stored data or the shadow positions.
     pub fn reset_stats(&mut self) {
         self.stats = CamStats::new();
+        if let Some(tracker) = self.tracker.as_mut() {
+            tracker.shared = CamStats::new();
+            tracker.individual.fill(CamStats::new());
+        }
     }
 
     /// Returns the counters and resets them.
@@ -267,13 +403,13 @@ impl BitPlaneArray {
     /// Lockstep shift distance of the column's domain-wall cluster, mirroring the
     /// single-port nanowire model: the minimal circular distance along the track.
     fn shift_distance(&self, col: usize, domain: usize) -> u64 {
-        let raw = self.positions[col].abs_diff(domain);
-        let folded = raw % self.domains;
-        folded.min(self.domains - folded) as u64
+        circular_distance(self.positions[col], domain, self.domains)
     }
 
     /// Aligns `col` so that bit position `domain` sits under the access ports,
-    /// recording the lockstep shift cost.
+    /// recording the lockstep shift cost. With segment tracking enabled the
+    /// align is column-global, so every segment's shadow pays its own solo
+    /// distance.
     ///
     /// # Errors
     ///
@@ -283,7 +419,43 @@ impl BitPlaneArray {
         self.check_domain(domain)?;
         self.stats.shifts += self.shift_distance(col, domain);
         self.positions[col] = domain;
+        if let Some(tracker) = self.tracker.as_mut() {
+            match &mut tracker.shadow {
+                ShadowPositions::Shared(shadow) => {
+                    tracker.shared.shifts += circular_distance(shadow[col], domain, self.domains);
+                    shadow[col] = domain;
+                }
+                ShadowPositions::Diverged(per_segment) => {
+                    for (stats, shadow) in tracker.individual.iter_mut().zip(per_segment) {
+                        stats.shifts += circular_distance(shadow[col], domain, self.domains);
+                        shadow[col] = domain;
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Physically aligns `col` for a row-addressed access of `row`, charging
+    /// the shadow shift only to the segment owning the row.
+    fn align_for_row(&mut self, col: usize, domain: usize, row: usize) {
+        self.stats.shifts += self.shift_distance(col, domain);
+        self.positions[col] = domain;
+        let domains = self.domains;
+        if let Some(tracker) = self.tracker.as_mut() {
+            let segment = row / tracker.segment_rows;
+            let shadow = &mut tracker.diverged()[segment];
+            let distance = circular_distance(shadow[col], domain, domains);
+            shadow[col] = domain;
+            tracker.individual[segment].shifts += distance;
+        }
+    }
+
+    /// Charges `add` to the segment owning `row`, if tracking is enabled.
+    fn charge_row(&mut self, row: usize, add: impl Fn(&mut CamStats)) {
+        if let Some(tracker) = self.tracker.as_mut() {
+            add(&mut tracker.individual[row / tracker.segment_rows]);
+        }
     }
 
     /// Domain currently aligned for `col`.
@@ -324,6 +496,12 @@ impl BitPlaneArray {
         // only be cleared further, so no re-masking is needed.
         self.stats.search_cycles += 1;
         self.stats.searched_bits += (key.len() * self.rows) as u64;
+        if let Some(tracker) = self.tracker.as_mut() {
+            // Every segment sees the same cycle and the same key-bit × rows
+            // product, so the whole search is a shared charge.
+            tracker.shared.search_cycles += 1;
+            tracker.shared.searched_bits += (key.len() * tracker.segment_rows) as u64;
+        }
         Ok(tags)
     }
 
@@ -359,6 +537,45 @@ impl BitPlaneArray {
         }
         self.stats.write_cycles += 1;
         self.stats.written_bits += (pattern.len() * tags.count()) as u64;
+        if let Some(tracker) = self.tracker.as_mut() {
+            tracker.shared.write_cycles += 1;
+            // The written bits are data-dependent (pattern bits × tagged rows
+            // of the segment), so they are the one per-segment charge of a
+            // write pass; split the tag words over the segments in one pass.
+            let pattern_bits = pattern.len() as u64;
+            let segment_rows = tracker.segment_rows;
+            if segment_rows.is_multiple_of(WORD_BITS) {
+                let words_per_segment = segment_rows / WORD_BITS;
+                for (stats, chunk) in tracker
+                    .individual
+                    .iter_mut()
+                    .zip(tags.as_words().chunks(words_per_segment))
+                {
+                    let count: u64 = chunk.iter().map(|w| u64::from(w.count_ones())).sum();
+                    stats.written_bits += pattern_bits * count;
+                }
+            } else if WORD_BITS.is_multiple_of(segment_rows) {
+                let per_word = WORD_BITS / segment_rows;
+                let mask = (1u64 << segment_rows) - 1;
+                for (word_index, &word) in tags.as_words().iter().enumerate() {
+                    let mut word = word;
+                    for lane in 0..per_word {
+                        let segment = word_index * per_word + lane;
+                        let Some(stats) = tracker.individual.get_mut(segment) else {
+                            break;
+                        };
+                        stats.written_bits += pattern_bits * u64::from((word & mask).count_ones());
+                        word >>= segment_rows;
+                    }
+                }
+            } else {
+                for (segment, stats) in tracker.individual.iter_mut().enumerate() {
+                    let start = segment * segment_rows;
+                    stats.written_bits +=
+                        pattern_bits * tags.count_range(start, start + segment_rows) as u64;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -371,7 +588,7 @@ impl BitPlaneArray {
         self.check_col(col)?;
         self.check_row(row)?;
         self.check_domain(domain)?;
-        self.align_column(col, domain)?;
+        self.align_for_row(col, domain, row);
         let plane = self.plane_mut(col, domain);
         let mask = 1u64 << (row % WORD_BITS);
         if value {
@@ -380,6 +597,7 @@ impl BitPlaneArray {
             plane[row / WORD_BITS] &= !mask;
         }
         self.stats.io_written_bits += 1;
+        self.charge_row(row, |stats| stats.io_written_bits += 1);
         Ok(())
     }
 
@@ -392,8 +610,9 @@ impl BitPlaneArray {
         self.check_col(col)?;
         self.check_row(row)?;
         self.check_domain(domain)?;
-        self.align_column(col, domain)?;
+        self.align_for_row(col, domain, row);
         self.stats.read_bits += 1;
+        self.charge_row(row, |stats| stats.read_bits += 1);
         let plane = self.plane(col, self.positions[col]);
         Ok(plane[row / WORD_BITS] & (1u64 << (row % WORD_BITS)) != 0)
     }
@@ -442,14 +661,47 @@ impl BitPlaneArray {
             }
         }
         self.stats.read_ops += 1;
+        self.charge_row(row, |stats| stats.read_ops += 1);
         if signed && width > 0 && (value >> (width - 1)) & 1 == 1 {
             value -= 1 << width;
         }
         Ok(value)
     }
 
+    /// Shift cost of staging or sensing `width` bits of every row of `col`
+    /// (the closed form of the per-row walk `align(base), step to
+    /// base+width-1, align back`), charged from `from` and leaving the column
+    /// at `base + width - 1`. Matches the per-bit
+    /// [`align_column`](Self::align_column) loop exactly: ascending bits move
+    /// one domain per step, and every row after the first first walks back
+    /// from the top bit.
+    fn column_walk_shifts(&self, from: usize, base: usize, width: u8, rows: usize) -> u64 {
+        let top = base + width as usize - 1;
+        circular_distance(from, base, self.domains)
+            + (rows as u64 - 1) * circular_distance(top, base, self.domains)
+            + rows as u64 * (width as u64 - 1)
+    }
+
+    /// Whether a whole-column access of `width` bits at `base` can take the
+    /// word-parallel fast path (everything in range, nothing overflowing);
+    /// when it cannot, the caller falls back to the per-row loop so error
+    /// ordering and partial-write semantics stay bit-identical.
+    fn column_fast_path(&self, col: usize, base: usize, width: u8, values: &[i64]) -> bool {
+        col < self.cols
+            && width > 0
+            && base + (width as usize) <= self.domains
+            && values
+                .iter()
+                .all(|&value| validate_width(width, value).is_ok())
+    }
+
     /// Stages one value per row into `col` (the common case when loading an im2col
     /// column of the input feature map).
+    ///
+    /// The store runs word-parallel — one packed word per 64 rows per bit
+    /// plane — while the event counters follow the same per-row accounting as
+    /// [`write_value`](Self::write_value) (it is data-independent, so the
+    /// closed form is exact).
     ///
     /// # Errors
     ///
@@ -468,13 +720,31 @@ impl BitPlaneArray {
                 found: values.len(),
             });
         }
-        for (row, &value) in values.iter().enumerate() {
-            self.write_value(col, row, base, width, value)?;
+        if !self.column_fast_path(col, base, width, values) {
+            for (row, &value) in values.iter().enumerate() {
+                self.write_value(col, row, base, width, value)?;
+            }
+            return Ok(());
         }
+        for bit in 0..width as usize {
+            let start = self.plane_index(col, base + bit);
+            let planes = &mut self.planes[start..start + self.words];
+            for (word, chunk) in values.chunks(WORD_BITS).enumerate() {
+                let mut packed = 0u64;
+                for (lane, &value) in chunk.iter().enumerate() {
+                    packed |= (((value >> bit) & 1) as u64) << lane;
+                }
+                planes[word] = packed;
+            }
+        }
+        self.account_column_walk(col, base, width, true);
         Ok(())
     }
 
     /// Reads one value per row from `col`.
+    ///
+    /// The sense runs word-parallel with the same per-row event accounting as
+    /// [`read_value`](Self::read_value).
     ///
     /// # Errors
     ///
@@ -486,9 +756,77 @@ impl BitPlaneArray {
         width: u8,
         signed: bool,
     ) -> Result<Vec<i64>> {
-        (0..self.rows)
-            .map(|row| self.read_value(col, row, base, width, signed))
-            .collect()
+        if col >= self.cols || width == 0 || base + (width as usize) > self.domains {
+            return (0..self.rows)
+                .map(|row| self.read_value(col, row, base, width, signed))
+                .collect();
+        }
+        let mut values = vec![0i64; self.rows];
+        for bit in 0..width as usize {
+            let start = self.plane_index(col, base + bit);
+            let planes = &self.planes[start..start + self.words];
+            for (row, value) in values.iter_mut().enumerate() {
+                *value |= (((planes[row / WORD_BITS] >> (row % WORD_BITS)) & 1) as i64) << bit;
+            }
+        }
+        if signed {
+            let sign = 1i64 << (width - 1);
+            for value in &mut values {
+                if *value & sign != 0 {
+                    *value -= 1 << width;
+                }
+            }
+        }
+        self.account_column_walk(col, base, width, false);
+        Ok(values)
+    }
+
+    /// Books the counters of one whole-column fast-path access: the global
+    /// stats pay the physical walk, and each tracked segment pays the walk a
+    /// solo `segment_rows`-row array would have performed from its shadow
+    /// position.
+    fn account_column_walk(&mut self, col: usize, base: usize, width: u8, write: bool) {
+        let bits = width as u64 * self.rows as u64;
+        self.stats.shifts += self.column_walk_shifts(self.positions[col], base, width, self.rows);
+        if write {
+            self.stats.io_written_bits += bits;
+        } else {
+            self.stats.read_bits += bits;
+            self.stats.read_ops += self.rows as u64;
+        }
+        let top = base + width as usize - 1;
+        self.positions[col] = top;
+        if let Some(mut tracker) = self.tracker.take() {
+            let segment_rows = tracker.segment_rows;
+            let segment_bits = width as u64 * segment_rows as u64;
+            match &mut tracker.shadow {
+                ShadowPositions::Shared(shadow) => {
+                    tracker.shared.shifts +=
+                        self.column_walk_shifts(shadow[col], base, width, segment_rows);
+                    if write {
+                        tracker.shared.io_written_bits += segment_bits;
+                    } else {
+                        tracker.shared.read_bits += segment_bits;
+                        tracker.shared.read_ops += segment_rows as u64;
+                    }
+                    shadow[col] = top;
+                }
+                ShadowPositions::Diverged(per_segment) => {
+                    for (stats, shadow) in tracker.individual.iter_mut().zip(per_segment) {
+                        stats.shifts +=
+                            self.column_walk_shifts(shadow[col], base, width, segment_rows);
+                        if write {
+                            stats.io_written_bits += segment_bits;
+                        } else {
+                            stats.read_bits += segment_bits;
+                            stats.read_ops += segment_rows as u64;
+                        }
+                        shadow[col] = top;
+                    }
+                }
+            }
+            self.tracker = Some(tracker);
+        }
     }
 
     /// Clears (writes zero into) `width` bits of every row of `col` starting at
@@ -677,6 +1015,110 @@ mod tests {
             packed.align_column(0, domain).expect("align");
             assert_eq!(packed.stats().shifts, scalar.stats().shifts, "d {domain}");
         }
+    }
+
+    #[test]
+    fn count_range_masks_partial_words() {
+        let bits: Vec<bool> = (0..150).map(|row| row % 3 == 0).collect();
+        let packed = PackedTags::from_tag_vector(&TagVector::from_bits(bits.clone()));
+        for (start, end) in [(0, 150), (0, 64), (63, 65), (10, 10), (100, 200), (64, 128)] {
+            let expected = bits
+                .iter()
+                .take(end.min(bits.len()))
+                .skip(start)
+                .filter(|&&b| b)
+                .count();
+            assert_eq!(packed.count_range(start, end), expected, "{start}..{end}");
+        }
+    }
+
+    #[test]
+    fn track_segments_rejects_non_dividing_sizes() {
+        let mut cam = array(100, 2, 4);
+        assert!(matches!(
+            cam.track_segments(0),
+            Err(CamError::SegmentMismatch { .. })
+        ));
+        assert!(matches!(
+            cam.track_segments(30),
+            Err(CamError::SegmentMismatch { .. })
+        ));
+        assert!(cam.track_segments(25).is_ok());
+        assert_eq!(cam.segment_rows(), Some(25));
+        assert_eq!(cam.segment_stats().len(), 4);
+    }
+
+    /// The tracking invariant: replaying a packed run's per-segment slice of
+    /// the operation stream on a solo segment-sized array must reproduce the
+    /// segment's attributed counters (and data) exactly.
+    #[test]
+    fn segment_stats_match_solo_runs_exactly() {
+        let (segments, rows) = (3usize, 40usize);
+        let mut packed = array(segments * rows, 3, 8);
+        packed.track_segments(rows).expect("segments");
+        // Distinct data per segment so the tagged-write counters are
+        // genuinely data-dependent.
+        let values: Vec<i64> = (0..segments * rows)
+            .map(|row| (row as i64 * 11 + 5) % 16)
+            .collect();
+        let mut solos: Vec<BitPlaneArray> = (0..segments).map(|_| array(rows, 3, 8)).collect();
+        // Staging: whole packed column vs each solo's slice.
+        packed.write_column_values(0, 0, 4, &values).expect("load");
+        for (segment, solo) in solos.iter_mut().enumerate() {
+            solo.write_column_values(0, 0, 4, &values[segment * rows..(segment + 1) * rows])
+                .expect("solo load");
+        }
+        // A data-dependent search/write pass plus a second-column update.
+        for (col, domain, key_bit) in [(0usize, 2usize, true), (0, 0, false), (0, 1, true)] {
+            packed.align_column(col, domain).expect("align");
+            packed.align_column(1, 0).expect("align");
+            let tags = packed
+                .search(&SearchKey::new().with(col, key_bit))
+                .expect("search");
+            packed
+                .write_tagged(&tags, &SearchKey::new().with(1, true))
+                .expect("write");
+            for solo in solos.iter_mut() {
+                solo.align_column(col, domain).expect("align");
+                solo.align_column(1, 0).expect("align");
+                let tags = solo
+                    .search(&SearchKey::new().with(col, key_bit))
+                    .expect("search");
+                solo.write_tagged(&tags, &SearchKey::new().with(1, true))
+                    .expect("write");
+            }
+        }
+        // Read-out through the sense amplifiers.
+        let packed_read = packed.read_column_values(1, 0, 1, false).expect("read");
+        for (segment, solo) in solos.iter_mut().enumerate() {
+            let solo_read = solo.read_column_values(1, 0, 1, false).expect("read");
+            assert_eq!(
+                packed_read[segment * rows..(segment + 1) * rows],
+                solo_read[..],
+                "segment {segment} data"
+            );
+            assert_eq!(
+                packed.segment_stats()[segment],
+                solo.stats(),
+                "segment {segment} counters"
+            );
+        }
+        // Aggregate bit counters are the sum of the segments; the cycle
+        // counters amortize (one physical pass covers every segment).
+        let attributed: CamStats = packed
+            .segment_stats()
+            .iter()
+            .copied()
+            .fold(CamStats::new(), |acc, s| acc + s);
+        let physical = packed.stats();
+        assert_eq!(physical.searched_bits, attributed.searched_bits);
+        assert_eq!(physical.written_bits, attributed.written_bits);
+        assert_eq!(physical.io_written_bits, attributed.io_written_bits);
+        assert_eq!(physical.read_bits, attributed.read_bits);
+        assert_eq!(
+            physical.search_cycles * segments as u64,
+            attributed.search_cycles
+        );
     }
 
     proptest! {

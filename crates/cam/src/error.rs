@@ -42,6 +42,14 @@ pub enum CamError {
         /// Provided length.
         found: usize,
     },
+    /// A segment size does not evenly divide the array height.
+    #[error("segment size {segment_rows} does not evenly divide {rows} rows")]
+    SegmentMismatch {
+        /// Number of rows in the array.
+        rows: usize,
+        /// Requested rows per segment.
+        segment_rows: usize,
+    },
     /// A value does not fit in the requested bit width.
     #[error("value {value} does not fit in {width} bits (two's complement)")]
     ValueOverflow {

@@ -34,7 +34,7 @@
 //! assert!(results[0].1.energy_uj() > 0.0);
 //! ```
 
-use crate::functional::FunctionalReport;
+use crate::functional::{BatchReport, FunctionalReport};
 use accel::{NetworkReport, NetworkSimulator};
 use apc::{CompileCache, LayerCompiler};
 use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};
@@ -169,6 +169,10 @@ pub enum BackendReport {
     DeepCam(DeepCamReport),
     /// Result of a bit-level functional execution on the AP engine.
     Functional(FunctionalReport),
+    /// Result of a batched bit-level execution: B samples packed into shared
+    /// bit-plane arrays, with per-sample attribution and aggregate
+    /// throughput (see [`BatchReport`]).
+    FunctionalBatch(BatchReport),
 }
 
 impl BackendReport {
@@ -179,6 +183,7 @@ impl BackendReport {
             BackendReport::Crossbar(r) => r.energy_uj(),
             BackendReport::DeepCam(r) => r.energy_uj,
             BackendReport::Functional(r) => r.energy_uj,
+            BackendReport::FunctionalBatch(r) => r.energy_uj,
         }
     }
 
@@ -189,6 +194,7 @@ impl BackendReport {
             BackendReport::Crossbar(r) => r.latency_ms(),
             BackendReport::DeepCam(r) => r.latency_ms,
             BackendReport::Functional(r) => r.latency_ms,
+            BackendReport::FunctionalBatch(r) => r.latency_ms,
         }
     }
 
@@ -199,6 +205,7 @@ impl BackendReport {
             BackendReport::Crossbar(r) => r.arrays,
             BackendReport::DeepCam(r) => r.arrays,
             BackendReport::Functional(r) => r.arrays,
+            BackendReport::FunctionalBatch(r) => r.arrays,
         }
     }
 
@@ -209,6 +216,7 @@ impl BackendReport {
             BackendReport::Crossbar(r) => &r.name,
             BackendReport::DeepCam(r) => &r.name,
             BackendReport::Functional(r) => &r.name,
+            BackendReport::FunctionalBatch(r) => &r.name,
         }
     }
 
@@ -244,6 +252,14 @@ impl BackendReport {
         }
     }
 
+    /// Borrows the batched functional-execution report, if this is one.
+    pub fn as_functional_batch(&self) -> Option<&BatchReport> {
+        match self {
+            BackendReport::FunctionalBatch(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Extracts the RTM-AP report, if this is one.
     pub fn into_rtm_ap(self) -> Option<NetworkReport> {
         match self {
@@ -272,6 +288,14 @@ impl BackendReport {
     pub fn into_functional(self) -> Option<FunctionalReport> {
         match self {
             BackendReport::Functional(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extracts the batched functional-execution report, if this is one.
+    pub fn into_functional_batch(self) -> Option<BatchReport> {
+        match self {
+            BackendReport::FunctionalBatch(r) => Some(r),
             _ => None,
         }
     }
@@ -313,6 +337,35 @@ pub trait InferenceBackend: Send + Sync {
     ) -> apc::Result<BackendReport> {
         let _ = cache;
         self.evaluate(model)
+    }
+
+    /// Evaluates a batch of `batch_size` independent samples.
+    ///
+    /// The default forwards to [`evaluate_cached`](Self::evaluate_cached):
+    /// the closed-form baselines and the analytic RTM-AP simulator price one
+    /// inference independently of the batch dimension, so their reports are
+    /// the per-sample cost at every batch size. Backends that really execute
+    /// a batch (the [`FunctionalBackend`](crate::functional::FunctionalBackend))
+    /// override this to pack the samples and report amortized throughput;
+    /// their per-sample outputs must be value-identical to `batch_size`
+    /// single-sample evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`apc::ApcError::InvalidArgument`] for an empty batch, and
+    /// otherwise the same errors as [`evaluate_cached`](Self::evaluate_cached).
+    fn evaluate_batch_cached(
+        &self,
+        model: &ModelGraph,
+        batch_size: usize,
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        if batch_size == 0 {
+            return Err(apc::ApcError::InvalidArgument {
+                reason: "batched evaluation needs at least one sample".to_string(),
+            });
+        }
+        self.evaluate_cached(model, cache)
     }
 }
 

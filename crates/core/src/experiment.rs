@@ -10,7 +10,7 @@
 //!   precision, a CAM geometry, an accelerator configuration and the backends
 //!   to run ([`BackendPlan`]s, keyed by open [`BackendId`]s).
 //! * [`SweepGrid`] — a builder that does the cartesian expansion
-//!   (`.workloads(…).act_bits([4, 8]).geometries(…)`).
+//!   (`.workloads(…).act_bits([4, 8]).geometries(…).batch_sizes([1, 64])`).
 //! * [`Session`] — executes a grid by flattening *scenario × backend* into a
 //!   single rayon job pool (no nested per-scenario fan-outs) and memoising
 //!   layer compilation in a shared [`CompileCache`], so scenarios that share
@@ -223,6 +223,10 @@ pub struct ScenarioSpec {
     /// geometries are responsible for keeping `arch.geometry` in sync, which
     /// [`SweepGrid`] does automatically).
     pub arch: ArchConfig,
+    /// Number of samples evaluated together (1 = classic single-sample
+    /// evaluation; larger batches go through
+    /// [`InferenceBackend::evaluate_batch_cached`]).
+    pub batch_size: usize,
     /// The backends evaluated on this scenario, in registration order.
     pub backends: Vec<BackendPlan>,
     /// Template for the remaining compiler knobs (CSE temp budget, retained
@@ -243,6 +247,7 @@ impl ScenarioSpec {
             act_bits: template.act_bits,
             geometry: template.geometry,
             arch: ArchConfig::default(),
+            batch_size: 1,
             backends: BackendPlan::standard(),
             compiler_template: template,
         }
@@ -274,6 +279,7 @@ pub struct SweepGrid {
     act_bits: Vec<u8>,
     geometries: Vec<CamGeometry>,
     archs: Vec<ArchConfig>,
+    batch_sizes: Vec<usize>,
     backends: Vec<BackendPlan>,
     compiler_template: CompilerOptions,
 }
@@ -286,6 +292,7 @@ impl Default for SweepGrid {
             act_bits: vec![template.act_bits],
             geometries: vec![template.geometry],
             archs: vec![ArchConfig::default()],
+            batch_sizes: vec![1],
             backends: BackendPlan::standard(),
             compiler_template: template,
         }
@@ -334,6 +341,17 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the batch-size axis. Scenarios with `batch_size > 1` evaluate
+    /// their backends through
+    /// [`InferenceBackend::evaluate_batch_cached`], so grids expand over
+    /// B ∈ {1, 8, 64, …} to trace a throughput curve; analytic backends are
+    /// batch-size-independent and repeat their per-sample record.
+    #[must_use]
+    pub fn batch_sizes(mut self, batch_sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.batch_sizes = batch_sizes.into_iter().collect();
+        self
+    }
+
     /// Replaces the backends evaluated on every scenario.
     #[must_use]
     pub fn backends(mut self, backends: impl IntoIterator<Item = BackendPlan>) -> Self {
@@ -352,7 +370,11 @@ impl SweepGrid {
     /// Number of scenarios the grid expands to (the product of the axis
     /// lengths).
     pub fn len(&self) -> usize {
-        self.workloads.len() * self.act_bits.len() * self.geometries.len() * self.archs.len()
+        self.workloads.len()
+            * self.act_bits.len()
+            * self.geometries.len()
+            * self.archs.len()
+            * self.batch_sizes.len()
     }
 
     /// Whether the grid expands to no scenarios.
@@ -363,9 +385,10 @@ impl SweepGrid {
     /// Expands the cartesian product into concrete scenarios.
     ///
     /// Labels are `"<workload> <bits>b <rows>x<cols>"`, extended with a
-    /// ` dN` domain suffix when the geometry axis varies in its domain count
-    /// and an ` archN` suffix when the architecture axis has more than one
-    /// point — unique as long as the workload labels and axis points are.
+    /// ` dN` domain suffix when the geometry axis varies in its domain count,
+    /// an ` archN` suffix when the architecture axis has more than one point
+    /// and a ` bN` batch suffix when the batch-size axis does — unique as
+    /// long as the workload labels and axis points are.
     pub fn scenarios(&self) -> Vec<ScenarioSpec> {
         let label_domains = self
             .geometries
@@ -376,25 +399,31 @@ impl SweepGrid {
             for &act_bits in &self.act_bits {
                 for &geometry in &self.geometries {
                     for (arch_index, arch) in self.archs.iter().enumerate() {
-                        let mut label = format!(
-                            "{} {}b {}x{}",
-                            workload.label, act_bits, geometry.rows, geometry.cols
-                        );
-                        if label_domains {
-                            label.push_str(&format!(" d{}", geometry.domains));
+                        for &batch_size in &self.batch_sizes {
+                            let mut label = format!(
+                                "{} {}b {}x{}",
+                                workload.label, act_bits, geometry.rows, geometry.cols
+                            );
+                            if label_domains {
+                                label.push_str(&format!(" d{}", geometry.domains));
+                            }
+                            if self.archs.len() > 1 {
+                                label.push_str(&format!(" arch{arch_index}"));
+                            }
+                            if self.batch_sizes.len() > 1 {
+                                label.push_str(&format!(" b{batch_size}"));
+                            }
+                            scenarios.push(ScenarioSpec {
+                                label,
+                                workload: workload.clone(),
+                                act_bits,
+                                geometry,
+                                arch: arch.with_geometry(geometry),
+                                batch_size,
+                                backends: self.backends.clone(),
+                                compiler_template: self.compiler_template,
+                            });
                         }
-                        if self.archs.len() > 1 {
-                            label.push_str(&format!(" arch{arch_index}"));
-                        }
-                        scenarios.push(ScenarioSpec {
-                            label,
-                            workload: workload.clone(),
-                            act_bits,
-                            geometry,
-                            arch: arch.with_geometry(geometry),
-                            backends: self.backends.clone(),
-                            compiler_template: self.compiler_template,
-                        });
                     }
                 }
             }
@@ -422,12 +451,21 @@ pub struct ScenarioRecord {
     pub backend: BackendId,
     /// Configured backend instance name (`InferenceBackend::name`).
     pub backend_name: String,
-    /// Total energy of one inference, in microjoules.
+    /// Total energy of one inference (or one batch, for batched reports), in
+    /// microjoules.
     pub energy_uj: f64,
-    /// Total latency of one inference, in milliseconds.
+    /// Total latency of one inference (or one batch), in milliseconds.
     pub latency_ms: f64,
     /// Number of memory arrays occupied.
     pub arrays: usize,
+    /// Number of samples evaluated together in this scenario.
+    pub batch_size: usize,
+    /// Modeled throughput in samples per second (for analytic backends this
+    /// is the single-sample rate `1000 / latency_ms`, independent of the
+    /// batch axis).
+    pub samples_per_s: f64,
+    /// Amortized energy per sample, in joules.
+    pub joules_per_sample: f64,
     /// The backend's full native report.
     pub report: BackendReport,
 }
@@ -493,13 +531,20 @@ impl ResultSet {
     /// Renders the shared metrics as a fixed-width table.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "{:<32} {:<22} {:>5} {:>12} {:>10} {:>7}\n",
-            "scenario", "backend", "act", "energy[uJ]", "lat[ms]", "arrays"
+            "{:<32} {:<22} {:>5} {:>6} {:>12} {:>10} {:>7} {:>12}\n",
+            "scenario", "backend", "act", "batch", "energy[uJ]", "lat[ms]", "arrays", "smp/s"
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{:<32} {:<22} {:>4}b {:>12.2} {:>10.3} {:>7}\n",
-                r.scenario, r.backend_name, r.act_bits, r.energy_uj, r.latency_ms, r.arrays
+                "{:<32} {:<22} {:>4}b {:>6} {:>12.2} {:>10.3} {:>7} {:>12.1}\n",
+                r.scenario,
+                r.backend_name,
+                r.act_bits,
+                r.batch_size,
+                r.energy_uj,
+                r.latency_ms,
+                r.arrays,
+                r.samples_per_s
             ));
         }
         out
@@ -633,8 +678,16 @@ impl Session {
         let outcomes: Vec<apc::Result<BackendReport>> = jobs
             .par_iter()
             .map(|job| {
-                job.backend
-                    .evaluate_cached(&job.scenario.workload.model, &self.cache)
+                let model = &job.scenario.workload.model;
+                // Batch size 1 keeps the classic single-sample evaluation
+                // (and its report shape) byte-identical; larger batches go
+                // through the batch-aware hook.
+                if job.scenario.batch_size == 1 {
+                    job.backend.evaluate_cached(model, &self.cache)
+                } else {
+                    job.backend
+                        .evaluate_batch_cached(model, job.scenario.batch_size, &self.cache)
+                }
             })
             .collect();
 
@@ -648,6 +701,12 @@ impl Session {
         let mut records = Vec::with_capacity(jobs.len());
         for (job, outcome) in jobs.iter().zip(outcomes) {
             let report = outcome?;
+            let (samples_per_s, joules_per_sample) = match report.as_functional_batch() {
+                Some(batch) => (batch.samples_per_s, batch.joules_per_sample),
+                // Analytic reports price one inference: the sample rate is
+                // the reciprocal latency and nothing amortizes.
+                None => (1e3 / report.latency_ms(), report.energy_uj() * 1e-6),
+            };
             records.push(ScenarioRecord {
                 scenario: job.scenario.label.clone(),
                 workload: job.scenario.workload.label.clone(),
@@ -660,6 +719,9 @@ impl Session {
                 energy_uj: report.energy_uj(),
                 latency_ms: report.latency_ms(),
                 arrays: report.arrays(),
+                batch_size: job.scenario.batch_size,
+                samples_per_s,
+                joules_per_sample,
                 report,
             });
         }
@@ -722,6 +784,48 @@ mod tests {
             let view = results.pipeline(scenario).expect("pipeline view");
             assert!(view.rtm_ap.energy_uj() > 0.0);
         }
+    }
+
+    #[test]
+    fn batch_axis_expands_labels_and_dispatches_batched_evaluation() {
+        let grid = SweepGrid::new()
+            .workload(micro_cnn("micro-a", 4, 0.8, 1))
+            .batch_sizes([1, 3])
+            .backends([BackendPlan::deepcam(), BackendPlan::functional()]);
+        assert_eq!(grid.len(), 2);
+        let scenarios = grid.scenarios();
+        assert!(scenarios[0].label.ends_with(" b1"));
+        assert!(scenarios[1].label.ends_with(" b3"));
+        let session = Session::new();
+        let results = session.run(&grid).expect("sweep");
+        assert_eq!(results.records.len(), 4);
+        // B=1 keeps the classic single-sample report; B=3 goes through the
+        // batch-aware hook (batched for functional, per-sample repeat for the
+        // analytic baseline).
+        let b1 = results
+            .get(&scenarios[0].label, BackendKind::Functional)
+            .expect("b1 record");
+        assert!(b1.report.as_functional().is_some());
+        assert_eq!((b1.batch_size, b1.samples_per_s), (1, 1e3 / b1.latency_ms));
+        let b3 = results
+            .get(&scenarios[1].label, BackendKind::Functional)
+            .expect("b3 record");
+        let batch = b3.report.as_functional_batch().expect("batched report");
+        assert_eq!((b3.batch_size, batch.batch_size), (3, 3));
+        assert_eq!(b3.samples_per_s, batch.samples_per_s);
+        assert_eq!(b3.joules_per_sample, batch.joules_per_sample);
+        // Batching amortizes the cycle-driven latency: the batch of three is
+        // far cheaper than three solo inferences.
+        assert!(b3.latency_ms < 3.0 * b1.latency_ms);
+        assert!(b3.samples_per_s > b1.samples_per_s);
+        let deepcam = results
+            .get(&scenarios[1].label, BackendKind::DeepCam)
+            .expect("deepcam record");
+        assert!(deepcam.report.as_deepcam().is_some());
+        assert_eq!(deepcam.batch_size, 3);
+        // The new record shape still round-trips as JSON lines.
+        let parsed = ResultSet::from_json(&results.to_json()).expect("parse");
+        assert_eq!(parsed, results);
     }
 
     #[test]

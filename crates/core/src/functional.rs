@@ -18,12 +18,25 @@
 //! numbers or end-to-end bit-exactness evidence; prefer the cost-model
 //! simulator for ImageNet-scale networks where bit-level execution of every
 //! position is unnecessary.
+//!
+//! Execution is batched end to end: [`FunctionalBackend::run_batch`] packs B
+//! samples' (tile × row group) units into shared [`cam::BitPlaneArray`]
+//! allocations (sample s occupies row segment s), so one program pass —
+//! one physical search/write sweep per LUT pass — serves the whole batch.
+//! Per-sample costs are attributed through the array's segment tracking and
+//! are *exactly* the counters a solo run would record (pinned by
+//! `tests/batch_equivalence.rs` and `tests/batch_golden.rs`), while the
+//! aggregate [`BatchReport`] counters show the amortization as
+//! `samples_per_s` / `joules_per_sample` throughput. A single-sample
+//! evaluation is simply a batch of one.
 
 use crate::backend::{BackendReport, InferenceBackend};
 use accel::ArchConfig;
 use ap::{ApEngine, Operand};
 use apc::{ApcError, CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
 use cam::{BitPlaneArray, CamStats};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -31,6 +44,11 @@ use tnn::im2col::{im2col_channel, Im2colSpec};
 use tnn::layer::LayerOp;
 use tnn::model::{ConvLayerInfo, ModelGraph, Source};
 use tnn::Tensor;
+
+/// One batched unit's outcome: the accumulator columns per sample
+/// (`[sample][output][row]`), the per-sample (as-if-solo) counter
+/// attributions, and the unit's physical counters.
+type UnitOutcome = (Vec<Vec<Vec<i64>>>, Vec<CamStats>, CamStats);
 
 /// The result of one functional (bit-level) inference.
 ///
@@ -70,6 +88,97 @@ impl FunctionalReport {
     /// Returns `true` when every compared value matched the reference exactly.
     pub fn is_bit_exact(&self) -> bool {
         self.mismatched_values == 0 && self.checked_values > 0
+    }
+}
+
+/// One sample's share of a batched functional inference.
+///
+/// The [`CamStats`] here are the *as-if-solo attribution*: exactly the
+/// counters (and therefore energy/latency) a single-sample
+/// [`FunctionalBackend`] run of this input would produce, even though the
+/// physical execution packed the whole batch into shared arrays — pinned by
+/// `tests/batch_equivalence.rs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleReport {
+    /// Index of the sample within the batch.
+    pub sample: usize,
+    /// Seed of this slot's staged input
+    /// ([`FunctionalBackend::sample_input_seed`] of the base seed) when the
+    /// backend generated the batch itself; `None` for caller-provided inputs,
+    /// whose provenance the backend cannot know.
+    pub input_seed: Option<u64>,
+    /// The final node's output values (the logits) for this sample.
+    pub logits: Vec<i64>,
+    /// Index of the largest logit (the predicted class), if any.
+    pub predicted_class: Option<usize>,
+    /// Weighted-layer output elements compared against the reference.
+    pub checked_values: u64,
+    /// Elements that differed from the reference (0 for a bit-exact stack).
+    pub mismatched_values: u64,
+    /// Per-sample CAM event attribution (solo-run equivalent).
+    pub stats: CamStats,
+    /// Solo-run-equivalent energy of this sample, in microjoules.
+    pub energy_uj: f64,
+    /// Solo-run-equivalent serial latency of this sample, in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl SampleReport {
+    /// Returns `true` when every compared value matched the reference exactly.
+    pub fn is_bit_exact(&self) -> bool {
+        self.mismatched_values == 0 && self.checked_values > 0
+    }
+}
+
+/// The result of one batched functional inference.
+///
+/// `stats`/`energy_uj`/`latency_ms` are the *physical aggregate* of the
+/// packed execution: B samples' (tile × row group) units share one
+/// [`BitPlaneArray`] allocation, so one search/write sweep serves the whole
+/// batch and the aggregate cycle counters grow sublinearly in the batch size
+/// — the amortization behind `samples_per_s` and `joules_per_sample`. The
+/// per-sample [`SampleReport`]s carry the solo-equivalent attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The evaluated network's name.
+    pub name: String,
+    /// Activation precision used, in bits.
+    pub act_bits: u8,
+    /// Whether the executed programs were compiled with CSE.
+    pub cse: bool,
+    /// Base seed of the per-sample deterministic synthetic inputs, when the
+    /// backend staged them itself; `None` for caller-provided inputs.
+    pub input_seed: Option<u64>,
+    /// Number of samples executed together.
+    pub batch_size: usize,
+    /// Per-sample outcomes, in batch order.
+    pub samples: Vec<SampleReport>,
+    /// Physical CAM event counters of the packed batch execution.
+    pub stats: CamStats,
+    /// Energy of the whole batch, in microjoules.
+    pub energy_uj: f64,
+    /// Serial latency of the whole batch, in milliseconds.
+    pub latency_ms: f64,
+    /// Modeled throughput of the packed execution, in samples per second.
+    pub samples_per_s: f64,
+    /// Amortized energy per sample, in joules.
+    pub joules_per_sample: f64,
+    /// Memory arrays occupied (maximum row groups over the layers).
+    pub arrays: usize,
+}
+
+impl BatchReport {
+    /// Returns `true` when every sample matched the reference exactly.
+    pub fn is_bit_exact(&self) -> bool {
+        !self.samples.is_empty() && self.samples.iter().all(SampleReport::is_bit_exact)
+    }
+
+    /// Sum of the per-sample (solo-equivalent) attributions — compare with
+    /// [`stats`](Self::stats) to read off what the batch amortized.
+    pub fn attributed_stats(&self) -> CamStats {
+        self.samples
+            .iter()
+            .fold(CamStats::new(), |acc, sample| acc + sample.stats)
     }
 }
 
@@ -122,11 +231,41 @@ impl FunctionalBackend {
         }
     }
 
-    /// Returns a copy using a different seed for the synthetic input.
+    /// Returns a copy using a different base seed for the synthetic inputs.
+    /// In a batched evaluation every sample derives its own seed from this
+    /// one (see [`sample_input_seed`](Self::sample_input_seed)); a
+    /// single-sample evaluation stages the input of sample 0.
     #[must_use]
     pub fn with_input_seed(mut self, seed: u64) -> Self {
         self.input_seed = seed;
         self
+    }
+
+    /// Derives the input seed of sample `sample` from the backend's base
+    /// `seed`: sample 0 uses the base seed itself (so a batch of one stages
+    /// exactly the input the single-sample path always staged), and every
+    /// later sample draws a fresh seed from a `rand_chacha` stream keyed by
+    /// (base seed, sample index) — distinct inputs per batch slot instead of
+    /// one input repeated, pinned by the batch test suites.
+    pub fn sample_input_seed(seed: u64, sample: usize) -> u64 {
+        if sample == 0 {
+            return seed;
+        }
+        // Weyl-spread the index so nearby samples key well-separated streams.
+        let key = seed ^ (sample as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ChaCha8Rng::seed_from_u64(key).next_u64()
+    }
+
+    /// The deterministic synthetic input staged for batch slot `sample`:
+    /// [`input_for`](Self::input_for) evaluated at
+    /// [`sample_input_seed`](Self::sample_input_seed)`(seed, sample)`.
+    pub fn input_for_sample(
+        model: &ModelGraph,
+        act_bits: u8,
+        seed: u64,
+        sample: usize,
+    ) -> Tensor<i64> {
+        Self::input_for(model, act_bits, Self::sample_input_seed(seed, sample))
     }
 
     /// The compiler options in use (with retained programs).
@@ -151,40 +290,51 @@ impl FunctionalBackend {
         Tensor::from_vec(vec![c, h, w], data).expect("input shape is consistent by construction")
     }
 
-    /// Executes one compiled weighted layer on the AP engine: every
-    /// (output tile × row group) unit runs as an independent job, and the
-    /// per-unit outputs/counters are merged in unit order.
-    fn execute_layer(
+    /// Executes one compiled weighted layer for the whole batch: every
+    /// (output tile × row group) unit packs the B samples' rows into one
+    /// shared array and runs as an independent job; per-unit outputs and
+    /// counters are merged in unit order, so the result is identical at any
+    /// `RAYON_NUM_THREADS`.
+    ///
+    /// Returns one output tensor per sample, the per-sample (solo-equivalent)
+    /// counter attributions, and the physical aggregate counters of the
+    /// packed execution.
+    fn execute_layer_batch(
         &self,
         info: &ConvLayerInfo,
         compiled: &CompiledLayer,
-        input: &Tensor<i64>,
-    ) -> apc::Result<(Tensor<i64>, CamStats)> {
+        inputs: &[&Tensor<i64>],
+    ) -> apc::Result<(Vec<Tensor<i64>>, Vec<CamStats>, CamStats)> {
         let layout = &compiled.layout;
         let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
             reason: "functional backend requires retained programs".to_string(),
         })?;
-        // Fully connected layers arrive as (1, 1)-kernel convolutions over a
-        // flattened input; reshape the activation tensor accordingly.
-        let staged;
-        let input = if input.shape() == [info.cin, info.input_hw.0, info.input_hw.1] {
-            input
-        } else {
-            staged = Tensor::from_vec(
-                vec![info.cin, info.input_hw.0, info.input_hw.1],
-                input.as_slice().to_vec(),
-            )?;
-            &staged
-        };
         let spec = Im2colSpec {
             fh: info.kernel.0,
             fw: info.kernel.1,
             stride: info.stride,
             padding: info.padding,
         };
-        // One im2col matrix per input channel, shared by all units.
-        let patches: Vec<Tensor<i64>> = (0..info.cin)
-            .map(|channel| im2col_channel(input, channel, spec))
+        // One im2col matrix per (sample, input channel), shared by all units.
+        // Fully connected layers arrive as (1, 1)-kernel convolutions over a
+        // flattened input; reshape the activation tensors accordingly.
+        let patches: Vec<Vec<Tensor<i64>>> = inputs
+            .iter()
+            .map(|&input| {
+                let staged;
+                let input = if input.shape() == [info.cin, info.input_hw.0, info.input_hw.1] {
+                    input
+                } else {
+                    staged = Tensor::from_vec(
+                        vec![info.cin, info.input_hw.0, info.input_hw.1],
+                        input.as_slice().to_vec(),
+                    )?;
+                    &staged
+                };
+                (0..info.cin)
+                    .map(|channel| im2col_channel(input, channel, spec))
+                    .collect::<tnn::Result<Vec<_>>>()
+            })
             .collect::<tnn::Result<_>>()?;
 
         let units: Vec<(usize, usize)> = (0..layout.output_tiles)
@@ -192,78 +342,288 @@ impl FunctionalBackend {
             .filter(|&(tile, _)| !layout.tile_range(tile, info.cout).is_empty())
             .collect();
 
-        let outcomes: Vec<apc::Result<(Vec<Vec<i64>>, CamStats)>> = units
+        let outcomes: Vec<apc::Result<UnitOutcome>> = units
             .par_iter()
-            .map(|&(tile, group)| self.execute_unit(info, layout, slices, &patches, tile, group))
+            .map(|&(tile, group)| {
+                self.execute_unit_batch(info, layout, slices, &patches, tile, group)
+            })
             .collect();
 
-        let mut output = Tensor::zeros(vec![info.cout, info.output_hw.0, info.output_hw.1]);
-        let mut stats = CamStats::new();
+        let batch = inputs.len();
+        let mut outputs: Vec<Tensor<i64>> = (0..batch)
+            .map(|_| Tensor::zeros(vec![info.cout, info.output_hw.0, info.output_hw.1]))
+            .collect();
+        let mut attributed = vec![CamStats::new(); batch];
+        let mut physical = CamStats::new();
+        let positions = info.output_hw.0 * info.output_hw.1;
         for (&(tile, group), outcome) in units.iter().zip(outcomes) {
-            let (values, unit_stats) = outcome?;
-            stats += unit_stats;
+            let (per_sample, unit_attributed, unit_physical) = outcome?;
+            physical += unit_physical;
             let range = layout.tile_range(tile, info.cout);
             let start = group * layout.geometry.rows;
-            for (offset, column) in values.into_iter().enumerate() {
-                let ofm = range.start + offset;
-                for (row, value) in column.into_iter().enumerate() {
-                    let position = start + row;
-                    let (oh, ow) = (
-                        position / info.output_hw.1.max(1),
-                        position % info.output_hw.1.max(1),
-                    );
-                    *output.get_mut(&[ofm, oh, ow])? = value;
+            for (sample, values) in per_sample.into_iter().enumerate() {
+                attributed[sample] += unit_attributed[sample];
+                // Rows of one group are consecutive output positions of each
+                // output channel's plane, so a column lands as one contiguous
+                // run.
+                let out_data = outputs[sample].as_mut_slice();
+                for (offset, column) in values.into_iter().enumerate() {
+                    let ofm = range.start + offset;
+                    out_data[ofm * positions + start..][..column.len()].copy_from_slice(&column);
                 }
             }
         }
-        Ok((output, stats))
+        Ok((outputs, attributed, physical))
     }
 
-    /// Runs one (output tile, row group) unit on a fresh engine and returns
-    /// one accumulator column per output channel of the tile.
-    fn execute_unit(
+    /// Runs one (output tile, row group) unit for all B samples on a single
+    /// engine whose array stacks the samples as B row segments of
+    /// `rows_in_group` rows each. Row results never cross rows and the
+    /// align/search/write sequence of a program is data-independent, so each
+    /// segment computes — and is attributed, via the array's segment tracking
+    /// — exactly what a solo run of its sample would; the physical pass over
+    /// all `B × rows` packed rows is what amortizes the per-cycle costs.
+    ///
+    /// Returns one accumulator column per output channel per sample, the
+    /// per-sample counter attributions, and the unit's physical counters.
+    fn execute_unit_batch(
         &self,
         info: &ConvLayerInfo,
         layout: &apc::layout::LayerLayout,
         slices: &[apc::CompiledSlice],
-        patches: &[Tensor<i64>],
+        patches: &[Vec<Tensor<i64>>],
         tile: usize,
         group: usize,
-    ) -> apc::Result<(Vec<Vec<i64>>, CamStats)> {
+    ) -> apc::Result<UnitOutcome> {
+        let batch = patches.len();
         let rows = layout.rows_in_group(group);
         let start = group * layout.geometry.rows;
-        let array = BitPlaneArray::new(
-            rows,
+        let mut array = BitPlaneArray::new(
+            rows * batch,
             layout.geometry.cols,
             layout.geometry.domains,
             self.arch.cam_tech,
         )
         .map_err(ap::ApError::from)?;
+        array.track_segments(rows).map_err(ap::ApError::from)?;
         let mut engine = ApEngine::new(array);
         let range = layout.tile_range(tile, info.cout);
         engine.run(&apc::codegen::tile_prologue(layout, range.len()))?;
+        let mut column = Vec::with_capacity(rows * batch);
         for slice in slices.iter().filter(|s| s.tile == tile) {
-            let channel_patches = &patches[slice.channel];
             for k in 0..layout.patch_size {
-                let column: apc::Result<Vec<i64>> = (0..rows)
-                    .map(|row| Ok(*channel_patches.get(&[k, start + row])?))
-                    .collect();
+                // Segment s holds sample s's rows, in row order, so the
+                // packed column is the sample-major concatenation of each
+                // sample's im2col row `k` slice.
+                column.clear();
+                for sample_patches in patches {
+                    let channel_patches = &sample_patches[slice.channel];
+                    let positions = channel_patches.shape()[1];
+                    if start + rows > positions {
+                        return Err(ApcError::Internal {
+                            reason: format!(
+                                "row group {group} exceeds the {positions} output positions"
+                            ),
+                        });
+                    }
+                    column.extend_from_slice(
+                        &channel_patches.as_slice()[k * positions + start..][..rows],
+                    );
+                }
                 let operand = Operand::new(
                     k,
                     layout.channel_domain_base(slice.channel_in_group),
                     layout.act_bits,
                     false,
                 );
-                engine.load_column(&operand, &column?)?;
+                engine.load_column(&operand, &column)?;
             }
             engine.run(&slice.program)?;
         }
-        let mut values = Vec::with_capacity(range.len());
+        let mut values: Vec<Vec<Vec<i64>>> = vec![Vec::with_capacity(range.len()); batch];
         for output in 0..range.len() {
             let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
-            values.push(engine.read_column(&acc)?);
+            let packed = engine.read_column(&acc)?;
+            for (sample, chunk) in packed.chunks(rows).enumerate() {
+                values[sample].push(chunk.to_vec());
+            }
         }
-        Ok((values, engine.stats()))
+        let attributed = engine.array().segment_stats();
+        Ok((values, attributed, engine.stats()))
+    }
+
+    /// Executes `model` end to end for a batch of explicit inputs, reusing
+    /// previously compiled layers from `cache`.
+    ///
+    /// Every weighted layer packs the batch into shared per-unit arrays (see
+    /// [`execute_unit_batch`](Self::execute_unit_batch)); non-weighted
+    /// operators run per sample on the reference integer engine. The logits
+    /// of every sample are value-identical to a single-sample run of the same
+    /// input at any batch size and thread count, and each sample's
+    /// [`SampleReport::stats`] equal that solo run's counters exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApcError::InvalidArgument`] for an empty batch; otherwise
+    /// the same errors as the single-sample path (compilation failures, shape
+    /// violations), with identical messages.
+    pub fn run_batch(
+        &self,
+        model: &ModelGraph,
+        inputs: &[Tensor<i64>],
+        cache: &CompileCache,
+    ) -> apc::Result<BatchReport> {
+        // The caller staged these inputs, so the report claims no seed
+        // provenance for them.
+        self.run_batch_seeded(model, inputs, None, cache)
+    }
+
+    /// [`run_batch`](Self::run_batch) with the seed provenance of
+    /// backend-staged inputs: `base_seed` is recorded in the report and slot
+    /// `i` is attributed `sample_input_seed(base_seed, i)`.
+    fn run_batch_seeded(
+        &self,
+        model: &ModelGraph,
+        inputs: &[Tensor<i64>],
+        base_seed: Option<u64>,
+        cache: &CompileCache,
+    ) -> apc::Result<BatchReport> {
+        if inputs.is_empty() {
+            return Err(ApcError::InvalidArgument {
+                reason: "batched evaluation needs at least one sample".to_string(),
+            });
+        }
+        let batch = inputs.len();
+        let compiler = LayerCompiler::new(self.options);
+        let act_bits = self.options.act_bits;
+        let references = tnn::infer::run_batch(model, inputs, Some(act_bits))?;
+        let weighted: HashMap<usize, ConvLayerInfo> = model
+            .conv_like_layers()
+            .into_iter()
+            .map(|layer| (layer.node_id, layer))
+            .collect();
+
+        let mut physical = CamStats::new();
+        let mut attributed = vec![CamStats::new(); batch];
+        let mut checked = vec![0u64; batch];
+        let mut mismatched = vec![0u64; batch];
+        let mut arrays = 0usize;
+        // Node outputs, indexed [node][sample].
+        let mut outputs: Vec<Vec<Tensor<i64>>> = Vec::with_capacity(model.nodes().len());
+        for (id, node) in model.nodes().iter().enumerate() {
+            let fetch = |source: &Source, sample: usize| -> &Tensor<i64> {
+                match source {
+                    Source::Input => &inputs[sample],
+                    Source::Node(i) => &outputs[*i][sample],
+                }
+            };
+            let first_source = node.inputs.first().ok_or_else(|| ApcError::Internal {
+                reason: format!("node {id} has no inputs"),
+            })?;
+            let firsts: Vec<&Tensor<i64>> = (0..batch)
+                .map(|sample| fetch(first_source, sample))
+                .collect();
+            let results: Vec<Tensor<i64>> = match &node.op {
+                LayerOp::Conv2d(_) | LayerOp::Linear(_) => {
+                    let info = weighted.get(&id).ok_or_else(|| ApcError::Internal {
+                        reason: format!("weighted node {id} has no layer description"),
+                    })?;
+                    let compiled = cache.compile(&compiler, info)?;
+                    arrays = arrays.max(compiled.layout.row_groups);
+                    let (layer_outputs, layer_attributed, layer_physical) =
+                        self.execute_layer_batch(info, &compiled, &firsts)?;
+                    physical += layer_physical;
+                    for (sample, output) in layer_outputs.iter().enumerate() {
+                        attributed[sample] += layer_attributed[sample];
+                        let expected = &references[sample].node_outputs[id];
+                        checked[sample] += output.as_slice().len() as u64;
+                        mismatched[sample] += output
+                            .as_slice()
+                            .iter()
+                            .zip(expected.as_slice())
+                            .filter(|(got, want)| got != want)
+                            .count() as u64;
+                    }
+                    layer_outputs
+                }
+                LayerOp::MaxPool2d { kernel, stride } => firsts
+                    .iter()
+                    .map(|first| tnn::infer::max_pool2d(first, *kernel, *stride))
+                    .collect::<tnn::Result<_>>()?,
+                LayerOp::GlobalAvgPool => firsts
+                    .iter()
+                    .map(|first| tnn::infer::global_avg_pool(first))
+                    .collect::<tnn::Result<_>>()?,
+                LayerOp::Relu => firsts.iter().map(|first| tnn::infer::relu(first)).collect(),
+                LayerOp::Requantize { .. } => firsts
+                    .iter()
+                    .map(|first| tnn::infer::requantize(first, act_bits).0)
+                    .collect(),
+                LayerOp::Add => {
+                    let second_source = node.inputs.get(1).ok_or_else(|| ApcError::Internal {
+                        reason: format!("add node {id} needs two inputs"),
+                    })?;
+                    firsts
+                        .iter()
+                        .enumerate()
+                        .map(|(sample, first)| tnn::infer::add(first, fetch(second_source, sample)))
+                        .collect::<tnn::Result<_>>()?
+                }
+                op => {
+                    return Err(ApcError::Internal {
+                        reason: format!("functional backend cannot execute node {id}: {op:?}"),
+                    })
+                }
+            };
+            outputs.push(results);
+        }
+
+        let tech = &self.arch.cam_tech;
+        let samples: Vec<SampleReport> = (0..batch)
+            .map(|sample| {
+                let logits: Vec<i64> = outputs
+                    .last()
+                    .map(|per_sample| per_sample[sample].as_slice().to_vec())
+                    .unwrap_or_default();
+                let predicted_class = logits
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(i, _)| i);
+                let stats = attributed[sample];
+                SampleReport {
+                    sample,
+                    input_seed: base_seed.map(|seed| Self::sample_input_seed(seed, sample)),
+                    logits,
+                    predicted_class,
+                    checked_values: checked[sample],
+                    mismatched_values: mismatched[sample],
+                    stats,
+                    energy_uj: stats.energy_fj(tech) / 1e9,
+                    latency_ms: stats.latency_ns(tech) / 1e6,
+                }
+            })
+            .collect();
+        let energy_uj = physical.energy_fj(tech) / 1e9;
+        let latency_ms = physical.latency_ns(tech) / 1e6;
+        Ok(BatchReport {
+            name: model.name().to_string(),
+            act_bits,
+            cse: self.options.enable_cse,
+            input_seed: base_seed,
+            batch_size: batch,
+            samples,
+            stats: physical,
+            energy_uj,
+            latency_ms,
+            samples_per_s: if latency_ms > 0.0 {
+                batch as f64 * 1e3 / latency_ms
+            } else {
+                f64::INFINITY
+            },
+            joules_per_sample: energy_uj * 1e-6 / batch as f64,
+            arrays,
+        })
     }
 }
 
@@ -289,103 +649,57 @@ impl InferenceBackend for FunctionalBackend {
         model: &ModelGraph,
         cache: &CompileCache,
     ) -> apc::Result<BackendReport> {
-        let compiler = LayerCompiler::new(self.options);
-        let act_bits = self.options.act_bits;
-        let input = Self::input_for(model, act_bits, self.input_seed);
-        let reference = tnn::infer::run(model, &input, Some(act_bits))?;
-        let weighted: HashMap<usize, ConvLayerInfo> = model
-            .conv_like_layers()
+        // A single-sample evaluation is a batch of one: the per-sample
+        // attribution of a one-segment pack is exactly the solo execution
+        // (same rows, same operation stream), so this stays bit-identical to
+        // the dedicated single-sample path it replaces.
+        let input = Self::input_for(model, self.options.act_bits, self.input_seed);
+        let batch = self.run_batch_seeded(
+            model,
+            std::slice::from_ref(&input),
+            Some(self.input_seed),
+            cache,
+        )?;
+        let sample = batch
+            .samples
             .into_iter()
-            .map(|layer| (layer.node_id, layer))
-            .collect();
-
-        let mut stats = CamStats::new();
-        let mut checked = 0u64;
-        let mut mismatched = 0u64;
-        let mut arrays = 0usize;
-        let mut outputs: Vec<Tensor<i64>> = Vec::with_capacity(model.nodes().len());
-        for (id, node) in model.nodes().iter().enumerate() {
-            let fetch = |source: &Source| -> &Tensor<i64> {
-                match source {
-                    Source::Input => &input,
-                    Source::Node(i) => &outputs[*i],
-                }
-            };
-            let first = node
-                .inputs
-                .first()
-                .map(fetch)
-                .ok_or_else(|| ApcError::Internal {
-                    reason: format!("node {id} has no inputs"),
-                })?;
-            let result = match &node.op {
-                LayerOp::Conv2d(_) | LayerOp::Linear(_) => {
-                    let info = weighted.get(&id).ok_or_else(|| ApcError::Internal {
-                        reason: format!("weighted node {id} has no layer description"),
-                    })?;
-                    let compiled = cache.compile(&compiler, info)?;
-                    arrays = arrays.max(compiled.layout.row_groups);
-                    let (output, layer_stats) = self.execute_layer(info, &compiled, first)?;
-                    stats += layer_stats;
-                    let expected = &reference.node_outputs[id];
-                    checked += output.as_slice().len() as u64;
-                    mismatched += output
-                        .as_slice()
-                        .iter()
-                        .zip(expected.as_slice())
-                        .filter(|(got, want)| got != want)
-                        .count() as u64;
-                    output
-                }
-                LayerOp::MaxPool2d { kernel, stride } => {
-                    tnn::infer::max_pool2d(first, *kernel, *stride)?
-                }
-                LayerOp::GlobalAvgPool => tnn::infer::global_avg_pool(first)?,
-                LayerOp::Relu => tnn::infer::relu(first),
-                LayerOp::Requantize { .. } => tnn::infer::requantize(first, act_bits).0,
-                LayerOp::Add => {
-                    let second =
-                        node.inputs
-                            .get(1)
-                            .map(fetch)
-                            .ok_or_else(|| ApcError::Internal {
-                                reason: format!("add node {id} needs two inputs"),
-                            })?;
-                    tnn::infer::add(first, second)?
-                }
-                op => {
-                    return Err(ApcError::Internal {
-                        reason: format!("functional backend cannot execute node {id}: {op:?}"),
-                    })
-                }
-            };
-            outputs.push(result);
-        }
-
-        let logits: Vec<i64> = outputs
-            .last()
-            .map(|t| t.as_slice().to_vec())
-            .unwrap_or_default();
-        let predicted_class = logits
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(i, _)| i);
-        let tech = &self.arch.cam_tech;
+            .next()
+            .ok_or_else(|| ApcError::Internal {
+                reason: "batch of one produced no sample report".to_string(),
+            })?;
         Ok(BackendReport::Functional(FunctionalReport {
-            name: model.name().to_string(),
-            act_bits,
-            cse: self.options.enable_cse,
+            name: batch.name,
+            act_bits: batch.act_bits,
+            cse: batch.cse,
             input_seed: self.input_seed,
-            logits,
-            predicted_class,
-            checked_values: checked,
-            mismatched_values: mismatched,
-            stats,
-            energy_uj: stats.energy_fj(tech) / 1e9,
-            latency_ms: stats.latency_ns(tech) / 1e6,
-            arrays,
+            logits: sample.logits,
+            predicted_class: sample.predicted_class,
+            checked_values: sample.checked_values,
+            mismatched_values: sample.mismatched_values,
+            stats: sample.stats,
+            energy_uj: sample.energy_uj,
+            latency_ms: sample.latency_ms,
+            arrays: batch.arrays,
         }))
+    }
+
+    fn evaluate_batch_cached(
+        &self,
+        model: &ModelGraph,
+        batch_size: usize,
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        let inputs: Vec<Tensor<i64>> = (0..batch_size)
+            .map(|sample| {
+                Self::input_for_sample(model, self.options.act_bits, self.input_seed, sample)
+            })
+            .collect();
+        Ok(BackendReport::FunctionalBatch(self.run_batch_seeded(
+            model,
+            &inputs,
+            Some(self.input_seed),
+            cache,
+        )?))
     }
 }
 
@@ -431,6 +745,103 @@ mod tests {
         let again = backend.evaluate_cached(&model, &cache).expect("again");
         assert_eq!(again, cached);
         assert_eq!(cache.stats().misses, model.conv_like_layers().len() as u64);
+    }
+
+    #[test]
+    fn batched_execution_matches_batches_of_one() {
+        let model = micro_cnn("micro-b", 4, 0.8, 11);
+        let backend = FunctionalBackend::default().with_input_seed(5);
+        let cache = CompileCache::new();
+        let inputs: Vec<_> = (0..3)
+            .map(|sample| FunctionalBackend::input_for_sample(&model, 4, 5, sample))
+            .collect();
+        let batch = backend.run_batch(&model, &inputs, &cache).expect("batch");
+        assert_eq!(batch.batch_size, 3);
+        assert!(batch.is_bit_exact());
+        for (sample, input) in inputs.iter().enumerate() {
+            let solo = backend
+                .run_batch(&model, std::slice::from_ref(input), &cache)
+                .expect("solo");
+            let (got, want) = (&batch.samples[sample], &solo.samples[0]);
+            assert_eq!(got.logits, want.logits, "sample {sample}");
+            assert_eq!(got.stats, want.stats, "sample {sample}");
+            assert_eq!(got.energy_uj, want.energy_uj);
+            assert_eq!(got.latency_ms, want.latency_ms);
+        }
+        // The aggregate cycle counters amortize across the batch while the
+        // searched bits stay the sum of the attributions.
+        let attributed = batch.attributed_stats();
+        assert_eq!(batch.stats.searched_bits, attributed.searched_bits);
+        assert!(batch.stats.search_cycles < attributed.search_cycles);
+        assert!(batch.samples_per_s > 0.0 && batch.joules_per_sample > 0.0);
+        // An empty batch is rejected up front.
+        let error = backend.run_batch(&model, &[], &cache).expect_err("empty");
+        assert!(error.to_string().contains("at least one sample"));
+    }
+
+    #[test]
+    fn per_sample_seeds_are_derived_and_distinct() {
+        assert_eq!(FunctionalBackend::sample_input_seed(9, 0), 9);
+        let seeds: std::collections::HashSet<u64> = (0..100)
+            .map(|sample| FunctionalBackend::sample_input_seed(9, sample))
+            .collect();
+        assert_eq!(seeds.len(), 100, "per-sample seeds must not collide");
+        // Derivation is deterministic and keyed by the base seed.
+        assert_eq!(
+            FunctionalBackend::sample_input_seed(9, 7),
+            FunctionalBackend::sample_input_seed(9, 7)
+        );
+        assert_ne!(
+            FunctionalBackend::sample_input_seed(9, 7),
+            FunctionalBackend::sample_input_seed(10, 7)
+        );
+        // Batch slot 0 stages exactly the single-sample input.
+        let model = micro_cnn("micro-s", 4, 0.8, 2);
+        assert_eq!(
+            FunctionalBackend::input_for_sample(&model, 4, 9, 0).as_slice(),
+            FunctionalBackend::input_for(&model, 4, 9).as_slice()
+        );
+        assert_ne!(
+            FunctionalBackend::input_for_sample(&model, 4, 9, 1).as_slice(),
+            FunctionalBackend::input_for(&model, 4, 9).as_slice()
+        );
+    }
+
+    #[test]
+    fn evaluate_batch_cached_wraps_the_derived_input_batch() {
+        let model = micro_cnn("micro-e", 4, 0.85, 3);
+        let backend = FunctionalBackend::default().with_input_seed(21);
+        let cache = CompileCache::new();
+        let report = backend
+            .evaluate_batch_cached(&model, 4, &cache)
+            .expect("batch evaluate");
+        let batch = report.as_functional_batch().expect("batch report");
+        assert_eq!(batch.batch_size, 4);
+        assert_eq!(batch.input_seed, Some(21));
+        assert!(batch.is_bit_exact());
+        for (sample, outcome) in batch.samples.iter().enumerate() {
+            assert_eq!(outcome.sample, sample);
+            assert_eq!(
+                outcome.input_seed,
+                Some(FunctionalBackend::sample_input_seed(21, sample))
+            );
+            // Every slot executes its own derived input, pinned against the
+            // reference engine.
+            let input = FunctionalBackend::input_for_sample(&model, 4, 21, sample);
+            let reference = tnn::infer::run(&model, &input, Some(4)).expect("reference");
+            assert_eq!(
+                outcome.logits,
+                reference.output().expect("logits").as_slice()
+            );
+        }
+        // Sample 0 of the batch is the single-sample evaluation.
+        let single = backend
+            .evaluate_cached(&model, &cache)
+            .expect("single")
+            .into_functional()
+            .expect("functional report");
+        assert_eq!(batch.samples[0].logits, single.logits);
+        assert_eq!(batch.samples[0].stats, single.stats);
     }
 
     #[test]

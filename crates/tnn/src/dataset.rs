@@ -7,13 +7,97 @@
 //! are small gray-scale patterns whose class determines the position and orientation
 //! of a bright blob, plus Gaussian noise.
 
-use crate::Tensor;
+use crate::{Quantizer, Result, Tensor};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// One labelled sample: a `(1, size, size)` floating-point image and its class index.
 pub type Sample = (Tensor<f32>, usize);
+
+/// A borrowed batch of labelled samples — the unit of batched evaluation.
+///
+/// `Batch` is the dataset-side view the batched inference entry points
+/// consume: it groups [`Sample`]s without copying them and stages their
+/// images as the integer activation tensors that
+/// [`tnn::infer::run_batch`](crate::infer::run_batch) (and the batched AP
+/// backends downstream) execute.
+///
+/// # Example
+///
+/// ```
+/// use tnn::dataset::{Batch, SyntheticBlobs};
+/// use tnn::Quantizer;
+///
+/// # fn main() -> Result<(), tnn::TnnError> {
+/// let samples = SyntheticBlobs::new(8, 3, 0.1).generate(16, 7);
+/// let batch = Batch::new(&samples);
+/// assert_eq!(batch.len(), 16);
+/// let quantizer = Quantizer::calibrate(4, &batch.pixels())?;
+/// let inputs = batch.quantized_inputs(&quantizer)?;
+/// assert!(inputs.iter().all(|t| t.shape() == [1, 8, 8]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Batch<'a> {
+    samples: &'a [Sample],
+}
+
+impl<'a> Batch<'a> {
+    /// Wraps `samples` as one batch.
+    pub fn new(samples: &'a [Sample]) -> Self {
+        Batch { samples }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The underlying samples.
+    pub fn samples(&self) -> &'a [Sample] {
+        self.samples
+    }
+
+    /// The class label of every sample, in batch order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|(_, label)| *label).collect()
+    }
+
+    /// Every pixel of every image, flattened in batch order — the calibration
+    /// set for an input [`Quantizer`].
+    pub fn pixels(&self) -> Vec<f32> {
+        self.samples
+            .iter()
+            .flat_map(|(image, _)| image.as_slice().iter().copied())
+            .collect()
+    }
+
+    /// Quantizes every image into the integer activation tensor the inference
+    /// engines execute, preserving each image's shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (cannot happen for images produced by
+    /// [`SyntheticBlobs`]).
+    pub fn quantized_inputs(&self, quantizer: &Quantizer) -> Result<Vec<Tensor<i64>>> {
+        self.samples
+            .iter()
+            .map(|(image, _)| {
+                Tensor::from_vec(
+                    image.shape().to_vec(),
+                    quantizer.quantize_all(image.as_slice()),
+                )
+            })
+            .collect()
+    }
+}
 
 /// Generator for the synthetic blob-classification task.
 ///
@@ -133,6 +217,28 @@ mod tests {
         let b = mean_image(1);
         let distance: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         assert!(distance > 1.0, "class means too close: {distance}");
+    }
+
+    #[test]
+    fn batch_view_stages_quantized_inputs_in_order() {
+        let dataset = SyntheticBlobs::new(6, 3, 0.05);
+        let samples = dataset.generate(9, 4);
+        let batch = Batch::new(&samples);
+        assert_eq!(batch.len(), 9);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.labels(), vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(batch.pixels().len(), 9 * 36);
+        let quantizer = crate::Quantizer::calibrate(4, &batch.pixels()).expect("calibrate");
+        let inputs = batch.quantized_inputs(&quantizer).expect("quantize");
+        assert_eq!(inputs.len(), 9);
+        for ((image, _), input) in samples.iter().zip(&inputs) {
+            assert_eq!(input.shape(), image.shape());
+            // Element-wise the batch staging is exactly the scalar quantizer.
+            for (&level, &pixel) in input.as_slice().iter().zip(image.as_slice()) {
+                assert_eq!(level, quantizer.quantize(pixel));
+            }
+        }
+        assert!(Batch::new(&[]).is_empty());
     }
 
     #[test]

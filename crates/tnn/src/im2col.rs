@@ -75,7 +75,10 @@ pub fn im2col_channel(
         });
     }
     let (hout, wout) = spec.output_hw((height, width));
-    let mut out = Tensor::zeros(vec![spec.fh * spec.fw, hout * wout]);
+    let positions = hout * wout;
+    let mut out = Tensor::zeros(vec![spec.fh * spec.fw, positions]);
+    let plane = &input.as_slice()[channel * height * width..(channel + 1) * height * width];
+    let out_data = out.as_mut_slice();
     for oh in 0..hout {
         for ow in 0..wout {
             let position = oh * wout + ow;
@@ -85,11 +88,11 @@ pub fn im2col_channel(
                     let iw = (ow * spec.stride + kw) as isize - spec.padding as isize;
                     let value =
                         if ih >= 0 && iw >= 0 && (ih as usize) < height && (iw as usize) < width {
-                            *input.get(&[channel, ih as usize, iw as usize])?
+                            plane[ih as usize * width + iw as usize]
                         } else {
                             0
                         };
-                    *out.get_mut(&[kh * spec.fw + kw, position])? = value;
+                    out_data[(kh * spec.fw + kw) * positions + position] = value;
                 }
             }
         }

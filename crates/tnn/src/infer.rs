@@ -55,32 +55,44 @@ pub fn conv2d(input: &Tensor<i64>, layer: &Conv2d) -> Result<Tensor<i64>> {
     let (fh, fw) = layer.kernel();
     let (hout, wout) = layer.output_hw((height, width));
     let mut output = Tensor::zeros(vec![layer.cout(), hout, wout]);
+    let activations = input.as_slice();
+    let weights = layer.weights.as_slice();
+    let out_data = output.as_mut_slice();
+    let mut taps: Vec<(usize, usize, usize, bool)> = Vec::with_capacity(cin * fh * fw);
     for ofm in 0..layer.cout() {
+        // Gather this filter's non-zero taps once (in the canonical
+        // ifm → kh → kw order, so the accumulation order — and thus the
+        // result — is identical to the dense triple loop); at the paper's
+        // sparsity levels this skips most of the kernel volume.
+        taps.clear();
+        let filter = &weights[ofm * cin * fh * fw..(ofm + 1) * cin * fh * fw];
+        for ifm in 0..cin {
+            for kh in 0..fh {
+                for kw in 0..fw {
+                    let weight = filter[(ifm * fh + kh) * fw + kw];
+                    if weight != 0 {
+                        taps.push((ifm, kh, kw, weight > 0));
+                    }
+                }
+            }
+        }
         for oh in 0..hout {
             for ow in 0..wout {
                 let mut acc: i64 = 0;
-                for ifm in 0..cin {
-                    for kh in 0..fh {
-                        for kw in 0..fw {
-                            let ih = (oh * layer.stride + kh) as isize - layer.padding as isize;
-                            let iw = (ow * layer.stride + kw) as isize - layer.padding as isize;
-                            if ih < 0 || iw < 0 || ih as usize >= height || iw as usize >= width {
-                                continue;
-                            }
-                            let weight = layer.weights.get(&[ofm, ifm, kh, kw])?;
-                            if weight == 0 {
-                                continue;
-                            }
-                            let x = *input.get(&[ifm, ih as usize, iw as usize])?;
-                            if weight > 0 {
-                                acc += x;
-                            } else {
-                                acc -= x;
-                            }
-                        }
+                for &(ifm, kh, kw, positive) in &taps {
+                    let ih = (oh * layer.stride + kh) as isize - layer.padding as isize;
+                    let iw = (ow * layer.stride + kw) as isize - layer.padding as isize;
+                    if ih < 0 || iw < 0 || ih as usize >= height || iw as usize >= width {
+                        continue;
+                    }
+                    let x = activations[(ifm * height + ih as usize) * width + iw as usize];
+                    if positive {
+                        acc += x;
+                    } else {
+                        acc -= x;
                     }
                 }
-                *output.get_mut(&[ofm, oh, ow])? = acc;
+                out_data[(ofm * hout + oh) * wout + ow] = acc;
             }
         }
     }
@@ -106,16 +118,20 @@ pub fn linear(input: &Tensor<i64>, layer: &Linear) -> Result<Tensor<i64>> {
         });
     }
     let mut output = Tensor::zeros(vec![layer.out_features(), 1, 1]);
-    for out_idx in 0..layer.out_features() {
+    let weights = layer.weights.as_slice();
+    let out_data = output.as_mut_slice();
+    let in_features = layer.in_features();
+    for (out_idx, out) in out_data.iter_mut().enumerate() {
+        let row = &weights[out_idx * in_features..(out_idx + 1) * in_features];
         let mut acc = 0i64;
-        for (in_idx, &x) in flat.iter().enumerate() {
-            match layer.weights.get(&[out_idx, in_idx])? {
+        for (&x, &weight) in flat.iter().zip(row) {
+            match weight {
                 1 => acc += x,
                 -1 => acc -= x,
                 _ => {}
             }
         }
-        *output.get_mut(&[out_idx, 0, 0])? = acc;
+        *out = acc;
     }
     Ok(output)
 }
@@ -305,6 +321,43 @@ pub fn run(
     })
 }
 
+/// Runs the reference integer inference over a batch of independent inputs.
+///
+/// This is the *semantic definition* of batching in this stack: a batch is a
+/// set of independent samples, so every batched execution backend must produce
+/// outputs value-identical to mapping [`run`] over the samples — which is
+/// exactly what this function does. The batched AP backends
+/// (`camdnn::functional`) are pinned against it by the batch-equivalence test
+/// suite.
+///
+/// # Errors
+///
+/// Returns the first failing sample's error, in batch order.
+///
+/// # Example
+///
+/// ```
+/// use tnn::infer::{run, run_batch};
+/// use tnn::model::micro_cnn;
+/// use tnn::Tensor;
+///
+/// let model = micro_cnn("micro", 4, 0.8, 1);
+/// let inputs = [Tensor::full(vec![3, 8, 8], 2i64), Tensor::full(vec![3, 8, 8], 5i64)];
+/// let traces = run_batch(&model, &inputs, Some(4)).expect("batch");
+/// assert_eq!(traces.len(), 2);
+/// assert_eq!(traces[0], run(&model, &inputs[0], Some(4)).expect("single"));
+/// ```
+pub fn run_batch(
+    model: &ModelGraph,
+    inputs: &[Tensor<i64>],
+    act_bits_override: Option<u8>,
+) -> Result<Vec<InferenceTrace>> {
+    inputs
+        .iter()
+        .map(|input| run(model, input, act_bits_override))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +438,23 @@ mod tests {
         let logits = trace.output().expect("output");
         assert_eq!(logits.as_slice().len(), 10);
         assert!(trace.predicted_class().is_some());
+    }
+
+    #[test]
+    fn batch_inference_is_samplewise_and_order_preserving() {
+        let model = crate::model::micro_cnn("micro", 4, 0.8, 3);
+        let inputs: Vec<Tensor<i64>> = (0..3)
+            .map(|i| Tensor::full(vec![3, 8, 8], i as i64 + 1))
+            .collect();
+        let traces = run_batch(&model, &inputs, Some(4)).expect("batch");
+        assert_eq!(traces.len(), 3);
+        for (input, trace) in inputs.iter().zip(&traces) {
+            assert_eq!(trace, &run(&model, input, Some(4)).expect("single"));
+        }
+        assert!(run_batch(&model, &[], Some(4)).expect("empty").is_empty());
+        // A failing sample reports its own error.
+        let bad = Tensor::zeros(vec![1, 8, 8]);
+        assert!(run_batch(&model, &[inputs[0].clone(), bad], Some(4)).is_err());
     }
 
     proptest! {

@@ -1,0 +1,194 @@
+//! Differential test suite for the batched functional inference pipeline.
+//!
+//! The invariant: a batch is a set of independent samples, so for **any**
+//! model, seed, geometry, batch size and `RAYON_NUM_THREADS` (CI repeats this
+//! suite with a single worker), the packed execution must be indistinguishable
+//! from running each sample alone —
+//!
+//! * per-sample **logits** are value-identical to a single-sample run of the
+//!   same input,
+//! * per-sample **CamStats** attributions (and the energy/latency derived
+//!   from them) equal the solo run's counters *exactly*, and their bit-count
+//!   sums equal the physical aggregate of the packed pass,
+//! * failing configurations report **identical error messages**.
+//!
+//! Batch sizes deliberately cross the 64-row packed-word boundary (a 24-row
+//! geometry at B = 3 spans rows 0..72) and include B = 1, which must collapse
+//! to the classic single-sample path.
+
+use accel::ArchConfig;
+use apc::layout::CamGeometry;
+use apc::{CompileCache, CompilerOptions};
+use camdnn::{BatchReport, FunctionalBackend, InferenceBackend};
+use proptest::prelude::*;
+use tnn::model::{micro_cnn, ModelGraph};
+use tnn::Tensor;
+
+fn backend_for(geometry: CamGeometry, act_bits: u8) -> FunctionalBackend {
+    let options = CompilerOptions {
+        act_bits,
+        geometry,
+        ..CompilerOptions::default()
+    };
+    FunctionalBackend::new(ArchConfig::default().with_geometry(geometry), options)
+}
+
+/// Runs `inputs` both packed and as sequential batches of one, asserting the
+/// full per-sample equivalence, and returns the packed report.
+fn assert_batch_equals_sequential(
+    backend: &FunctionalBackend,
+    model: &ModelGraph,
+    inputs: &[Tensor<i64>],
+) -> BatchReport {
+    let cache = CompileCache::new();
+    let batch = backend.run_batch(model, inputs, &cache).expect("batched");
+    assert_eq!(batch.batch_size, inputs.len());
+    let mut attributed = cam::CamStats::new();
+    for (sample, input) in inputs.iter().enumerate() {
+        let solo = backend
+            .run_batch(model, std::slice::from_ref(input), &cache)
+            .expect("sequential single-sample run");
+        let (got, want) = (&batch.samples[sample], &solo.samples[0]);
+        assert_eq!(got.logits, want.logits, "sample {sample} logits");
+        assert_eq!(got.predicted_class, want.predicted_class);
+        assert_eq!(got.checked_values, want.checked_values);
+        assert_eq!(got.mismatched_values, want.mismatched_values);
+        assert_eq!(got.stats, want.stats, "sample {sample} attribution");
+        assert_eq!(got.energy_uj, want.energy_uj, "sample {sample} energy");
+        assert_eq!(got.latency_ms, want.latency_ms, "sample {sample} latency");
+        // A batch of one is *physically* the solo run, so its aggregate is
+        // its attribution.
+        assert_eq!(solo.stats, solo.samples[0].stats);
+        attributed += got.stats;
+    }
+    // Per-sample bit-count sums equal the physical aggregate of the packed
+    // pass; the cycle counters amortize (every sample is attributed the full
+    // program cycles one physical sweep executed).
+    assert_eq!(batch.stats.searched_bits, attributed.searched_bits);
+    assert_eq!(batch.stats.written_bits, attributed.written_bits);
+    assert_eq!(batch.stats.io_written_bits, attributed.io_written_bits);
+    assert_eq!(batch.stats.read_bits, attributed.read_bits);
+    assert_eq!(batch.attributed_stats(), attributed);
+    for sample in &batch.samples {
+        assert_eq!(sample.stats.search_cycles, batch.stats.search_cycles);
+        assert_eq!(sample.stats.write_cycles, batch.stats.write_cycles);
+    }
+    batch
+}
+
+#[test]
+fn batch_crossing_the_word_boundary_matches_sequential_runs() {
+    // 24-row groups: three samples pack 72 rows, spanning two tag words.
+    let geometry = CamGeometry {
+        rows: 24,
+        cols: 256,
+        domains: 64,
+    };
+    let model = micro_cnn("micro-words", 4, 0.8, 3);
+    let backend = backend_for(geometry, 4).with_input_seed(17);
+    let inputs: Vec<Tensor<i64>> = (0..3)
+        .map(|sample| FunctionalBackend::input_for_sample(&model, 4, 17, sample))
+        .collect();
+    let batch = assert_batch_equals_sequential(&backend, &model, &inputs);
+    assert!(batch.is_bit_exact(), "{batch:?}");
+}
+
+#[test]
+fn derived_per_sample_inputs_are_pinned_and_executed() {
+    let model = micro_cnn("micro-seeds", 4, 0.85, 5);
+    let backend = FunctionalBackend::default().with_input_seed(41);
+    let cache = CompileCache::new();
+    let report = backend
+        .evaluate_batch_cached(&model, 3, &cache)
+        .expect("batched evaluation");
+    let batch = report.as_functional_batch().expect("batch report");
+    for (sample, outcome) in batch.samples.iter().enumerate() {
+        // The staged input of slot `sample` is exactly the documented
+        // derivation — seed itself at slot 0, a rand_chacha draw beyond.
+        let seed = FunctionalBackend::sample_input_seed(41, sample);
+        assert_eq!(outcome.input_seed, Some(seed));
+        let input = FunctionalBackend::input_for(&model, 4, seed);
+        let reference = tnn::infer::run(&model, &input, Some(4)).expect("reference");
+        assert_eq!(
+            outcome.logits,
+            reference.output().expect("logits").as_slice(),
+            "sample {sample}"
+        );
+    }
+    // Distinct slots stage distinct inputs (the `with_input_seed` fix).
+    assert_ne!(batch.samples[0].logits, batch.samples[1].logits);
+    assert_eq!(FunctionalBackend::sample_input_seed(41, 0), 41);
+}
+
+#[test]
+fn failing_configurations_report_identical_error_messages() {
+    // Four columns cannot hold a 3x3 patch: compilation fails identically
+    // whether one sample or a whole batch was requested.
+    let geometry = CamGeometry {
+        rows: 64,
+        cols: 4,
+        domains: 64,
+    };
+    let model = micro_cnn("micro-tight", 4, 0.8, 9);
+    let backend = backend_for(geometry, 4);
+    let inputs: Vec<Tensor<i64>> = (0..3)
+        .map(|sample| FunctionalBackend::input_for_sample(&model, 4, 0, sample))
+        .collect();
+    let cache = CompileCache::new();
+    let batched = backend
+        .run_batch(&model, &inputs, &cache)
+        .expect_err("must not fit");
+    let sequential = backend
+        .run_batch(&model, &inputs[..1], &CompileCache::new())
+        .expect_err("must not fit");
+    assert_eq!(batched.to_string(), sequential.to_string());
+    // A bad sample input also fails with the single-sample message.
+    let bad = Tensor::zeros(vec![1, 8, 8]);
+    let good = FunctionalBackend::input_for(&model, 4, 0);
+    let backend = FunctionalBackend::default();
+    let batched = backend
+        .run_batch(&model, &[good.clone(), bad.clone()], &cache)
+        .expect_err("bad sample");
+    let sequential = backend
+        .run_batch(&model, std::slice::from_ref(&bad), &cache)
+        .expect_err("bad sample");
+    assert_eq!(batched.to_string(), sequential.to_string());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Random models × seeds × batch sizes × geometries: the packed execution
+    // is indistinguishable from sequential single-sample runs.
+    #[test]
+    fn prop_batched_execution_is_indistinguishable_from_sequential(
+        channels in 2usize..5,
+        model_seed in 0u64..1000,
+        input_seed in 0u64..1000,
+        bits_choice in 0usize..2,
+        batch in 1usize..5,
+        rows_choice in 0usize..2,
+        sparsity in 0.7f64..0.95,
+    ) {
+        let act_bits = [2u8, 4][bits_choice];
+        let rows = [24usize, 64][rows_choice];
+        let geometry = CamGeometry { rows, cols: 256, domains: 64 };
+        let model = micro_cnn("micro-prop", channels, sparsity, model_seed);
+        let backend = backend_for(geometry, act_bits).with_input_seed(input_seed);
+        let inputs: Vec<Tensor<i64>> = (0..batch)
+            .map(|sample| FunctionalBackend::input_for_sample(&model, act_bits, input_seed, sample))
+            .collect();
+        let report = assert_batch_equals_sequential(&backend, &model, &inputs);
+        prop_assert!(report.is_bit_exact(), "batch must stay bit-exact: {report:?}");
+        // The attributions of a uniform batch differ only in the
+        // data-dependent written bits: every other counter is fixed by the
+        // (data-independent) operation stream.
+        let mut first = report.samples[0].stats;
+        first.written_bits = 0;
+        for sample in &report.samples {
+            let mut stats = sample.stats;
+            stats.written_bits = 0;
+            prop_assert_eq!(stats, first);
+        }
+    }
+}

@@ -255,6 +255,88 @@ fn functional_backend_sweeps_next_to_the_standard_columns_and_pins_the_reference
 }
 
 #[test]
+fn batch_axis_expands_the_grid_and_compiles_each_layer_exactly_once() {
+    // The batch_sizes axis multiplies the grid product, suffixes the labels,
+    // and must not change what gets compiled: each distinct (layer signature,
+    // compiler options) pair is compiled exactly once regardless of how many
+    // batch sizes sweep over it.
+    let grid = SweepGrid::new()
+        .workloads([
+            micro_cnn("micro-a", 4, 0.80, 1),
+            micro_cnn("micro-b", 8, 0.85, 2),
+        ])
+        .act_bits([4])
+        .batch_sizes([1, 2, 4])
+        .backends([BackendPlan::functional(), BackendPlan::deepcam()]);
+    assert_eq!(grid.len(), 2 * 3, "batch axis multiplies the product");
+    let scenarios = grid.scenarios();
+    for (spec, batch_size) in scenarios.iter().zip([1usize, 2, 4].iter().cycle()) {
+        assert_eq!(spec.batch_size, *batch_size);
+        assert!(
+            spec.label.ends_with(&format!(" b{batch_size}")),
+            "label {} must carry the batch suffix",
+            spec.label
+        );
+    }
+
+    let session = Session::new();
+    let results = session.run(&grid).expect("sweep");
+    assert_eq!(results.records.len(), grid.len() * 2);
+
+    // --- registration-ordered records (functional first, deepcam second) ---
+    for (i, record) in results.records.iter().enumerate() {
+        let expected = if i % 2 == 0 {
+            BackendKind::Functional.id()
+        } else {
+            BackendKind::DeepCam.id()
+        };
+        assert_eq!(record.backend, expected, "record {i}");
+        let spec = &scenarios[i / 2];
+        assert_eq!(record.scenario, spec.label);
+        assert_eq!(record.batch_size, spec.batch_size);
+    }
+
+    // --- exactly-once compilation per distinct layer regardless of B -------
+    // Only the functional jobs compile (with retained programs); the batch
+    // axis repeats each (layer, options) pair once per batch size.
+    let mut distinct: HashSet<(LayerSignature, CompilerOptions)> = HashSet::new();
+    let mut requests = 0u64;
+    for spec in &scenarios {
+        let options = spec.compiler_options().with_programs();
+        for layer in spec.workload.model.conv_like_layers() {
+            distinct.insert((LayerSignature::of(&layer), options));
+            requests += 1;
+        }
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.requests(), requests);
+    assert_eq!(
+        stats.misses,
+        distinct.len() as u64,
+        "each distinct (layer, options) pair must be compiled exactly once across batch sizes"
+    );
+    assert_eq!(stats.hits, requests - distinct.len() as u64);
+
+    // --- batched records carry real batched reports ------------------------
+    for spec in &scenarios {
+        let record = results
+            .get(&spec.label, BackendKind::Functional)
+            .expect("functional record");
+        if spec.batch_size == 1 {
+            assert!(record.report.as_functional().is_some());
+        } else {
+            let batch = record.report.as_functional_batch().expect("batched report");
+            assert_eq!(batch.batch_size, spec.batch_size);
+            assert!(batch.is_bit_exact());
+            assert_eq!(record.samples_per_s, batch.samples_per_s);
+        }
+    }
+    // The extended record shape survives the JSON-lines round-trip.
+    let parsed = ResultSet::from_json(&results.to_json()).expect("parse");
+    assert_eq!(parsed, results);
+}
+
+#[test]
 fn custom_backends_join_a_sweep_through_the_open_registry() {
     // A sweep point registered under a downstream-minted BackendId: the
     // default RTM-AP re-targeted to half the channel-group parallelism.

@@ -82,8 +82,11 @@ fn endurance_estimate_is_in_the_decades() {
 
 #[test]
 fn quantized_accuracy_tracks_full_precision_on_the_synthetic_task() {
-    let (fp, q8, q4) = accuracy_experiment(5).expect("accuracy experiment");
-    assert!(fp > 0.85);
-    assert!(q8 >= fp - 0.15);
-    assert!(q4 >= fp - 0.20);
+    let columns = accuracy_experiment(5).expect("accuracy experiment");
+    assert!(columns.fp > 0.85);
+    assert!(columns.q8 >= columns.fp - 0.15);
+    assert!(columns.q4 >= columns.fp - 0.20);
+    // The exported graph (scored batch-wise via `tnn::infer::run_batch`)
+    // must clearly beat chance on the 3-class task.
+    assert!(columns.graph4 > 0.5, "graph accuracy {}", columns.graph4);
 }
