@@ -11,6 +11,7 @@
 
 use apc::CompileCache;
 use camdnn::FunctionalBackend;
+use camdnn_bench::LatencyHistogram;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
@@ -30,19 +31,23 @@ fn batch_inputs(model: &ModelGraph) -> Vec<Tensor<i64>> {
         .collect()
 }
 
-/// Runs every input as its own batch of one (the sequential baseline).
+/// Runs every input as its own batch of one (the sequential baseline),
+/// recording each call's wall-clock latency.
 fn run_sequential(
     backend: &FunctionalBackend,
     model: &ModelGraph,
     inputs: &[Tensor<i64>],
     cache: &CompileCache,
+    histogram: &mut LatencyHistogram,
 ) {
     for input in inputs {
+        let start = Instant::now();
         black_box(
             backend
                 .run_batch(model, std::slice::from_ref(input), cache)
                 .expect("sequential run"),
         );
+        histogram.record(start.elapsed());
     }
 }
 
@@ -54,7 +59,15 @@ fn bench_sequential(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_cnn_64_samples");
     group.sample_size(10);
     group.bench_function("sequential_b1", |b| {
-        b.iter(|| run_sequential(&backend, &model, &inputs, &cache))
+        b.iter(|| {
+            run_sequential(
+                &backend,
+                &model,
+                &inputs,
+                &cache,
+                &mut LatencyHistogram::new(),
+            )
+        })
     });
     group.finish();
 }
@@ -88,22 +101,35 @@ fn batch_speedup(_c: &mut Criterion) {
     let inputs = batch_inputs(&model);
     // Warm-up compiles every layer into the shared cache and faults in both
     // paths once, so neither timed loop pays compilation.
-    run_sequential(&backend, &model, &inputs[..1], &cache);
+    run_sequential(
+        &backend,
+        &model,
+        &inputs[..1],
+        &cache,
+        &mut LatencyHistogram::new(),
+    );
     let batched_report = backend.run_batch(&model, &inputs, &cache).expect("batch");
 
+    // Per-call wall-clock latency distributions of both paths accumulate in
+    // the shared log-bucketed histogram across iterations. Recording costs
+    // ~100 ns against ~1 ms calls, so the timed ratio is unaffected.
+    let mut sequential_latency = LatencyHistogram::new();
+    let mut batched_latency = LatencyHistogram::new();
     let iters = 3u32;
     let start = Instant::now();
     for _ in 0..iters {
-        run_sequential(&backend, &model, &inputs, &cache);
+        run_sequential(&backend, &model, &inputs, &cache, &mut sequential_latency);
     }
     let sequential = start.elapsed().as_secs_f64() / f64::from(iters);
     let start = Instant::now();
     for _ in 0..iters {
+        let call = Instant::now();
         black_box(
             backend
                 .run_batch(&model, black_box(&inputs), &cache)
                 .expect("batched run"),
         );
+        batched_latency.record(call.elapsed());
     }
     let batched = start.elapsed().as_secs_f64() / f64::from(iters);
     let speedup = sequential / batched;
@@ -116,6 +142,8 @@ fn batch_speedup(_c: &mut Criterion) {
         batched_report.samples_per_s,
         batched_report.joules_per_sample,
     );
+    println!("  sequential per-call: {}", sequential_latency.summary_ms());
+    println!("  batched   per-call: {}", batched_latency.summary_ms());
     // The acceptance criterion of the batched pipeline, enforced whenever the
     // bench actually runs (CI compiles it with --no-run; run it locally).
     // Wall-clock ratios can dip on heavily loaded machines — override the

@@ -42,6 +42,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 use tnn::model::ModelGraph;
+use tnn::Tensor;
 
 /// The global [`BackendId`] intern table: every distinct identifier string is
 /// leaked exactly once, so ids are `Copy` and comparisons touch a `&'static
@@ -366,6 +367,33 @@ pub trait InferenceBackend: Send + Sync {
             });
         }
         self.evaluate_cached(model, cache)
+    }
+
+    /// Evaluates one batch of *caller-provided* request payloads — the hook
+    /// the serving runtime (`camdnn-serve`) dispatches each closed batch
+    /// through.
+    ///
+    /// The default forwards to
+    /// [`evaluate_batch_cached`](Self::evaluate_batch_cached) with the
+    /// payload count: analytic backends price inference by the model alone,
+    /// so the payload *values* cannot change their report and no per-request
+    /// outputs are produced. Backends that really execute data (the
+    /// [`FunctionalBackend`](crate::functional::FunctionalBackend)) override
+    /// this to run exactly the given inputs; their per-request logits must be
+    /// value-identical to solo `run_batch` calls of the same payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`apc::ApcError::InvalidArgument`] for an empty batch, and
+    /// otherwise the same errors as
+    /// [`evaluate_batch_cached`](Self::evaluate_batch_cached).
+    fn evaluate_requests_cached(
+        &self,
+        model: &ModelGraph,
+        inputs: &[Tensor<i64>],
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        self.evaluate_batch_cached(model, inputs.len(), cache)
     }
 }
 

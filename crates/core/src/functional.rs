@@ -701,6 +701,20 @@ impl InferenceBackend for FunctionalBackend {
             cache,
         )?))
     }
+
+    fn evaluate_requests_cached(
+        &self,
+        model: &ModelGraph,
+        inputs: &[Tensor<i64>],
+        cache: &CompileCache,
+    ) -> apc::Result<BackendReport> {
+        // The serving hook executes exactly the caller's payloads, so each
+        // request's logits are value-identical to a solo `run_batch` of its
+        // input (the batch-equivalence invariant).
+        Ok(BackendReport::FunctionalBatch(
+            self.run_batch(model, inputs, cache)?,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,234 @@
+//! Serving configuration: replica fleet, dynamic-batching window, admission
+//! control and the latency SLO.
+
+use crate::error::{Result, ServeError};
+use serde::{Deserialize, Serialize};
+
+/// How incoming requests are spread over the model replicas.
+///
+/// All three policies are deterministic given the same arrival sequence and
+/// queue states, which is what makes the simulation mode replayable; ties are
+/// always broken towards the lowest replica index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RoutePolicy {
+    /// Cycle through the replicas in index order, one request each.
+    RoundRobin,
+    /// Send the request to the replica with the fewest outstanding samples
+    /// (waiting plus in flight).
+    LeastLoaded,
+    /// Send the request to the replica with the shortest *waiting* queue,
+    /// ignoring work already dispatched.
+    JoinShortestQueue,
+}
+
+impl RoutePolicy {
+    /// Short label used in scenario names and tables (`rr`, `ll`, `jsq`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "rr",
+            RoutePolicy::LeastLoaded => "ll",
+            RoutePolicy::JoinShortestQueue => "jsq",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The dynamic-batching window: a batch closes at `max_batch_size` requests
+/// or when the oldest queued request has waited `max_queue_delay_ns`,
+/// whichever happens first.
+///
+/// `max_batch_size = 1` degenerates to request-at-a-time dispatch (the
+/// baseline the serving bench compares against); `max_queue_delay_ns = 0`
+/// closes a batch as soon as the worker is free, taking whatever is queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchingPolicy {
+    /// Largest number of requests packed into one backend dispatch.
+    pub max_batch_size: usize,
+    /// Longest time the oldest queued request may wait before its batch is
+    /// closed, in nanoseconds.
+    pub max_queue_delay_ns: u64,
+}
+
+impl Default for BatchingPolicy {
+    /// Close at 8 requests or 500 µs, whichever first.
+    fn default() -> Self {
+        BatchingPolicy::new(8, 500)
+    }
+}
+
+impl BatchingPolicy {
+    /// A policy closing at `max_batch_size` requests or `delay_us`
+    /// microseconds, whichever first.
+    pub fn new(max_batch_size: usize, delay_us: u64) -> Self {
+        BatchingPolicy {
+            max_batch_size,
+            max_queue_delay_ns: delay_us * 1_000,
+        }
+    }
+
+    /// Request-at-a-time dispatch: batches of one, no waiting.
+    pub fn single() -> Self {
+        BatchingPolicy {
+            max_batch_size: 1,
+            max_queue_delay_ns: 0,
+        }
+    }
+
+    /// Short label used in scenario names (`b8/200us`).
+    pub fn label(&self) -> String {
+        format!(
+            "b{}/{}us",
+            self.max_batch_size,
+            self.max_queue_delay_ns / 1_000
+        )
+    }
+
+    /// Whether `queued` requests already fill a batch.
+    pub fn is_full(&self, queued: usize) -> bool {
+        queued >= self.max_batch_size
+    }
+
+    /// The time at which a batch whose oldest member joined the queue at
+    /// `oldest_enqueue_ns` must close even if still short of
+    /// [`max_batch_size`](Self::max_batch_size).
+    pub fn close_deadline_ns(&self, oldest_enqueue_ns: u64) -> u64 {
+        oldest_enqueue_ns.saturating_add(self.max_queue_delay_ns)
+    }
+}
+
+/// Full configuration of a serving runtime instance (threaded server or
+/// deterministic simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of independent model replicas, each with its own queue and
+    /// worker.
+    pub replicas: usize,
+    /// The dynamic-batching window.
+    pub batching: BatchingPolicy,
+    /// Admission limit: requests *waiting* per replica beyond which submits
+    /// are rejected (or block, on the backpressure path).
+    pub queue_capacity: usize,
+    /// How requests are routed to replicas.
+    pub routing: RoutePolicy,
+    /// The latency objective a request must meet to count towards
+    /// [`ServeReport::slo_attainment`](crate::report::ServeReport), in
+    /// nanoseconds end to end (queueing plus service).
+    pub slo_ns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            replicas: 1,
+            batching: BatchingPolicy::default(),
+            queue_capacity: 256,
+            routing: RoutePolicy::RoundRobin,
+            slo_ns: 50_000_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns a copy with `replicas` model replicas.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Returns a copy with the given batching window.
+    #[must_use]
+    pub fn with_batching(mut self, batching: BatchingPolicy) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given per-replica queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy with the given routing policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutePolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Returns a copy with the SLO target set to `slo_ms` milliseconds.
+    #[must_use]
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ns = (slo_ms * 1e6) as u64;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when any knob would stall the
+    /// runtime: zero replicas, a zero batch size, or a zero queue capacity.
+    pub fn validate(&self) -> Result<()> {
+        let reason = if self.replicas == 0 {
+            "at least one replica is required"
+        } else if self.batching.max_batch_size == 0 {
+            "max_batch_size must be at least 1"
+        } else if self.queue_capacity == 0 {
+            "queue_capacity must be at least 1"
+        } else {
+            return Ok(());
+        };
+        Err(ServeError::InvalidConfig {
+            reason: reason.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_window_closes_on_size_or_deadline() {
+        let policy = BatchingPolicy::new(4, 200);
+        assert!(!policy.is_full(3));
+        assert!(policy.is_full(4));
+        assert_eq!(policy.close_deadline_ns(1_000), 201_000);
+        assert_eq!(policy.label(), "b4/200us");
+        assert_eq!(BatchingPolicy::single().label(), "b1/0us");
+    }
+
+    #[test]
+    fn deadline_saturates_instead_of_wrapping() {
+        let policy = BatchingPolicy::new(4, u64::MAX / 1_000);
+        assert_eq!(policy.close_deadline_ns(u64::MAX - 5), u64::MAX);
+    }
+
+    #[test]
+    fn validation_rejects_stalling_configs() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for broken in [
+            ServeConfig::default().with_replicas(0),
+            ServeConfig::default().with_batching(BatchingPolicy::new(0, 10)),
+            ServeConfig::default().with_queue_capacity(0),
+        ] {
+            let err = broken.validate().expect_err("must be rejected");
+            assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn route_policy_labels_are_stable() {
+        assert_eq!(RoutePolicy::RoundRobin.to_string(), "rr");
+        assert_eq!(RoutePolicy::LeastLoaded.to_string(), "ll");
+        assert_eq!(RoutePolicy::JoinShortestQueue.to_string(), "jsq");
+    }
+}

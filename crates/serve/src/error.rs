@@ -1,0 +1,70 @@
+//! Error type of the serving runtime.
+
+use thiserror::Error;
+
+/// Errors produced by the serving runtime (admission control, configuration
+/// validation, worker dispatch and the backend underneath).
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A serving configuration is unusable (zero replicas, zero batch size, …).
+    #[error("invalid serve configuration: {reason}")]
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Admission control rejected the request: the routed replica's queue is
+    /// at capacity. This is the backpressure signal — callers either retry,
+    /// shed the request, or use the blocking submit path.
+    #[error("request rejected: replica {replica} queue is at capacity {capacity}")]
+    QueueFull {
+        /// The replica the routing policy chose.
+        replica: usize,
+        /// Its configured queue capacity.
+        capacity: usize,
+    },
+    /// The server is shutting down and admits no new requests.
+    #[error("server is shutting down")]
+    ShuttingDown,
+    /// A worker thread disappeared before answering (it panicked or the
+    /// server was torn down forcibly); the request was not executed.
+    #[error("worker disconnected before responding")]
+    WorkerLost,
+    /// The inference backend failed while executing a batch.
+    #[error("backend error: {0}")]
+    Backend(#[from] apc::ApcError),
+}
+
+/// Convenience alias for serving-runtime results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ServeError::QueueFull {
+            replica: 3,
+            capacity: 64,
+        };
+        assert!(err.to_string().contains('3'));
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn backend_errors_are_wrapped() {
+        let err = ServeError::from(apc::ApcError::InvalidArgument {
+            reason: "x".to_string(),
+        });
+        assert!(matches!(err, ServeError::Backend(_)));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! `camdnn-serve`: a deterministic dynamic-batching inference server for the
+//! CAM/RTM stack.
+//!
+//! PR 4 gave every backend a batch dimension; this crate adds the layer that
+//! decides *which* requests form a batch under live load:
+//!
+//! * [`Server`] — a threaded serving runtime (hand-rolled on `std::thread`,
+//!   channels and condvars; no async crates exist in the vendored build):
+//!   per-replica request queues with admission control
+//!   ([`Server::try_submit`]) and backpressure ([`Server::submit`]), dynamic
+//!   batching workers that close a batch at `max_batch_size` or
+//!   `max_queue_delay` (whichever first), pluggable replica routing
+//!   ([`RoutePolicy`]: round-robin, least-loaded, join-shortest-queue), and
+//!   graceful shutdown that drains every admitted request.
+//! * [`simulate`] — the same decision rules replayed on a **virtual clock**
+//!   against a seeded [`TraceSpec`] (Poisson or bursty arrivals): a fixed
+//!   trace seed reproduces the exact same batch compositions, per-request
+//!   logits (bit-identical to solo `run_batch` calls) and latency statistics
+//!   on every run, at any `RAYON_NUM_THREADS`.
+//! * [`ServeReport`] — p50/p95/p99 latency, queue behaviour, achieved
+//!   samples/s and SLO attainment, with byte-identical JSON for a fixed
+//!   seed.
+//! * [`ServeGrid`] / [`ServeSession`] — serving sweeps (traffic intensity ×
+//!   batching policy × replica count) in the `camdnn::experiment` idiom,
+//!   sharing one compile cache across all scenarios.
+//!
+//! Batches dispatch through
+//! [`camdnn::InferenceBackend::evaluate_requests_cached`] against a shared
+//! [`apc::CompileCache`]; the bit-level
+//! [`FunctionalBackend`](camdnn::FunctionalBackend) is the canonical serving
+//! backend because its per-request logits are value-identical to solo runs at
+//! any batch composition (the batch-equivalence invariant of PR 4).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod executor;
+pub mod experiment;
+pub mod report;
+pub mod server;
+pub mod sim;
+pub mod trace;
+
+pub use config::{BatchingPolicy, RoutePolicy, ServeConfig};
+pub use error::{Result, ServeError};
+pub use executor::{BackendExecutor, ExecutedBatch, RequestExecutor};
+pub use experiment::{ServeGrid, ServeRecord, ServeResultSet, ServeScenario, ServeSession};
+pub use report::{LatencySummary, ServeReport};
+pub use server::{Completion, Server, ServerCounters, Ticket};
+pub use sim::{simulate, BatchRecord, SimCompletion, SimOutcome};
+pub use trace::{ArrivalProcess, PayloadSpec, Trace, TraceSpec};

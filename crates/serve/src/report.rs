@@ -1,0 +1,188 @@
+//! Serving outcome reporting: latency distributions, queue behaviour, SLO
+//! attainment.
+//!
+//! [`ServeReport`] is assembled from exact integer event times (virtual
+//! nanoseconds in simulation mode), so a fixed trace seed produces a
+//! byte-identical JSON document on every run — the serving counterpart of the
+//! experiment API's `ScenarioRecord`.
+
+use crate::config::ServeConfig;
+use crate::trace::TraceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Exact summary of a latency (or queue-wait) distribution, in nanoseconds.
+///
+/// Percentiles use the nearest-rank definition over the exact sorted values —
+/// no bucketing, no interpolation — so they are deterministic integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean, rounded to whole nanoseconds.
+    pub mean_ns: u64,
+    /// Median (50th percentile, nearest rank).
+    pub p50_ns: u64,
+    /// 95th percentile (nearest rank).
+    pub p95_ns: u64,
+    /// 99th percentile (nearest rank).
+    pub p99_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises `values` (order irrelevant; the vector is sorted in place).
+    pub fn from_values(mut values: Vec<u64>) -> Self {
+        if values.is_empty() {
+            return LatencySummary::default();
+        }
+        values.sort_unstable();
+        let count = values.len() as u64;
+        let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
+        let nearest = |pct: u64| -> u64 {
+            // Nearest-rank: the smallest value with at least pct% of the
+            // observations at or below it.
+            let rank = (count * pct).div_ceil(100).max(1);
+            values[(rank - 1) as usize]
+        };
+        LatencySummary {
+            count,
+            mean_ns: (sum / u128::from(count)) as u64,
+            p50_ns: nearest(50),
+            p95_ns: nearest(95),
+            p99_ns: nearest(99),
+            max_ns: values[values.len() - 1],
+        }
+    }
+
+    /// The median in milliseconds (for table rendering).
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_ns as f64 / 1e6
+    }
+
+    /// The 99th percentile in milliseconds (for table rendering).
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_ns as f64 / 1e6
+    }
+}
+
+/// The outcome of serving one trace: load accounting, latency distribution,
+/// batching behaviour and SLO attainment.
+///
+/// All time fields are exact integers derived from the virtual clock; the few
+/// `f64` rates are computed with a fixed formula from those integers, so the
+/// JSON rendering ([`ServeReport::to_json`]) is byte-identical across runs,
+/// `RAYON_NUM_THREADS` settings and host thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The served model's name.
+    pub model: String,
+    /// The executing backend's configured name.
+    pub backend: String,
+    /// The serving configuration (replicas, batching window, routing, SLO).
+    pub config: ServeConfig,
+    /// The trace that was served (process, request count, seed).
+    pub trace: TraceSpec,
+    /// Requests in the trace.
+    pub offered: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests rejected by admission control (queue at capacity).
+    pub rejected: u64,
+    /// Requests that completed execution (equals `admitted` after a drain).
+    pub completed: u64,
+    /// Batches dispatched to the backend.
+    pub batches: u64,
+    /// `batch_size_counts[i]` = number of dispatched batches of size `i + 1`
+    /// (length `max_batch_size`).
+    pub batch_size_counts: Vec<u64>,
+    /// Batches dispatched by each replica, in replica order.
+    pub per_replica_batches: Vec<u64>,
+    /// Mean dispatched batch size (`completed / batches`).
+    pub mean_batch_size: f64,
+    /// End-to-end request latency distribution (queueing + service).
+    pub latency: LatencySummary,
+    /// Queueing-delay distribution (arrival to batch dispatch).
+    pub queue_wait: LatencySummary,
+    /// Largest total number of waiting requests observed across all replicas.
+    pub max_queue_depth: u64,
+    /// Virtual time from trace start to the last completion, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Achieved throughput: `completed · 1e9 / makespan_ns`.
+    pub samples_per_s: f64,
+    /// Completed requests whose end-to-end latency met `config.slo_ns`.
+    pub slo_attained: u64,
+    /// `slo_attained / offered` — rejected requests count against the SLO.
+    pub slo_attainment: f64,
+    /// Whether every executed value matched the reference inference
+    /// (`None` when the backend does not check values).
+    pub bit_exact: Option<bool>,
+}
+
+impl ServeReport {
+    /// Serializes the report as one JSON object (single line).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a document produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serde error when the document does not describe a report.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {}: {}/{} served ({} rejected), {:.1} samples/s, p50 {:.3} ms, p99 {:.3} ms, \
+             SLO {:.1}% @ {:.1} ms, mean batch {:.2}",
+            self.backend,
+            self.model,
+            self.completed,
+            self.offered,
+            self.rejected,
+            self.samples_per_s,
+            self.latency.p50_ms(),
+            self.latency.p99_ms(),
+            self.slo_attainment * 100.0,
+            self.config.slo_ns as f64 / 1e6,
+            self.mean_batch_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let summary = LatencySummary::from_values((1..=100).collect());
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_ns, 50);
+        assert_eq!(summary.p95_ns, 95);
+        assert_eq!(summary.p99_ns, 99);
+        assert_eq!(summary.max_ns, 100);
+        assert_eq!(summary.mean_ns, 50); // floor(50.5)
+        let single = LatencySummary::from_values(vec![7]);
+        assert_eq!(
+            (single.p50_ns, single.p95_ns, single.p99_ns, single.max_ns),
+            (7, 7, 7, 7)
+        );
+        assert_eq!(
+            LatencySummary::from_values(Vec::new()),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let a = LatencySummary::from_values(vec![5, 1, 9, 3, 7]);
+        let b = LatencySummary::from_values(vec![9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50_ns, 5);
+    }
+}

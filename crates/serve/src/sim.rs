@@ -1,0 +1,516 @@
+//! Deterministic serving simulation on a virtual clock.
+//!
+//! [`simulate`] replays a [`Trace`] through the same admission / dynamic
+//! batching / routing decisions as the threaded server, but time is *virtual*:
+//! arrivals happen at the trace's nanosecond timestamps, and a dispatched
+//! batch occupies its replica for exactly the backend's modeled service
+//! latency. The event loop is sequential with a total order over ties
+//! (completions before arrivals before dispatches, then lowest replica
+//! index), so a fixed trace seed reproduces the exact same batch
+//! compositions, per-request logits (bit-identical to solo `run_batch` calls
+//! — the batch-equivalence invariant) and latency statistics on every run,
+//! at any `RAYON_NUM_THREADS` and on any host.
+//!
+//! The backend executes each closed batch *for real* (that is where the
+//! logits and the modeled service time come from); only the waiting is
+//! simulated.
+
+use crate::config::{RoutePolicy, ServeConfig};
+use crate::error::{Result, ServeError};
+use crate::executor::RequestExecutor;
+use crate::report::{LatencySummary, ServeReport};
+use crate::trace::{Trace, TraceSpec};
+use std::collections::VecDeque;
+use tnn::Tensor;
+
+/// One dispatched batch of a simulation: which requests, where, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// The replica that executed the batch.
+    pub replica: usize,
+    /// Virtual dispatch time, in nanoseconds.
+    pub dispatch_ns: u64,
+    /// Virtual completion time (`dispatch_ns` + modeled service latency).
+    pub completion_ns: u64,
+    /// The member requests (trace indices), in queue order.
+    pub requests: Vec<usize>,
+}
+
+/// One completed request of a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimCompletion {
+    /// Trace index of the request.
+    pub request: usize,
+    /// Arrival time, in virtual nanoseconds.
+    pub arrival_ns: u64,
+    /// Dispatch time of the batch that carried it.
+    pub dispatch_ns: u64,
+    /// Completion time of that batch.
+    pub completion_ns: u64,
+    /// The replica that served it.
+    pub replica: usize,
+    /// Index into [`SimOutcome::batches`].
+    pub batch: usize,
+    /// The request's logits, when the backend executes data.
+    pub logits: Option<Vec<i64>>,
+}
+
+impl SimCompletion {
+    /// End-to-end latency (queueing + service), in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completion_ns - self.arrival_ns
+    }
+
+    /// Queueing delay (arrival to dispatch), in nanoseconds.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.dispatch_ns - self.arrival_ns
+    }
+}
+
+/// The full outcome of one simulation: the report plus the per-batch and
+/// per-request records the tests and the replay check consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// The aggregate serving report.
+    pub report: ServeReport,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Every completed request, in dispatch order (batch members together).
+    pub completions: Vec<SimCompletion>,
+    /// Trace indices rejected by admission control, in arrival order.
+    pub rejected: Vec<usize>,
+}
+
+impl SimOutcome {
+    /// The completion record of request `request`, if it was served.
+    pub fn completion_for(&self, request: usize) -> Option<&SimCompletion> {
+        self.completions.iter().find(|c| c.request == request)
+    }
+}
+
+struct Replica {
+    /// Waiting requests (trace indices), oldest first.
+    queue: VecDeque<usize>,
+    /// Completion time of the batch currently executing, if any.
+    busy_until: Option<u64>,
+    /// Samples currently executing (for the least-loaded score).
+    in_flight: usize,
+    batches: u64,
+}
+
+impl Replica {
+    fn load(&self) -> usize {
+        self.queue.len() + self.in_flight
+    }
+}
+
+/// The three event kinds, in tie-break priority order: at equal virtual
+/// times a worker frees first, then arrivals join queues, then batches close
+/// (so an arrival at exactly the close deadline still makes the batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Completion,
+    Arrival,
+    Dispatch,
+}
+
+/// Replays `trace` (whose request `i` carries `payloads[i]`) against
+/// `executor` under `config`, on the virtual clock.
+///
+/// `spec` is echoed into the report so consumers can reproduce the run; it
+/// must be the spec `trace` was generated from.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] when the configuration fails
+/// [`ServeConfig::validate`] or the payload count does not match the trace,
+/// and propagates backend errors from batch execution.
+pub fn simulate(
+    executor: &dyn RequestExecutor,
+    config: &ServeConfig,
+    spec: &TraceSpec,
+    trace: &Trace,
+    payloads: &[Tensor<i64>],
+    model_name: &str,
+) -> Result<SimOutcome> {
+    config.validate()?;
+    if payloads.len() != trace.len() {
+        return Err(ServeError::InvalidConfig {
+            reason: format!(
+                "{} payloads for a trace of {} requests",
+                payloads.len(),
+                trace.len()
+            ),
+        });
+    }
+
+    let mut replicas: Vec<Replica> = (0..config.replicas)
+        .map(|_| Replica {
+            queue: VecDeque::new(),
+            busy_until: None,
+            in_flight: 0,
+            batches: 0,
+        })
+        .collect();
+    let mut rr_cursor = 0usize;
+    let mut next_arrival = 0usize;
+    let mut now = 0u64;
+
+    let mut batches = Vec::new();
+    let mut completions = Vec::new();
+    let mut rejected = Vec::new();
+    let mut batch_size_counts = vec![0u64; config.batching.max_batch_size];
+    let mut max_queue_depth = 0u64;
+    let mut bit_exact: Option<bool> = None;
+
+    loop {
+        // Candidate next events; `None` when that kind cannot occur.
+        let completion = replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.busy_until.map(|t| (t, EventKind::Completion, i)))
+            .min();
+        let arrival = trace
+            .arrivals_ns
+            .get(next_arrival)
+            .map(|&t| (t.max(now), EventKind::Arrival, next_arrival));
+        let dispatch = replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.busy_until.is_none() && !r.queue.is_empty())
+            .map(|(i, r)| {
+                let close = if config.batching.is_full(r.queue.len()) {
+                    now
+                } else {
+                    let oldest = *r.queue.front().expect("queue checked non-empty");
+                    config.batching.close_deadline_ns(trace.arrivals_ns[oldest])
+                };
+                (close.max(now), EventKind::Dispatch, i)
+            })
+            .min();
+
+        // The total order over (time, kind, index) makes every step — and
+        // therefore every batch composition — deterministic.
+        let Some((time, kind, index)) = [completion, arrival, dispatch].into_iter().flatten().min()
+        else {
+            break;
+        };
+        now = time;
+        match kind {
+            EventKind::Completion => {
+                let replica = &mut replicas[index];
+                replica.busy_until = None;
+                replica.in_flight = 0;
+            }
+            EventKind::Arrival => {
+                next_arrival += 1;
+                let chosen = match config.routing {
+                    RoutePolicy::RoundRobin => {
+                        let chosen = rr_cursor % replicas.len();
+                        rr_cursor += 1;
+                        chosen
+                    }
+                    RoutePolicy::LeastLoaded => replicas
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, r)| (r.load(), *i))
+                        .map(|(i, _)| i)
+                        .expect("at least one replica"),
+                    RoutePolicy::JoinShortestQueue => replicas
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, r)| (r.queue.len(), *i))
+                        .map(|(i, _)| i)
+                        .expect("at least one replica"),
+                };
+                if replicas[chosen].queue.len() >= config.queue_capacity {
+                    rejected.push(index);
+                } else {
+                    replicas[chosen].queue.push_back(index);
+                    let depth: u64 = replicas.iter().map(|r| r.queue.len() as u64).sum();
+                    max_queue_depth = max_queue_depth.max(depth);
+                }
+            }
+            EventKind::Dispatch => {
+                let members: Vec<usize> = {
+                    let replica = &mut replicas[index];
+                    let size = replica.queue.len().min(config.batching.max_batch_size);
+                    replica.queue.drain(..size).collect()
+                };
+                let inputs: Vec<Tensor<i64>> =
+                    members.iter().map(|&r| payloads[r].clone()).collect();
+                let executed = executor.execute(&inputs)?;
+                bit_exact = match (bit_exact, executed.bit_exact) {
+                    (acc, None) => acc,
+                    (None, Some(b)) => Some(b),
+                    (Some(acc), Some(b)) => Some(acc && b),
+                };
+                let completion_ns = now.saturating_add(executed.latency_ns);
+                let replica = &mut replicas[index];
+                replica.busy_until = Some(completion_ns);
+                replica.in_flight = members.len();
+                replica.batches += 1;
+                batch_size_counts[members.len() - 1] += 1;
+                let logits = executed.logits;
+                for (slot, &request) in members.iter().enumerate() {
+                    completions.push(SimCompletion {
+                        request,
+                        arrival_ns: trace.arrivals_ns[request],
+                        dispatch_ns: now,
+                        completion_ns,
+                        replica: index,
+                        batch: batches.len(),
+                        logits: logits.as_ref().map(|l| l[slot].clone()),
+                    });
+                }
+                batches.push(BatchRecord {
+                    replica: index,
+                    dispatch_ns: now,
+                    completion_ns,
+                    requests: members,
+                });
+            }
+        }
+    }
+
+    let offered = trace.len() as u64;
+    let completed = completions.len() as u64;
+    let latency =
+        LatencySummary::from_values(completions.iter().map(SimCompletion::latency_ns).collect());
+    let queue_wait = LatencySummary::from_values(
+        completions
+            .iter()
+            .map(SimCompletion::queue_wait_ns)
+            .collect(),
+    );
+    let makespan_ns = batches.iter().map(|b| b.completion_ns).max().unwrap_or(0);
+    let slo_attained = completions
+        .iter()
+        .filter(|c| c.latency_ns() <= config.slo_ns)
+        .count() as u64;
+    let report = ServeReport {
+        model: model_name.to_string(),
+        backend: executor.name(),
+        config: *config,
+        trace: *spec,
+        offered,
+        admitted: offered - rejected.len() as u64,
+        rejected: rejected.len() as u64,
+        completed,
+        batches: batches.len() as u64,
+        batch_size_counts,
+        per_replica_batches: replicas.iter().map(|r| r.batches).collect(),
+        mean_batch_size: if batches.is_empty() {
+            0.0
+        } else {
+            completed as f64 / batches.len() as f64
+        },
+        latency,
+        queue_wait,
+        max_queue_depth,
+        makespan_ns,
+        samples_per_s: if makespan_ns == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / makespan_ns as f64
+        },
+        slo_attained,
+        slo_attainment: if offered == 0 {
+            0.0
+        } else {
+            slo_attained as f64 / offered as f64
+        },
+        bit_exact,
+    };
+    Ok(SimOutcome {
+        report,
+        batches,
+        completions,
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchingPolicy;
+    use crate::executor::ExecutedBatch;
+
+    /// A synthetic executor with a fixed per-batch latency model:
+    /// `base + per_sample · n` nanoseconds, no logits.
+    struct FixedExecutor {
+        base_ns: u64,
+        per_sample_ns: u64,
+    }
+
+    impl RequestExecutor for FixedExecutor {
+        fn name(&self) -> String {
+            "fixed".to_string()
+        }
+
+        fn execute(&self, inputs: &[Tensor<i64>]) -> Result<ExecutedBatch> {
+            Ok(ExecutedBatch {
+                latency_ns: self.base_ns + self.per_sample_ns * inputs.len() as u64,
+                logits: None,
+                bit_exact: None,
+            })
+        }
+    }
+
+    fn payload() -> Tensor<i64> {
+        Tensor::from_vec(vec![1, 1, 1], vec![0]).expect("payload")
+    }
+
+    fn hand_trace(arrivals_ns: &[u64]) -> (TraceSpec, Trace, Vec<Tensor<i64>>) {
+        let spec = TraceSpec::poisson(1.0, arrivals_ns.len(), 0);
+        let trace = Trace {
+            arrivals_ns: arrivals_ns.to_vec(),
+        };
+        let payloads = vec![payload(); arrivals_ns.len()];
+        (spec, trace, payloads)
+    }
+
+    #[test]
+    fn batches_close_on_size_or_deadline() {
+        // Four arrivals; worker busy 1000ns per batch + 0/sample; max batch 2,
+        // delay 300ns. t=0: r0 arrives, batch not full -> deadline 300. t=100:
+        // r1 arrives -> full -> dispatch [0,1] at 100. t=150: r2 arrives,
+        // worker busy until 1100. t=500: r3. Worker frees at 1100, queue has
+        // [2,3] (full) -> dispatch at 1100.
+        let executor = FixedExecutor {
+            base_ns: 1_000,
+            per_sample_ns: 0,
+        };
+        let config = ServeConfig::default().with_batching(BatchingPolicy {
+            max_batch_size: 2,
+            max_queue_delay_ns: 300,
+        });
+        let (spec, trace, payloads) = hand_trace(&[0, 100, 150, 500]);
+        let outcome =
+            simulate(&executor, &config, &spec, &trace, &payloads, "toy").expect("simulate");
+        let boundaries: Vec<(u64, Vec<usize>)> = outcome
+            .batches
+            .iter()
+            .map(|b| (b.dispatch_ns, b.requests.clone()))
+            .collect();
+        assert_eq!(boundaries, vec![(100, vec![0, 1]), (1_100, vec![2, 3])]);
+        assert_eq!(outcome.report.batch_size_counts, vec![0, 2]);
+        assert_eq!(outcome.report.completed, 4);
+        assert_eq!(outcome.report.makespan_ns, 2_100);
+    }
+
+    #[test]
+    fn deadline_closes_a_short_batch() {
+        // One arrival at 0, the next at 10_000; delay 300 -> the first batch
+        // closes alone at its deadline.
+        let executor = FixedExecutor {
+            base_ns: 100,
+            per_sample_ns: 0,
+        };
+        let config = ServeConfig::default().with_batching(BatchingPolicy {
+            max_batch_size: 8,
+            max_queue_delay_ns: 300,
+        });
+        let (spec, trace, payloads) = hand_trace(&[0, 10_000]);
+        let outcome =
+            simulate(&executor, &config, &spec, &trace, &payloads, "toy").expect("simulate");
+        assert_eq!(outcome.batches[0].dispatch_ns, 300);
+        assert_eq!(outcome.batches[0].requests, vec![0]);
+        assert_eq!(outcome.batches[1].dispatch_ns, 10_300);
+        // Latency = wait + service.
+        assert_eq!(outcome.completions[0].latency_ns(), 400);
+        assert_eq!(outcome.completions[0].queue_wait_ns(), 300);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        // Capacity 2, single replica busy for a long time: the first request
+        // dispatches alone (delay 0), the next two queue, the rest bounce.
+        let executor = FixedExecutor {
+            base_ns: 1_000_000,
+            per_sample_ns: 0,
+        };
+        let config = ServeConfig::default()
+            .with_batching(BatchingPolicy {
+                max_batch_size: 1,
+                max_queue_delay_ns: 0,
+            })
+            .with_queue_capacity(2);
+        let (spec, trace, payloads) = hand_trace(&[0, 1, 2, 3, 4]);
+        let outcome =
+            simulate(&executor, &config, &spec, &trace, &payloads, "toy").expect("simulate");
+        assert_eq!(outcome.rejected, vec![3, 4]);
+        assert_eq!(outcome.report.rejected, 2);
+        assert_eq!(outcome.report.admitted, 3);
+        assert_eq!(outcome.report.completed, 3);
+        assert_eq!(outcome.report.max_queue_depth, 2);
+        // Rejections count against SLO attainment.
+        assert!(outcome.report.slo_attainment <= 3.0 / 5.0);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_jsq_fills_evenly() {
+        let executor = FixedExecutor {
+            base_ns: 10_000,
+            per_sample_ns: 0,
+        };
+        let base = ServeConfig::default()
+            .with_replicas(3)
+            .with_batching(BatchingPolicy {
+                max_batch_size: 1,
+                max_queue_delay_ns: 0,
+            });
+        let (spec, trace, payloads) = hand_trace(&[0, 1, 2, 3, 4, 5]);
+        let rr = simulate(
+            &executor,
+            &base.with_routing(RoutePolicy::RoundRobin),
+            &spec,
+            &trace,
+            &payloads,
+            "toy",
+        )
+        .expect("simulate");
+        let order: Vec<usize> = rr
+            .completions
+            .iter()
+            .map(|c| (c.request, c.replica))
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        for policy in [RoutePolicy::JoinShortestQueue, RoutePolicy::LeastLoaded] {
+            let outcome = simulate(
+                &executor,
+                &base.with_routing(policy),
+                &spec,
+                &trace,
+                &payloads,
+                "toy",
+            )
+            .expect("simulate");
+            assert_eq!(
+                outcome.report.per_replica_batches,
+                vec![2, 2, 2],
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_count_must_match_the_trace() {
+        let executor = FixedExecutor {
+            base_ns: 1,
+            per_sample_ns: 0,
+        };
+        let (spec, trace, _) = hand_trace(&[0, 1]);
+        let err = simulate(
+            &executor,
+            &ServeConfig::default(),
+            &spec,
+            &trace,
+            &[payload()],
+            "toy",
+        )
+        .expect_err("mismatch");
+        assert!(matches!(err, ServeError::InvalidConfig { .. }));
+    }
+}

@@ -1,0 +1,344 @@
+//! Seeded trace generation: arrival processes and request payloads.
+//!
+//! A [`TraceSpec`] describes *when* requests arrive (a Poisson stream or a
+//! two-state bursty process) and expands deterministically — the same seed
+//! always yields the identical [`Trace`] — via the vendored `rand_chacha`
+//! generator. A [`PayloadSpec`] describes *what* each request carries:
+//! synthetic model inputs seeded per request, or quantized images from the
+//! [`tnn::dataset::SyntheticBlobs`] task (the dataset-backed path).
+
+use crate::error::{Result, ServeError};
+use camdnn::FunctionalBackend;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tnn::dataset::{Batch, SyntheticBlobs};
+use tnn::model::ModelGraph;
+use tnn::{Quantizer, Tensor};
+
+/// The stochastic process generating request arrival times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: independent exponential inter-arrival gaps at
+    /// `rate_per_s` requests per second.
+    Poisson {
+        /// Mean arrival rate, in requests per second.
+        rate_per_s: f64,
+    },
+    /// A two-state modulated Poisson process: runs of requests arrive at
+    /// `burst_rate_per_s`, separated by runs at `idle_rate_per_s`; after each
+    /// request the state toggles with probability `1 / mean_phase_requests`.
+    Bursty {
+        /// Arrival rate of the idle phase, in requests per second.
+        idle_rate_per_s: f64,
+        /// Arrival rate of the burst phase, in requests per second.
+        burst_rate_per_s: f64,
+        /// Mean number of requests per phase before the state toggles.
+        mean_phase_requests: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label used in scenario names (`poisson@2000`, `bursty@50-4000`).
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson { rate_per_s } => format!("poisson@{rate_per_s:.0}"),
+            ArrivalProcess::Bursty {
+                idle_rate_per_s,
+                burst_rate_per_s,
+                ..
+            } => format!("bursty@{idle_rate_per_s:.0}-{burst_rate_per_s:.0}"),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let ok = match self {
+            ArrivalProcess::Poisson { rate_per_s } => *rate_per_s > 0.0,
+            ArrivalProcess::Bursty {
+                idle_rate_per_s,
+                burst_rate_per_s,
+                mean_phase_requests,
+            } => *idle_rate_per_s > 0.0 && *burst_rate_per_s > 0.0 && *mean_phase_requests >= 1.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidConfig {
+                reason: format!("arrival process has a non-positive rate or phase: {self:?}"),
+            })
+        }
+    }
+}
+
+/// A deterministic load trace: how many requests, when they arrive, and the
+/// seed everything derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Number of requests in the trace.
+    pub requests: usize,
+    /// Seed of the arrival stream (and, by convention, of seeded payloads).
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// A Poisson trace of `requests` arrivals at `rate_per_s`.
+    pub fn poisson(rate_per_s: f64, requests: usize, seed: u64) -> Self {
+        TraceSpec {
+            process: ArrivalProcess::Poisson { rate_per_s },
+            requests,
+            seed,
+        }
+    }
+
+    /// Expands the spec into concrete arrival times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an empty trace or a process
+    /// with non-positive rates.
+    pub fn generate(&self) -> Result<Trace> {
+        self.process.validate()?;
+        if self.requests == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "a trace needs at least one request".to_string(),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut arrivals_ns = Vec::with_capacity(self.requests);
+        let mut now_ns = 0u64;
+        let mut bursting = false;
+        for _ in 0..self.requests {
+            let rate = match self.process {
+                ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+                ArrivalProcess::Bursty {
+                    idle_rate_per_s,
+                    burst_rate_per_s,
+                    mean_phase_requests,
+                } => {
+                    if unit_open(&mut rng) < 1.0 / mean_phase_requests {
+                        bursting = !bursting;
+                    }
+                    if bursting {
+                        burst_rate_per_s
+                    } else {
+                        idle_rate_per_s
+                    }
+                }
+            };
+            let gap_s = -unit_open(&mut rng).ln() / rate;
+            now_ns = now_ns.saturating_add((gap_s * 1e9).round() as u64);
+            arrivals_ns.push(now_ns);
+        }
+        Ok(Trace { arrivals_ns })
+    }
+}
+
+/// A uniform draw strictly inside (0, 1), safe to take `ln` of.
+fn unit_open(rng: &mut ChaCha8Rng) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// The expanded arrival times of one trace, in non-decreasing order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Arrival time of each request, in virtual nanoseconds from trace start.
+    pub arrivals_ns: Vec<u64>,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.arrivals_ns.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_ns.is_empty()
+    }
+
+    /// Trace duration: the last arrival time, in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.arrivals_ns.last().copied().unwrap_or(0)
+    }
+
+    /// The realized offered load, in requests per second.
+    pub fn offered_rate_per_s(&self) -> f64 {
+        if self.span_ns() == 0 {
+            return 0.0;
+        }
+        self.arrivals_ns.len() as f64 * 1e9 / self.span_ns() as f64
+    }
+}
+
+/// Where request payloads come from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PayloadSpec {
+    /// Backend-style synthetic inputs: request `i` stages
+    /// [`FunctionalBackend::input_for_sample`] of `(base_seed, i)`.
+    Seeded {
+        /// Base seed the per-request inputs derive from.
+        base_seed: u64,
+    },
+    /// Dataset-backed payloads: quantized images of the synthetic blob
+    /// classification task, shaped to the model's input (the image side is
+    /// the model's input height, the channel count its input channels).
+    Blobs {
+        /// Number of blob classes cycled through the requests.
+        classes: usize,
+        /// Additive noise level of the generated images.
+        noise: f64,
+        /// Seed of the image stream.
+        seed: u64,
+    },
+}
+
+impl PayloadSpec {
+    /// Materialises the first `count` request payloads for `model` at
+    /// `act_bits` activation precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when blob payloads are requested
+    /// for a model with a non-square input, and propagates quantizer or shape
+    /// errors from the dataset path.
+    pub fn materialize(
+        &self,
+        model: &ModelGraph,
+        act_bits: u8,
+        count: usize,
+    ) -> Result<Vec<Tensor<i64>>> {
+        match *self {
+            PayloadSpec::Seeded { base_seed } => Ok((0..count)
+                .map(|i| FunctionalBackend::input_for_sample(model, act_bits, base_seed, i))
+                .collect()),
+            PayloadSpec::Blobs {
+                classes,
+                noise,
+                seed,
+            } => {
+                let (c, h, w) = model.input_shape();
+                if h != w {
+                    return Err(ServeError::InvalidConfig {
+                        reason: format!("blob payloads need a square model input, got {h}x{w}"),
+                    });
+                }
+                let dataset = SyntheticBlobs::new(h, classes, noise as f32).with_channels(c);
+                let samples = dataset.generate(count, seed);
+                let batch = Batch::new(&samples);
+                let quantizer = Quantizer::calibrate(act_bits, &batch.pixels()).map_err(|e| {
+                    ServeError::InvalidConfig {
+                        reason: format!("payload quantizer calibration failed: {e}"),
+                    }
+                })?;
+                batch
+                    .quantized_inputs(&quantizer)
+                    .map_err(|e| ServeError::InvalidConfig {
+                        reason: format!("payload staging failed: {e}"),
+                    })
+            }
+        }
+    }
+
+    /// Short label used in scenario names (`seeded`, `blobs`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PayloadSpec::Seeded { .. } => "seeded",
+            PayloadSpec::Blobs { .. } => "blobs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn::model::micro_cnn;
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let spec = TraceSpec::poisson(5_000.0, 64, 9);
+        let a = spec.generate().expect("trace");
+        let b = spec.generate().expect("trace");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.arrivals_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.span_ns() > 0);
+        assert!(a.offered_rate_per_s() > 0.0);
+        // A different seed shifts the arrivals.
+        let c = TraceSpec::poisson(5_000.0, 64, 10)
+            .generate()
+            .expect("trace");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_met() {
+        let spec = TraceSpec::poisson(10_000.0, 2_000, 3);
+        let trace = spec.generate().expect("trace");
+        let rate = trace.offered_rate_per_s();
+        assert!(
+            (rate - 10_000.0).abs() < 1_500.0,
+            "realized rate {rate} too far from 10k"
+        );
+    }
+
+    #[test]
+    fn bursty_traces_mix_two_rates() {
+        let spec = TraceSpec {
+            process: ArrivalProcess::Bursty {
+                idle_rate_per_s: 100.0,
+                burst_rate_per_s: 100_000.0,
+                mean_phase_requests: 16.0,
+            },
+            requests: 512,
+            seed: 4,
+        };
+        let trace = spec.generate().expect("trace");
+        assert_eq!(trace, spec.generate().expect("replay"));
+        let gaps: Vec<u64> = trace.arrivals_ns.windows(2).map(|w| w[1] - w[0]).collect();
+        let short = gaps.iter().filter(|&&g| g < 100_000).count();
+        let long = gaps.iter().filter(|&&g| g > 1_000_000).count();
+        assert!(short > 0 && long > 0, "short {short}, long {long}");
+        assert!(spec.process.label().starts_with("bursty@"));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(TraceSpec::poisson(0.0, 4, 1).generate().is_err());
+        assert!(TraceSpec::poisson(100.0, 0, 1).generate().is_err());
+    }
+
+    #[test]
+    fn seeded_payloads_match_the_backend_staging() {
+        let model = micro_cnn("trace-micro", 4, 0.8, 1);
+        let payloads = PayloadSpec::Seeded { base_seed: 7 }
+            .materialize(&model, 4, 3)
+            .expect("payloads");
+        assert_eq!(payloads.len(), 3);
+        for (i, payload) in payloads.iter().enumerate() {
+            assert_eq!(
+                payload.as_slice(),
+                FunctionalBackend::input_for_sample(&model, 4, 7, i).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn blob_payloads_are_model_shaped_and_deterministic() {
+        let model = micro_cnn("trace-blobs", 4, 0.8, 2);
+        let spec = PayloadSpec::Blobs {
+            classes: 4,
+            noise: 0.1,
+            seed: 11,
+        };
+        let a = spec.materialize(&model, 4, 5).expect("payloads");
+        let b = spec.materialize(&model, 4, 5).expect("payloads");
+        assert_eq!(a, b);
+        let (c, h, w) = model.input_shape();
+        assert!(a.iter().all(|t| t.shape() == [c, h, w]));
+        assert_eq!(spec.label(), "blobs");
+    }
+}

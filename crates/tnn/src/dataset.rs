@@ -12,7 +12,9 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// One labelled sample: a `(1, size, size)` floating-point image and its class index.
+/// One labelled sample: a `(channels, size, size)` floating-point image (one
+/// channel unless [`SyntheticBlobs::with_channels`] says otherwise) and its
+/// class index.
 pub type Sample = (Tensor<f32>, usize);
 
 /// A borrowed batch of labelled samples — the unit of batched evaluation.
@@ -116,17 +118,31 @@ pub struct SyntheticBlobs {
     size: usize,
     classes: usize,
     noise: f32,
+    channels: usize,
 }
 
 impl SyntheticBlobs {
-    /// Creates a generator for `classes` classes of `size × size` images with
-    /// additive Gaussian-ish noise of standard deviation `noise`.
+    /// Creates a generator for `classes` classes of single-channel
+    /// `size × size` images with additive Gaussian-ish noise of standard
+    /// deviation `noise`.
     pub fn new(size: usize, classes: usize, noise: f32) -> Self {
         SyntheticBlobs {
             size,
             classes,
             noise,
+            channels: 1,
         }
+    }
+
+    /// Returns a copy generating `channels`-channel images: every channel
+    /// carries the class blob at a fading per-channel gain with its own noise
+    /// draws, so multi-channel models (request payloads for conv stacks with
+    /// RGB-shaped inputs) get dataset-backed tensors of the right shape. One
+    /// channel reproduces the classic generator exactly.
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels.max(1);
+        self
     }
 
     /// Image side length.
@@ -139,9 +155,14 @@ impl SyntheticBlobs {
         self.classes
     }
 
-    /// Number of input features per image (`size * size`).
+    /// Number of image channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of input features per image (`channels * size * size`).
     pub fn features(&self) -> usize {
-        self.size * self.size
+        self.channels * self.size * self.size
     }
 
     /// Generates `count` labelled samples deterministically from `seed`.
@@ -156,25 +177,32 @@ impl SyntheticBlobs {
     }
 
     fn sample_for_class(&self, label: usize, rng: &mut ChaCha8Rng) -> Tensor<f32> {
-        let mut data = vec![0.0f32; self.size * self.size];
+        let plane = self.size * self.size;
+        let mut data = vec![0.0f32; self.channels * plane];
         // Each class places its blob at a distinct angle around the image centre.
         let angle = (label as f32 / self.classes as f32) * std::f32::consts::TAU;
         let centre = (self.size as f32 - 1.0) / 2.0;
         let radius = self.size as f32 / 4.0;
         let cy = centre + radius * angle.sin();
         let cx = centre + radius * angle.cos();
-        for y in 0..self.size {
-            for x in 0..self.size {
-                let dy = y as f32 - cy;
-                let dx = x as f32 - cx;
-                let value = (-(dy * dy + dx * dx) / 4.0).exp();
-                // Box-Muller-free noise: sum of uniforms is close enough to Gaussian here.
-                let noise: f32 =
-                    (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * self.noise;
-                data[y * self.size + x] = (value + noise).max(0.0);
+        for channel in 0..self.channels {
+            // Later channels see the same blob at a fading gain, so channels
+            // stay correlated (like colour planes) without being copies.
+            let gain = 1.0 / (1.0 + channel as f32 * 0.5);
+            for y in 0..self.size {
+                for x in 0..self.size {
+                    let dy = y as f32 - cy;
+                    let dx = x as f32 - cx;
+                    let value = (-(dy * dy + dx * dx) / 4.0).exp() * gain;
+                    // Box-Muller-free noise: sum of uniforms is close enough to Gaussian here.
+                    let noise: f32 =
+                        (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * self.noise;
+                    data[channel * plane + y * self.size + x] = (value + noise).max(0.0);
+                }
             }
         }
-        Tensor::from_vec(vec![1, self.size, self.size], data).expect("generated data matches shape")
+        Tensor::from_vec(vec![self.channels, self.size, self.size], data)
+            .expect("generated data matches shape")
     }
 }
 
@@ -246,6 +274,37 @@ mod tests {
         let dataset = SyntheticBlobs::new(10, 5, 0.0);
         assert_eq!(dataset.size(), 10);
         assert_eq!(dataset.classes(), 5);
+        assert_eq!(dataset.channels(), 1);
         assert_eq!(dataset.features(), 100);
+        assert_eq!(dataset.with_channels(3).features(), 300);
+    }
+
+    #[test]
+    fn multi_channel_images_extend_the_classic_generator() {
+        // The single-channel path is byte-identical to the pre-channels
+        // generator (`with_channels(1)` is a no-op), and the first image of a
+        // multi-channel stream starts from the same draws, so its channel 0
+        // equals the classic first image exactly.
+        let mono = SyntheticBlobs::new(6, 3, 0.1).generate(6, 9);
+        let still_mono = SyntheticBlobs::new(6, 3, 0.1)
+            .with_channels(1)
+            .generate(6, 9);
+        assert_eq!(mono, still_mono);
+        let rgb = SyntheticBlobs::new(6, 3, 0.1)
+            .with_channels(3)
+            .generate(6, 9);
+        assert_eq!(
+            rgb,
+            SyntheticBlobs::new(6, 3, 0.1)
+                .with_channels(3)
+                .generate(6, 9)
+        );
+        assert_eq!(mono[0].0.as_slice(), &rgb[0].0.as_slice()[..36]);
+        for ((_, mono_label), (rgb_img, rgb_label)) in mono.iter().zip(&rgb) {
+            assert_eq!(mono_label, rgb_label);
+            assert_eq!(rgb_img.shape(), &[3, 6, 6]);
+            // Later channels are correlated but not copies.
+            assert_ne!(&rgb_img.as_slice()[..36], &rgb_img.as_slice()[36..72]);
+        }
     }
 }
