@@ -25,6 +25,26 @@ pub enum ApError {
         /// Provided number of values.
         found: usize,
     },
+    /// A compiled pass plan was executed on an array whose geometry differs
+    /// from the one the plan was lowered for.
+    #[error(
+        "pass plan compiled for {plan_rows}x{plan_cols}x{plan_domains} \
+         cannot run on a {rows}x{cols}x{domains} array"
+    )]
+    PlanMismatch {
+        /// Rows the plan was compiled for.
+        plan_rows: usize,
+        /// Columns the plan was compiled for.
+        plan_cols: usize,
+        /// Domains per cell the plan was compiled for.
+        plan_domains: usize,
+        /// Rows of the executing array.
+        rows: usize,
+        /// Columns of the executing array.
+        cols: usize,
+        /// Domains per cell of the executing array.
+        domains: usize,
+    },
     /// An error bubbled up from the CAM array.
     #[error("cam error: {0}")]
     Cam(#[from] cam::CamError),

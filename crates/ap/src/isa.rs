@@ -38,7 +38,7 @@ impl CarrySlot {
 /// assert!(add.is_arithmetic());
 /// assert_eq!(add.result_width(), Some(6));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum ApInstruction {
     /// `acc ← acc + a`, destroying the previous accumulator value (8 cycles/bit).

@@ -50,6 +50,7 @@ mod error;
 mod isa;
 mod lut;
 mod operand;
+mod plan;
 mod program;
 
 pub use controller::ApController;
@@ -59,6 +60,7 @@ pub use error::ApError;
 pub use isa::{ApInstruction, CarrySlot};
 pub use lut::{Lut, LutEntry, LutKind};
 pub use operand::Operand;
+pub use plan::{PassPlan, PlanCompiler, PlanGeometry, PlanStats};
 pub use program::ApProgram;
 
 /// Result alias used throughout the crate.

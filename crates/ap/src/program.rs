@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let cost = program.cost(&CostModel::new(CamTechnology::default(), 256));
 /// assert!(cost.latency_ns > 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ApProgram {
     instructions: Vec<ApInstruction>,
 }

@@ -29,9 +29,11 @@
 
 use crate::passes::{CompiledLayer, CompilerOptions, LayerCompiler};
 use crate::{ApcError, Result};
+use ap::{ApProgram, PassPlan, PlanCompiler, PlanGeometry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tnn::model::{ConvLayerInfo, ModelGraph};
@@ -113,8 +115,32 @@ impl CacheStats {
     }
 }
 
+/// Aggregate view of every pass plan cached so far (see
+/// [`CompileCache::plan_summary`]): the fusion effect and the exactly-once
+/// reuse the bench records report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanSummary {
+    /// Distinct `(program, geometry)` pairs lowered so far.
+    pub plans: u64,
+    /// Of those, plans that fell back to the reference interpreter.
+    pub fallbacks: u64,
+    /// Interpreter passes the cached programs would issue per run.
+    pub passes_before_fusion: u64,
+    /// Fused kernel sweeps the compiled plans issue instead.
+    pub passes_after_fusion: u64,
+    /// Plan requests served from an already-lowered entry.
+    pub hits: u64,
+    /// Plan requests that performed the lowering.
+    pub misses: u64,
+}
+
 type CacheKey = (LayerSignature, CompilerOptions);
 type CacheSlot = Arc<OnceLock<std::result::Result<Arc<CompiledLayer>, ApcError>>>;
+/// Plans are keyed by a program digest + geometry; the bucket keeps the full
+/// programs for collision-proof equality, cloning each program only on its
+/// first (miss) insertion.
+type PlanKey = (u64, PlanGeometry);
+type PlanSlot = Arc<OnceLock<Arc<PassPlan>>>;
 
 /// A concurrent memo table for layer compilation.
 ///
@@ -129,6 +155,9 @@ pub struct CompileCache {
     slots: Mutex<HashMap<CacheKey, CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    plan_slots: Mutex<HashMap<PlanKey, Vec<(ApProgram, PlanSlot)>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -136,6 +165,7 @@ impl std::fmt::Debug for CompileCache {
         f.debug_struct("CompileCache")
             .field("entries", &self.len())
             .field("stats", &self.stats())
+            .field("plan_stats", &self.plan_stats())
             .finish()
     }
 }
@@ -213,6 +243,71 @@ impl CompileCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// Returns the compiled [`PassPlan`] of `program` for `geometry`,
+    /// lowering it exactly once per distinct `(program, geometry)` pair even
+    /// under concurrent requests — the pass-plan counterpart of
+    /// [`compile`](Self::compile), so repeated runs of the same program
+    /// (batched and served inference) pay the lowering cost once.
+    pub fn plan(&self, program: &ApProgram, geometry: PlanGeometry) -> Arc<PassPlan> {
+        let digest = {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            program.hash(&mut hasher);
+            hasher.finish()
+        };
+        let slot = {
+            let mut buckets = self.plan_slots.lock().expect("plan cache poisoned");
+            let bucket = buckets.entry((digest, geometry)).or_default();
+            match bucket.iter().find(|(cached, _)| cached == program) {
+                Some((_, slot)) => Arc::clone(slot),
+                None => {
+                    let slot = PlanSlot::default();
+                    bucket.push((program.clone(), Arc::clone(&slot)));
+                    slot
+                }
+            }
+        };
+        let mut computed = false;
+        let plan = slot.get_or_init(|| {
+            computed = true;
+            Arc::new(PlanCompiler::new(geometry).compile(program))
+        });
+        if computed {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(plan)
+    }
+
+    /// The plan-cache hit/miss counters accumulated so far. `misses` equals
+    /// the number of distinct `(program, geometry)` pairs ever lowered.
+    pub fn plan_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregates the lowering statistics of every cached plan together with
+    /// the plan-cache counters (reported by the bench trajectory records).
+    pub fn plan_summary(&self) -> PlanSummary {
+        let mut summary = PlanSummary {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            ..PlanSummary::default()
+        };
+        let buckets = self.plan_slots.lock().expect("plan cache poisoned");
+        for (_, slot) in buckets.values().flatten() {
+            let Some(plan) = slot.get() else { continue };
+            let stats = plan.stats();
+            summary.plans += 1;
+            summary.fallbacks += u64::from(stats.fallback);
+            summary.passes_before_fusion += stats.passes_before_fusion;
+            summary.passes_after_fusion += stats.passes_after_fusion;
+        }
+        summary
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +374,41 @@ mod tests {
         let lb = &b.conv_like_layers()[0];
         assert_ne!(LayerSignature::of(la), LayerSignature::of(lb));
         assert_eq!(LayerSignature::of(la), LayerSignature::of(la));
+    }
+
+    #[test]
+    fn plans_are_lowered_exactly_once_per_program_and_geometry() {
+        use ap::{ApInstruction, CarrySlot, Operand};
+
+        let cache = CompileCache::new();
+        let geometry = PlanGeometry {
+            rows: 64,
+            cols: 8,
+            domains: 16,
+        };
+        let other_geometry = PlanGeometry {
+            rows: 128,
+            ..geometry
+        };
+        let program = ApProgram::from_instructions(vec![ApInstruction::AddInPlace {
+            a: Operand::new(0, 0, 4, false),
+            acc: Operand::new(1, 0, 8, true),
+            carry: CarrySlot::new(2, 0),
+        }]);
+        let first = cache.plan(&program, geometry);
+        let second = cache.plan(&program, geometry);
+        assert!(Arc::ptr_eq(&first, &second), "same plan entry reused");
+        assert_eq!(cache.plan_stats(), CacheStats { hits: 1, misses: 1 });
+        // A different geometry is a different plan.
+        let wider = cache.plan(&program, other_geometry);
+        assert!(!Arc::ptr_eq(&first, &wider));
+        assert_eq!(cache.plan_stats(), CacheStats { hits: 1, misses: 2 });
+        let summary = cache.plan_summary();
+        assert_eq!(summary.plans, 2);
+        assert_eq!(summary.fallbacks, 0);
+        assert_eq!(summary.hits, 1);
+        assert_eq!(summary.misses, 2);
+        assert!(summary.passes_before_fusion > summary.passes_after_fusion);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod loopir;
 mod passes;
 mod stats;
 
-pub use cache::{CacheStats, CompileCache, LayerSignature};
+pub use cache::{CacheStats, CompileCache, LayerSignature, PlanSummary};
 pub use error::ApcError;
 pub use passes::{CompiledLayer, CompiledSlice, CompilerOptions, LayerCompiler};
 pub use stats::CompileStats;

@@ -1,17 +1,24 @@
 //! Criterion benchmark: scalar [`ApController`] vs word-parallel [`ApEngine`]
-//! executing the compiled slice programs of a convolution layer.
+//! vs compiled [`ap::PassPlan`]s executing the compiled slice programs of a
+//! convolution layer.
 //!
-//! This is the acceptance benchmark of the bit-plane rewrite: on a full-height
-//! (256-row) array the engine must run the same programs ≥20× faster than the
-//! scalar ground truth. Both executions are bit-identical (pinned by the
-//! `engine_equivalence` suite); only the substrate differs. The
-//! `engine_speedup` function reports the measured ratio directly.
+//! Two acceptance figures share this work list. The bit-plane rewrite: on a
+//! full-height (256-row) array the interpreting engine must run the same
+//! programs ≥20× faster than the scalar ground truth (`ENGINE_SPEEDUP_MIN`).
+//! The pass-plan compiler: executing plans compiled once from those programs
+//! must beat the interpreter ≥3× (`PLAN_SPEEDUP_MIN`). All three executions
+//! are bit-identical (pinned by the `engine_equivalence` suite); only the
+//! substrate differs. The `engine_speedup` function measures all three head
+//! to head, prints both ratios, and appends a dated record to
+//! `BENCH_engine.json` at the repo root (schema: `BENCH_schema.md`).
 
-use ap::{ApController, ApEngine, Operand};
-use apc::{CompiledLayer, CompilerOptions, LayerCompiler};
+use ap::{ApController, ApEngine, Operand, PassPlan, PlanGeometry};
+use apc::{CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
 use cam::{BitPlaneArray, CamArray, CamTechnology};
+use camdnn_bench::{append_bench_record, bench_smoke, utc_date_string, EngineBenchRecord};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 use tnn::model::ConvLayerInfo;
 use tnn::TernaryTensor;
@@ -96,6 +103,20 @@ fn tile0_work(compiled: &CompiledLayer, cout: usize) -> Vec<ap::ApProgram> {
     programs
 }
 
+/// The work list lowered once into pass plans through the shared cache (the
+/// production path: compiled alongside the programs, reused every run).
+fn compiled_plans(
+    cache: &CompileCache,
+    engine: &ApEngine,
+    programs: &[ap::ApProgram],
+) -> Vec<Arc<PassPlan>> {
+    let geometry = PlanGeometry::of(engine.array());
+    programs
+        .iter()
+        .map(|program| cache.plan(program, geometry))
+        .collect()
+}
+
 fn bench_scalar_controller(c: &mut Criterion) {
     let (layer, compiled) = compiled_conv_layer();
     let programs = tile0_work(&compiled, layer.cout);
@@ -128,19 +149,48 @@ fn bench_bitplane_engine(c: &mut Criterion) {
     group.finish();
 }
 
-/// Times both substrates head to head on the identical work list and prints
-/// the speedup (the ≥20× acceptance figure of the bit-plane rewrite).
+fn bench_plan_engine(c: &mut Criterion) {
+    let (layer, compiled) = compiled_conv_layer();
+    let programs = tile0_work(&compiled, layer.cout);
+    let mut engine = bitplane_engine(&compiled);
+    let cache = CompileCache::new();
+    let plans = compiled_plans(&cache, &engine, &programs);
+    let mut group = c.benchmark_group("conv_layer_tile0_256_rows");
+    group.sample_size(10);
+    group.bench_function("pass_plans", |b| {
+        b.iter(|| {
+            for plan in &plans {
+                engine.run_plan(black_box(plan)).expect("run");
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Times all three substrates head to head on the identical work list and
+/// prints both acceptance ratios: scalar→interpreter (the ≥20× bit-plane
+/// figure) and interpreter→plan (the ≥3× pass-plan figure). Appends the
+/// measurements as one dated record to `BENCH_engine.json` at the repo root.
 fn engine_speedup(_c: &mut Criterion) {
+    let smoke = bench_smoke();
     let (layer, compiled) = compiled_conv_layer();
     let programs = tile0_work(&compiled, layer.cout);
     let mut controller = scalar_controller(&compiled);
     let mut engine = bitplane_engine(&compiled);
+    let cache = CompileCache::new();
+    let plans = compiled_plans(&cache, &engine, &programs);
+    assert_eq!(
+        cache.plan_summary().fallbacks,
+        0,
+        "bench programs must specialize"
+    );
     // Warm-up once each.
-    for program in &programs {
+    for (program, plan) in programs.iter().zip(&plans) {
         controller.run(program).expect("run");
         engine.run(program).expect("run");
+        engine.run_plan(plan).expect("run");
     }
-    let scalar_iters = 3u32;
+    let scalar_iters = if smoke { 1u32 } else { 3 };
     let start = Instant::now();
     for _ in 0..scalar_iters {
         for program in &programs {
@@ -148,7 +198,7 @@ fn engine_speedup(_c: &mut Criterion) {
         }
     }
     let scalar = start.elapsed().as_secs_f64() / f64::from(scalar_iters);
-    let packed_iters = 50u32;
+    let packed_iters = if smoke { 5u32 } else { 50 };
     let start = Instant::now();
     for _ in 0..packed_iters {
         for program in &programs {
@@ -156,17 +206,52 @@ fn engine_speedup(_c: &mut Criterion) {
         }
     }
     let packed = start.elapsed().as_secs_f64() / f64::from(packed_iters);
+    let plan_iters = if smoke { 5u32 } else { 50 };
+    let start = Instant::now();
+    for _ in 0..plan_iters {
+        for plan in &plans {
+            engine.run_plan(black_box(plan)).expect("run");
+        }
+    }
+    let planned = start.elapsed().as_secs_f64() / f64::from(plan_iters);
     let speedup = scalar / packed;
+    let plan_speedup = packed / planned;
+    let summary = cache.plan_summary();
     println!(
         "engine_speedup: scalar {:.3} ms/iter, bit-plane {:.3} ms/iter -> {:.1}x",
         scalar * 1e3,
         packed * 1e3,
         speedup
     );
-    // The acceptance criterion of the bit-plane rewrite, enforced whenever the
-    // bench actually runs (CI compiles it with --no-run; run it locally).
-    // Wall-clock ratios can dip on heavily loaded machines — override the
-    // floor with ENGINE_SPEEDUP_MIN (e.g. `ENGINE_SPEEDUP_MIN=0` to disable).
+    println!(
+        "plan_speedup: interpreter {:.3} ms/iter, pass plans {:.3} ms/iter -> {:.1}x \
+         ({} plans, {} -> {} passes after fusion)",
+        packed * 1e3,
+        planned * 1e3,
+        plan_speedup,
+        summary.plans,
+        summary.passes_before_fusion,
+        summary.passes_after_fusion,
+    );
+    append_bench_record(
+        "BENCH_engine.json",
+        &EngineBenchRecord {
+            date: utc_date_string(),
+            bench: "engine".to_string(),
+            scalar_ms_per_iter: scalar * 1e3,
+            interpreter_ms_per_iter: packed * 1e3,
+            plan_ms_per_iter: planned * 1e3,
+            engine_speedup: speedup,
+            plan_speedup,
+            smoke,
+            plan_cache: summary,
+        },
+    );
+    // The acceptance criteria, enforced whenever the bench actually runs
+    // (CI smokes it with BENCH_SMOKE=1 and the floors zeroed; run it locally
+    // for real figures). Wall-clock ratios can dip on heavily loaded machines
+    // — override the floors with ENGINE_SPEEDUP_MIN / PLAN_SPEEDUP_MIN
+    // (e.g. `ENGINE_SPEEDUP_MIN=0` to disable).
     let floor: f64 = std::env::var("ENGINE_SPEEDUP_MIN")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -175,11 +260,19 @@ fn engine_speedup(_c: &mut Criterion) {
         speedup >= floor,
         "bit-plane engine must be >={floor}x faster than the scalar controller, measured {speedup:.1}x"
     );
+    let plan_floor: f64 = std::env::var("PLAN_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    assert!(
+        plan_speedup >= plan_floor,
+        "compiled pass plans must be >={plan_floor}x faster than the interpreter, measured {plan_speedup:.1}x"
+    );
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_scalar_controller, bench_bitplane_engine, engine_speedup
+    targets = bench_scalar_controller, bench_bitplane_engine, bench_plan_engine, engine_speedup
 }
 criterion_main!(benches);

@@ -11,7 +11,8 @@
 
 use camdnn::experiment::{ResultSet, ScenarioRecord};
 use camdnn::{BackendKind, PipelineReport};
-use std::path::PathBuf;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Sub-buckets per power of two of the log-linear histogram: values are
@@ -234,6 +235,124 @@ pub fn maybe_write_json(results: &ResultSet) {
     );
 }
 
+/// True when `BENCH_SMOKE` is set (non-empty, not `0`): the speedup benches
+/// shrink their iteration counts so CI can smoke the full measurement and
+/// record-emission path in seconds instead of minutes.
+pub fn bench_smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The workspace root (two levels above this crate's manifest), where the
+/// dated `BENCH_*.json` trajectory files live.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, without a date-time dependency: days
+/// since the Unix epoch converted to a civil date with the standard
+/// era/year-of-era decomposition of the proleptic Gregorian calendar.
+pub fn utc_date_string() -> String {
+    let seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs() as i64;
+    let (year, month, day) = civil_from_days(seconds.div_euclid(86_400));
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Days-since-epoch to `(year, month, day)` (Gregorian, valid across eras).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+/// Appends `record` as one JSON line to `file_name` at the workspace root.
+///
+/// The speedup benches call this to persist their perf trajectory
+/// (`BENCH_engine.json`, `BENCH_throughput.json`; schema: `BENCH_schema.md`)
+/// — one dated record per run, appended so the history accumulates.
+///
+/// # Panics
+///
+/// Panics when the record cannot be serialized or the file cannot be written;
+/// the benches treat both as fatal.
+pub fn append_bench_record<T: Serialize>(file_name: &str, record: &T) {
+    use std::io::Write;
+    let path = repo_root().join(file_name);
+    let line = serde_json::to_string(record).expect("serialize bench record");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open bench record file");
+    writeln!(file, "{line}").expect("append bench record");
+    eprintln!("appended bench record to {}", path.display());
+}
+
+/// One dated `BENCH_engine.json` record: the two engine acceptance ratios
+/// (scalar→interpreter, interpreter→plan) plus the plan compiler's fusion
+/// and cache statistics (schema: `BENCH_schema.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineBenchRecord {
+    /// UTC date the record was measured (`YYYY-MM-DD`).
+    pub date: String,
+    /// Record discriminator, always `"engine"`.
+    pub bench: String,
+    /// Scalar `ApController` wall-clock per work-list iteration, ms.
+    pub scalar_ms_per_iter: f64,
+    /// Interpreter `ApEngine::run` wall-clock per iteration, ms.
+    pub interpreter_ms_per_iter: f64,
+    /// Compiled-plan `ApEngine::run_plan` wall-clock per iteration, ms.
+    pub plan_ms_per_iter: f64,
+    /// scalar / interpreter ratio (the ≥20× bit-plane acceptance figure).
+    pub engine_speedup: f64,
+    /// interpreter / plan ratio (the ≥3× pass-plan acceptance figure).
+    pub plan_speedup: f64,
+    /// True when measured under `BENCH_SMOKE` iteration counts.
+    pub smoke: bool,
+    /// Plan cache and fusion statistics of the measured work list.
+    pub plan_cache: apc::PlanSummary,
+}
+
+/// One dated `BENCH_throughput.json` record: wall-clock and modeled batched
+/// throughput next to the plan cache statistics of the shared compile cache
+/// (schema: `BENCH_schema.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputBenchRecord {
+    /// UTC date the record was measured (`YYYY-MM-DD`).
+    pub date: String,
+    /// Record discriminator, always `"throughput"`.
+    pub bench: String,
+    /// Samples per packed batch.
+    pub batch: usize,
+    /// Wall-clock samples/s of the sequential (batch-of-one) baseline.
+    pub sequential_samples_per_s: f64,
+    /// Wall-clock samples/s of the batched path.
+    pub batched_samples_per_s: f64,
+    /// batched / sequential samples-per-second ratio (the ≥4× figure).
+    pub batch_speedup: f64,
+    /// Hardware-model throughput of the batched report.
+    pub modeled_samples_per_s: f64,
+    /// Hardware-model energy per sample of the batched report.
+    pub joules_per_sample: f64,
+    /// True when measured under `BENCH_SMOKE` iteration counts.
+    pub smoke: bool,
+    /// Plan cache and fusion statistics of the shared compile cache.
+    pub plan_cache: apc::PlanSummary,
+}
+
 /// Formats a Table II row header.
 pub fn table2_header() -> String {
     format!(
@@ -347,6 +466,45 @@ mod tests {
         assert_eq!(left, combined);
         left.record(Duration::from_micros(3));
         assert_eq!(left.count(), combined.count() + 1);
+    }
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(365), (1971, 1, 1));
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29)); // leap day
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        let today = utc_date_string();
+        assert_eq!(today.len(), 10);
+        assert_eq!(today.as_bytes()[4], b'-');
+        assert_eq!(today.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn bench_records_serialize_with_schema_fields() {
+        let record = EngineBenchRecord {
+            date: "2026-01-01".to_string(),
+            bench: "engine".to_string(),
+            scalar_ms_per_iter: 100.0,
+            interpreter_ms_per_iter: 5.0,
+            plan_ms_per_iter: 1.0,
+            engine_speedup: 20.0,
+            plan_speedup: 5.0,
+            smoke: false,
+            plan_cache: apc::PlanSummary::default(),
+        };
+        let json = serde_json::to_string(&record).expect("serialize");
+        for field in [
+            "\"date\"",
+            "\"bench\"",
+            "\"plan_speedup\"",
+            "\"passes_before_fusion\"",
+            "\"passes_after_fusion\"",
+            "\"hits\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 
     #[test]

@@ -32,6 +32,27 @@ fn words_for(rows: usize) -> usize {
     rows.div_ceil(WORD_BITS).max(1)
 }
 
+/// Set bits of packed `words` within the row range `start..end` (the caller
+/// guarantees the range lies inside the packed words).
+fn count_mask_range(words: &[u64], start: usize, end: usize) -> u64 {
+    if start >= end {
+        return 0;
+    }
+    let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+    (first..=last)
+        .map(|word| {
+            let mut bits = words[word];
+            if word == first {
+                bits &= u64::MAX << (start % WORD_BITS);
+            }
+            if word == last && !end.is_multiple_of(WORD_BITS) {
+                bits &= (1u64 << (end % WORD_BITS)) - 1;
+            }
+            u64::from(bits.count_ones())
+        })
+        .sum()
+}
+
 /// Mask of the valid bits of the last word covering `rows` rows.
 fn last_word_mask(rows: usize) -> u64 {
     match rows % WORD_BITS {
@@ -117,6 +138,53 @@ impl PackedTags {
     /// Borrowed view of the packed words (64 rows per word, LSB = lowest row).
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// Raw word-level view of every bit-plane, for compiled pass-plan kernels.
+///
+/// A plan compiler (see `ap`'s `PassPlan`) pre-resolves each (column, domain)
+/// pair to an absolute plane base index via [`BitPlaneArray::plane_base`]; the
+/// monomorphized kernels then read and write whole planes through this view
+/// with zero per-pass address arithmetic or bounds branching beyond the word
+/// loop. The view carries no event accounting — callers book the identical
+/// [`CamStats`] charges separately through [`BitPlaneArray::bulk_align`],
+/// [`BitPlaneArray::bulk_pass_events`] and
+/// [`BitPlaneArray::bulk_tagged_bits`].
+#[derive(Debug)]
+pub struct PlaneAccess<'a> {
+    planes: &'a mut [u64],
+    words: usize,
+    last_mask: u64,
+}
+
+impl PlaneAccess<'_> {
+    /// Number of packed words per bit-plane.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Mask of the valid (in-range) rows of word `word` of any plane.
+    #[inline]
+    pub fn valid_mask(&self, word: usize) -> u64 {
+        if word + 1 == self.words {
+            self.last_mask
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Reads word `word` of the plane starting at `base`.
+    #[inline]
+    pub fn word(&self, base: usize, word: usize) -> u64 {
+        self.planes[base + word]
+    }
+
+    /// Overwrites word `word` of the plane starting at `base`.
+    #[inline]
+    pub fn set_word(&mut self, base: usize, word: usize, value: u64) {
+        self.planes[base + word] = value;
     }
 }
 
@@ -539,44 +607,161 @@ impl BitPlaneArray {
         self.stats.written_bits += (pattern.len() * tags.count()) as u64;
         if let Some(tracker) = self.tracker.as_mut() {
             tracker.shared.write_cycles += 1;
-            // The written bits are data-dependent (pattern bits × tagged rows
-            // of the segment), so they are the one per-segment charge of a
-            // write pass; split the tag words over the segments in one pass.
-            let pattern_bits = pattern.len() as u64;
-            let segment_rows = tracker.segment_rows;
-            if segment_rows.is_multiple_of(WORD_BITS) {
-                let words_per_segment = segment_rows / WORD_BITS;
-                for (stats, chunk) in tracker
-                    .individual
-                    .iter_mut()
-                    .zip(tags.as_words().chunks(words_per_segment))
-                {
-                    let count: u64 = chunk.iter().map(|w| u64::from(w.count_ones())).sum();
-                    stats.written_bits += pattern_bits * count;
+        }
+        self.split_tagged_bits(tags.as_words(), pattern.len() as u64);
+        Ok(())
+    }
+
+    /// Per-segment split of one tagged write's data-dependent bit count: the
+    /// written bits are pattern bits × the tagged rows of each segment, so
+    /// they are the one per-segment charge of a write pass. `mask` is packed
+    /// like [`PackedTags::as_words`].
+    fn split_tagged_bits(&mut self, mask: &[u64], pattern_bits: u64) {
+        let Some(tracker) = self.tracker.as_mut() else {
+            return;
+        };
+        let segment_rows = tracker.segment_rows;
+        if segment_rows.is_multiple_of(WORD_BITS) {
+            let words_per_segment = segment_rows / WORD_BITS;
+            for (stats, chunk) in tracker
+                .individual
+                .iter_mut()
+                .zip(mask.chunks(words_per_segment))
+            {
+                let count: u64 = chunk.iter().map(|w| u64::from(w.count_ones())).sum();
+                stats.written_bits += pattern_bits * count;
+            }
+        } else if WORD_BITS.is_multiple_of(segment_rows) {
+            let per_word = WORD_BITS / segment_rows;
+            let lane_mask = (1u64 << segment_rows) - 1;
+            for (word_index, &word) in mask.iter().enumerate() {
+                let mut word = word;
+                for lane in 0..per_word {
+                    let segment = word_index * per_word + lane;
+                    let Some(stats) = tracker.individual.get_mut(segment) else {
+                        break;
+                    };
+                    stats.written_bits += pattern_bits * u64::from((word & lane_mask).count_ones());
+                    word >>= segment_rows;
                 }
-            } else if WORD_BITS.is_multiple_of(segment_rows) {
-                let per_word = WORD_BITS / segment_rows;
-                let mask = (1u64 << segment_rows) - 1;
-                for (word_index, &word) in tags.as_words().iter().enumerate() {
-                    let mut word = word;
-                    for lane in 0..per_word {
-                        let segment = word_index * per_word + lane;
-                        let Some(stats) = tracker.individual.get_mut(segment) else {
-                            break;
-                        };
-                        stats.written_bits += pattern_bits * u64::from((word & mask).count_ones());
-                        word >>= segment_rows;
+            }
+        } else {
+            for (segment, stats) in tracker.individual.iter_mut().enumerate() {
+                let start = segment * segment_rows;
+                stats.written_bits +=
+                    pattern_bits * count_mask_range(mask, start, start + segment_rows);
+            }
+        }
+    }
+
+    /// Packed words per plane for an array of `rows` rows — the plane stride
+    /// behind [`plane_base`](Self::plane_base), exposed so plan compilers can
+    /// resolve absolute plane addresses without an array instance.
+    pub fn words_for_rows(rows: usize) -> usize {
+        words_for(rows)
+    }
+
+    /// Base index of the bit-plane of (`col`, `domain`) inside
+    /// [`plane_access`](Self::plane_access): the plane occupies
+    /// `base..base + words` of the word view.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `col` or `domain` is out of range.
+    pub fn plane_base(&self, col: usize, domain: usize) -> Result<usize> {
+        self.check_col(col)?;
+        self.check_domain(domain)?;
+        Ok(self.plane_index(col, domain))
+    }
+
+    /// Word-level view of all bit-planes for compiled kernels. Mutating
+    /// through the view performs no event accounting; pair it with
+    /// [`bulk_align`](Self::bulk_align),
+    /// [`bulk_pass_events`](Self::bulk_pass_events) and
+    /// [`bulk_tagged_bits`](Self::bulk_tagged_bits).
+    pub fn plane_access(&mut self) -> PlaneAccess<'_> {
+        PlaneAccess {
+            planes: &mut self.planes,
+            words: self.words,
+            last_mask: last_word_mask(self.rows),
+        }
+    }
+
+    /// Closed-form equivalent of a column's whole-program align subsequence:
+    /// one charge of `distance(current, first) + intra` lockstep shifts that
+    /// leaves the port at `last`. Produces exactly the counters and shadow
+    /// positions that replaying the summarized [`align_column`]
+    /// (Self::align_column) calls one by one would — the align sequence of a
+    /// program is data-independent, so a plan compiler can fold each column's
+    /// walk into `(first, intra, last)` at lowering time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `col`, `first` or `last` is out of range.
+    pub fn bulk_align(&mut self, col: usize, first: usize, intra: u64, last: usize) -> Result<()> {
+        self.check_col(col)?;
+        self.check_domain(first)?;
+        self.check_domain(last)?;
+        self.stats.shifts += self.shift_distance(col, first) + intra;
+        self.positions[col] = last;
+        let domains = self.domains;
+        if let Some(tracker) = self.tracker.as_mut() {
+            match &mut tracker.shadow {
+                ShadowPositions::Shared(shadow) => {
+                    tracker.shared.shifts += circular_distance(shadow[col], first, domains) + intra;
+                    shadow[col] = last;
+                }
+                ShadowPositions::Diverged(per_segment) => {
+                    for (stats, shadow) in tracker.individual.iter_mut().zip(per_segment) {
+                        stats.shifts += circular_distance(shadow[col], first, domains) + intra;
+                        shadow[col] = last;
                     }
-                }
-            } else {
-                for (segment, stats) in tracker.individual.iter_mut().enumerate() {
-                    let start = segment * segment_rows;
-                    stats.written_bits +=
-                        pattern_bits * tags.count_range(start, start + segment_rows) as u64;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Books the data-independent counters of a compiled pass sequence in one
+    /// call: `search_cycles` searches totalling `key_bits` key bits per row,
+    /// and `write_cycles` writes of which the all-rows-tagged ones (clears,
+    /// carry resets) write `allset_pattern_bits` pattern bits per row.
+    /// Identical to summing the per-pass accounting of [`search`]
+    /// (Self::search) / [`write_tagged`](Self::write_tagged) over the
+    /// sequence; the data-dependent tagged-write bits are booked separately
+    /// through [`bulk_tagged_bits`](Self::bulk_tagged_bits).
+    pub fn bulk_pass_events(
+        &mut self,
+        search_cycles: u64,
+        key_bits: u64,
+        write_cycles: u64,
+        allset_pattern_bits: u64,
+    ) {
+        self.stats.search_cycles += search_cycles;
+        self.stats.searched_bits += key_bits * self.rows as u64;
+        self.stats.write_cycles += write_cycles;
+        self.stats.written_bits += allset_pattern_bits * self.rows as u64;
+        if let Some(tracker) = self.tracker.as_mut() {
+            let segment_rows = tracker.segment_rows as u64;
+            tracker.shared.search_cycles += search_cycles;
+            tracker.shared.searched_bits += key_bits * segment_rows;
+            tracker.shared.write_cycles += write_cycles;
+            // Every segment's all-set write charge is its full row count, so
+            // the charge is segment-uniform and can live in the shared
+            // counters: segment_stats() folds shared + individual.
+            tracker.shared.written_bits += allset_pattern_bits * segment_rows;
+        }
+    }
+
+    /// Books the data-dependent written bits of one tagged write whose
+    /// matching rows are `mask` (packed like [`PackedTags::as_words`], rows
+    /// beyond the array zero): the global counter pays `pattern_bits ×
+    /// popcount(mask)` and each tracked segment its own rows' share — exactly
+    /// the accounting of [`write_tagged`](Self::write_tagged).
+    pub fn bulk_tagged_bits(&mut self, mask: &[u64], pattern_bits: u64) {
+        let count: u64 = mask.iter().map(|w| u64::from(w.count_ones())).sum();
+        self.stats.written_bits += pattern_bits * count;
+        self.split_tagged_bits(mask, pattern_bits);
     }
 
     /// Stages one bit into `col`/`row` at `domain` (input loading; counted as I/O).

@@ -52,7 +52,7 @@ mod tag;
 mod technology;
 
 pub use array::CamArray;
-pub use bitplane::{BitPlaneArray, PackedTags};
+pub use bitplane::{BitPlaneArray, PackedTags, PlaneAccess};
 pub use error::CamError;
 pub use key::SearchKey;
 pub use stats::CamStats;

@@ -32,7 +32,7 @@
 
 use crate::backend::{BackendReport, InferenceBackend};
 use accel::ArchConfig;
-use ap::{ApEngine, Operand};
+use ap::{ApEngine, Operand, PlanGeometry};
 use apc::{ApcError, CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
 use cam::{BitPlaneArray, CamStats};
 use rand::{RngCore, SeedableRng};
@@ -212,7 +212,28 @@ pub struct FunctionalBackend {
     arch: ArchConfig,
     options: CompilerOptions,
     input_seed: u64,
+    engine_mode: Option<EngineMode>,
 }
+
+/// Which executor the functional backend drives the unit programs with.
+///
+/// Both paths are pinned bit-identical (data, [`cam::CamStats`], errors) by
+/// the engine differential suites; the interpreter is retained as the
+/// differential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Compiled pass plans (the default): each distinct program is lowered
+    /// once into instruction-specialized fused kernels via the shared
+    /// [`CompileCache`], then re-executed from the cache.
+    Plan,
+    /// The reference per-pass interpreter ([`ApEngine::run`]).
+    Interpreter,
+}
+
+/// Environment variable overriding the executor selection when no explicit
+/// [`EngineMode`] is configured: set to `"interpreter"` to force the
+/// reference interpreter, anything else (or unset) selects the plan path.
+pub const ENGINE_PATH_ENV: &str = "CAMDNN_ENGINE_PATH";
 
 impl Default for FunctionalBackend {
     fn default() -> Self {
@@ -228,6 +249,27 @@ impl FunctionalBackend {
             arch,
             options: options.with_programs(),
             input_seed: 0,
+            engine_mode: None,
+        }
+    }
+
+    /// Returns a copy pinned to an explicit executor, overriding the
+    /// [`ENGINE_PATH_ENV`] environment selection.
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = Some(mode);
+        self
+    }
+
+    /// Whether unit programs execute through compiled pass plans (`true`) or
+    /// the reference interpreter (`false`): the explicit
+    /// [`with_engine_mode`](Self::with_engine_mode) choice if one was made,
+    /// otherwise the [`ENGINE_PATH_ENV`] environment selection.
+    pub fn plan_execution(&self) -> bool {
+        match self.engine_mode {
+            Some(EngineMode::Plan) => true,
+            Some(EngineMode::Interpreter) => false,
+            None => !matches!(std::env::var(ENGINE_PATH_ENV).as_deref(), Ok("interpreter")),
         }
     }
 
@@ -304,6 +346,7 @@ impl FunctionalBackend {
         info: &ConvLayerInfo,
         compiled: &CompiledLayer,
         inputs: &[&Tensor<i64>],
+        cache: &CompileCache,
     ) -> apc::Result<(Vec<Tensor<i64>>, Vec<CamStats>, CamStats)> {
         let layout = &compiled.layout;
         let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
@@ -345,7 +388,7 @@ impl FunctionalBackend {
         let outcomes: Vec<apc::Result<UnitOutcome>> = units
             .par_iter()
             .map(|&(tile, group)| {
-                self.execute_unit_batch(info, layout, slices, &patches, tile, group)
+                self.execute_unit_batch(info, layout, slices, &patches, tile, group, cache)
             })
             .collect();
 
@@ -386,6 +429,7 @@ impl FunctionalBackend {
     ///
     /// Returns one accumulator column per output channel per sample, the
     /// per-sample counter attributions, and the unit's physical counters.
+    #[allow(clippy::too_many_arguments)]
     fn execute_unit_batch(
         &self,
         info: &ConvLayerInfo,
@@ -394,6 +438,7 @@ impl FunctionalBackend {
         patches: &[Vec<Tensor<i64>>],
         tile: usize,
         group: usize,
+        cache: &CompileCache,
     ) -> apc::Result<UnitOutcome> {
         let batch = patches.len();
         let rows = layout.rows_in_group(group);
@@ -408,7 +453,19 @@ impl FunctionalBackend {
         array.track_segments(rows).map_err(ap::ApError::from)?;
         let mut engine = ApEngine::new(array);
         let range = layout.tile_range(tile, info.cout);
-        engine.run(&apc::codegen::tile_prologue(layout, range.len()))?;
+        // Unit programs repeat across units, row groups, batches and served
+        // requests; the plan path lowers each distinct program once into the
+        // shared cache and re-executes the specialized form, while the
+        // interpreter path re-derives every pass list per run (retained as
+        // the differential reference).
+        let use_plans = self.plan_execution();
+        let geometry = PlanGeometry::of(engine.array());
+        let prologue = apc::codegen::tile_prologue(layout, range.len());
+        if use_plans {
+            engine.run_plan(&cache.plan(&prologue, geometry))?;
+        } else {
+            engine.run(&prologue)?;
+        }
         let mut column = Vec::with_capacity(rows * batch);
         for slice in slices.iter().filter(|s| s.tile == tile) {
             for k in 0..layout.patch_size {
@@ -438,7 +495,11 @@ impl FunctionalBackend {
                 );
                 engine.load_column(&operand, &column)?;
             }
-            engine.run(&slice.program)?;
+            if use_plans {
+                engine.run_plan(&cache.plan(&slice.program, geometry))?;
+            } else {
+                engine.run(&slice.program)?;
+            }
         }
         let mut values: Vec<Vec<Vec<i64>>> = vec![Vec::with_capacity(range.len()); batch];
         for output in 0..range.len() {
@@ -531,7 +592,7 @@ impl FunctionalBackend {
                     let compiled = cache.compile(&compiler, info)?;
                     arrays = arrays.max(compiled.layout.row_groups);
                     let (layer_outputs, layer_attributed, layer_physical) =
-                        self.execute_layer_batch(info, &compiled, &firsts)?;
+                        self.execute_layer_batch(info, &compiled, &firsts, cache)?;
                     physical += layer_physical;
                     for (sample, output) in layer_outputs.iter().enumerate() {
                         attributed[sample] += layer_attributed[sample];

@@ -51,7 +51,7 @@ pub use backend::{BackendId, BackendKind, BackendRegistry, BackendReport, Infere
 pub use experiment::{
     BackendPlan, ResultSet, ScenarioRecord, ScenarioSpec, Session, SweepGrid, Workload,
 };
-pub use functional::{BatchReport, FunctionalBackend, FunctionalReport, SampleReport};
+pub use functional::{BatchReport, EngineMode, FunctionalBackend, FunctionalReport, SampleReport};
 pub use pipeline::{FullStackPipeline, PipelineReport};
 
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};

@@ -210,6 +210,218 @@ proptest! {
     }
 }
 
+/// A program with explicit fusion-eligible adjacency: consecutive `Clear`s
+/// and out-of-place instructions (whose carry reset and destination clears
+/// are adjacent all-set zero writes) exercise the plan compiler's merged
+/// sweeps, interleaved with random instructions.
+fn random_program_with_fusion_runs(
+    operands: &[Operand],
+    instructions: usize,
+    rng: &mut ChaCha8Rng,
+) -> ApProgram {
+    let mut program = ApProgram::new();
+    for _ in 0..instructions {
+        match rng.gen_range(0..3) {
+            0 => {
+                // Back-to-back clears of distinct columns: adjacent all-set
+                // zero passes sharing the all-rows key.
+                let first = rng.gen_range(0..COLS - 1);
+                program.push(ApInstruction::Clear {
+                    dst: operands[first],
+                });
+                program.push(ApInstruction::Clear {
+                    dst: operands[first + 1],
+                });
+            }
+            1 => {
+                // An out-of-place op directly after a clear: carry reset and
+                // destination clears form one fused zero sweep.
+                program.push(ApInstruction::Clear { dst: operands[0] });
+                program.push(ApInstruction::AddOutOfPlace {
+                    a: operands[1],
+                    b: operands[2],
+                    dests: vec![operands[3]],
+                    carry: CarrySlot::new(4, rng.gen_range(0..DOMAINS)),
+                });
+            }
+            _ => program.push(random_instruction(operands, rng)),
+        }
+    }
+    program
+}
+
+/// Stages one operand per column into `engine` (the plan-path counterpart of
+/// [`stage_operands`], no scalar controller involved).
+fn stage_engine_operands(engine: &mut ApEngine, rows: usize, rng: &mut ChaCha8Rng) -> Vec<Operand> {
+    let mut operands = Vec::with_capacity(COLS);
+    for col in 0..COLS {
+        let width = rng.gen_range(1..7u8);
+        let base = rng.gen_range(0..(DOMAINS - width as usize).min(4) + 1);
+        let signed = rng.gen_bool(0.5);
+        let operand = Operand::new(col, base, width, signed);
+        let values: Vec<i64> = (0..rows)
+            .map(|_| {
+                if signed {
+                    rng.gen_range(-(1i64 << (width - 1))..(1i64 << (width - 1)))
+                } else {
+                    rng.gen_range(0..(1i64 << width))
+                }
+            })
+            .collect();
+        engine.load_column(&operand, &values).expect("load");
+        operands.push(operand);
+    }
+    operands
+}
+
+/// Full-depth dump comparison between two engines.
+fn assert_identical_engine_dumps(reference: &mut ApEngine, planned: &mut ApEngine, rows: usize) {
+    for col in 0..COLS {
+        let expected = reference
+            .array_mut()
+            .read_column_values(col, 0, DOMAINS as u8, false)
+            .expect("reference dump");
+        let actual = planned
+            .array_mut()
+            .read_column_values(col, 0, DOMAINS as u8, false)
+            .expect("planned dump");
+        assert_eq!(actual, expected, "column {col} dump diverged ({rows} rows)");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Differential of plan-executed vs interpreter-executed random programs:
+    // identical column reads, tag vectors, [`cam::CamStats`] and dumps, with
+    // fusion-eligible adjacent passes explicitly generated.
+    #[test]
+    fn plan_execution_is_bit_identical_to_the_interpreter(
+        rows in 1usize..140,
+        instructions in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let array =
+            BitPlaneArray::new(rows, COLS, DOMAINS, CamTechnology::default()).expect("packed");
+        let mut reference = ApEngine::new(array);
+        let operands = stage_engine_operands(&mut reference, rows, &mut rng);
+        let mut planned = reference.clone();
+
+        let program = random_program_with_fusion_runs(&operands, instructions, &mut rng);
+        let plan = planned.compile_plan(&program);
+        prop_assert!(!plan.is_fallback(), "valid programs must specialize");
+        prop_assert!(
+            plan.stats().passes_after_fusion <= plan.stats().passes_before_fusion,
+            "fusion must never add passes"
+        );
+        reference.run(&program).expect("interpreter run");
+        planned.run_plan(&plan).expect("plan run");
+        prop_assert_eq!(planned.stats(), reference.stats(), "execution counters diverged");
+
+        // Tag vectors of masked searches over the post-run state.
+        for _ in 0..3 {
+            let mut key = SearchKey::new();
+            for _ in 0..rng.gen_range(1..4) {
+                key.set(rng.gen_range(0..COLS), rng.gen_bool(0.5));
+            }
+            let domain = rng.gen_range(0..DOMAINS);
+            for (col, _) in key.iter() {
+                reference.array_mut().align_column(col, domain).expect("align");
+                planned.array_mut().align_column(col, domain).expect("align");
+            }
+            let expected = reference.array_mut().search(&key).expect("reference search");
+            let actual = planned.array_mut().search(&key).expect("planned search");
+            prop_assert_eq!(actual.to_tag_vector(), expected.to_tag_vector());
+        }
+
+        // Column reads and full dumps (read-out accounting included).
+        for operand in &operands {
+            prop_assert_eq!(
+                planned.read_column(operand).expect("planned read"),
+                reference.read_column(operand).expect("reference read"),
+                "column {} read diverged", operand.col
+            );
+        }
+        assert_identical_engine_dumps(&mut reference, &mut planned, rows);
+        prop_assert_eq!(planned.stats(), reference.stats(), "read-out counters diverged");
+    }
+
+    // Per-segment attribution of the plan path matches the interpreter.
+    #[test]
+    fn plan_segment_attribution_matches_interpreter(
+        segments in 1usize..5,
+        segment_rows in 1usize..40,
+        instructions in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let rows = segments * segment_rows;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let array =
+            BitPlaneArray::new(rows, COLS, DOMAINS, CamTechnology::default()).expect("packed");
+        let mut reference = ApEngine::new(array);
+        let operands = stage_engine_operands(&mut reference, rows, &mut rng);
+        let mut planned = reference.clone();
+        reference.array_mut().track_segments(segment_rows).expect("segments");
+        planned.array_mut().track_segments(segment_rows).expect("segments");
+
+        let program = random_program_with_fusion_runs(&operands, instructions, &mut rng);
+        let plan = planned.compile_plan(&program);
+        reference.run(&program).expect("interpreter run");
+        planned.run_plan(&plan).expect("plan run");
+        prop_assert_eq!(
+            planned.array().segment_stats(),
+            reference.array().segment_stats(),
+            "per-segment attribution diverged"
+        );
+    }
+
+    // Malformed programs compile to fallback plans that fail with the
+    // interpreter's exact error messages.
+    #[test]
+    fn malformed_programs_fail_identically_via_plans(
+        rows in 1usize..70,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let width = rng.gen_range(1..5u8);
+        let conflicting = [
+            ApInstruction::AddInPlace {
+                a: Operand::new(0, 0, width, false),
+                acc: Operand::new(0, 8, width, true),
+                carry: CarrySlot::new(1, 0),
+            },
+            ApInstruction::SubOutOfPlace {
+                a: Operand::new(0, 0, width, false),
+                b: Operand::new(1, 0, width, false),
+                dests: vec![Operand::new(2, 0, width, true)],
+                carry: CarrySlot::new(1, 0),
+            },
+            ApInstruction::Clear {
+                dst: Operand::new(0, 0, 0, false),
+            },
+            // In range for compilation but out of range at execution time.
+            ApInstruction::Clear {
+                dst: Operand::new(0, DOMAINS - 2, 4, false),
+            },
+        ];
+        for instruction in conflicting {
+            let array = BitPlaneArray::new(rows, COLS, DOMAINS, CamTechnology::default())
+                .expect("packed");
+            let mut reference = ApEngine::new(array);
+            let mut planned = reference.clone();
+            let program = ApProgram::from_instructions(vec![instruction]);
+            let plan = planned.compile_plan(&program);
+            prop_assert!(plan.is_fallback(), "failing programs must fall back");
+            let expected = reference.run(&program).expect_err("interpreter must reject");
+            let actual = planned.run_plan(&plan).expect_err("plan must reject");
+            prop_assert_eq!(format!("{actual}"), format!("{expected}"));
+            prop_assert_eq!(planned.stats(), reference.stats());
+            assert_identical_engine_dumps(&mut reference, &mut planned, rows);
+        }
+    }
+}
+
 /// The exact boundary row counts around the packed word size.
 #[test]
 fn word_boundary_row_counts_are_bit_identical() {

@@ -337,6 +337,59 @@ fn batch_axis_expands_the_grid_and_compiles_each_layer_exactly_once() {
 }
 
 #[test]
+fn pass_plans_are_compiled_exactly_once_per_program_across_batches() {
+    // The plan cache must lower each distinct (program, geometry) pair to a
+    // `PassPlan` exactly once: re-running the same batch — or a bigger batch
+    // of the same model — only produces plan cache hits, never recompilation.
+    let model = micro_cnn("micro-a", 8, 0.8, 1);
+    let options = apc::CompilerOptions::default().with_programs();
+    let backend = camdnn::FunctionalBackend::new(ArchConfig::default(), options);
+    let cache = apc::CompileCache::default();
+    let inputs: Vec<_> = (0..3)
+        .map(|i| FunctionalBackend::input_for(&model, options.act_bits, i))
+        .collect();
+
+    let first = backend
+        .run_batch(&model, &inputs, &cache)
+        .expect("first batch");
+    assert!(first.is_bit_exact());
+    let after_first = cache.plan_stats();
+    let summary = cache.plan_summary();
+    assert!(after_first.misses > 0, "the batch must compile pass plans");
+    assert_eq!(
+        after_first.misses, summary.plans,
+        "every plan cache miss is one lowered plan"
+    );
+    assert_eq!(
+        summary.fallbacks, 0,
+        "compiler-emitted programs must specialize"
+    );
+    assert!(summary.passes_after_fusion <= summary.passes_before_fusion);
+    assert!(summary.passes_before_fusion > 0);
+
+    // Same model and batch size again (plans are geometry-specific, and the
+    // packed row count follows the batch size) with fresh inputs: zero new
+    // plan compilations.
+    let more: Vec<_> = (0..3)
+        .map(|i| FunctionalBackend::input_for(&model, options.act_bits, 10 + i))
+        .collect();
+    let second = backend
+        .run_batch(&model, &more, &cache)
+        .expect("second batch");
+    assert!(second.is_bit_exact());
+    let after_second = cache.plan_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "each distinct program must be lowered to a plan exactly once"
+    );
+    assert!(
+        after_second.hits > after_first.hits,
+        "reuse must hit the plan cache"
+    );
+    assert_eq!(cache.plan_summary().plans, summary.plans);
+}
+
+#[test]
 fn custom_backends_join_a_sweep_through_the_open_registry() {
     // A sweep point registered under a downstream-minted BackendId: the
     // default RTM-AP re-targeted to half the channel-group parallelism.
