@@ -27,6 +27,8 @@
 //! assert_eq!(stats.hits, first.len() as u64); // second pass fully cached
 //! ```
 
+use crate::layout::LayerLayout;
+use crate::partition::{PartitionCompiler, PartitionPlan, TileGrid};
 use crate::passes::{CompiledLayer, CompilerOptions, LayerCompiler};
 use crate::{ApcError, Result};
 use ap::{ApProgram, PassPlan, PlanCompiler, PlanGeometry};
@@ -141,6 +143,10 @@ type CacheSlot = Arc<OnceLock<std::result::Result<Arc<CompiledLayer>, ApcError>>
 /// first (miss) insertion.
 type PlanKey = (u64, PlanGeometry);
 type PlanSlot = Arc<OnceLock<Arc<PassPlan>>>;
+/// Partition plans depend on the layer, everything the layout depends on and
+/// the tile grid.
+type PartitionKey = (LayerSignature, CompilerOptions, TileGrid);
+type PartitionSlot = Arc<OnceLock<std::result::Result<Arc<PartitionPlan>, ApcError>>>;
 
 /// A concurrent memo table for layer compilation.
 ///
@@ -158,6 +164,9 @@ pub struct CompileCache {
     plan_slots: Mutex<HashMap<PlanKey, Vec<(ApProgram, PlanSlot)>>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    partition_slots: Mutex<HashMap<PartitionKey, PartitionSlot>>,
+    partition_hits: AtomicU64,
+    partition_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -278,6 +287,61 @@ impl CompileCache {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(plan)
+    }
+
+    /// Partitions `layer` across `grid`, reusing a previous plan for the
+    /// same `(layer signature, options, grid)` triple if one exists — the
+    /// partitioning counterpart of [`compile`](Self::compile), computed
+    /// exactly once even under concurrent requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoises) layout errors from
+    /// [`LayerLayout::for_layer`] and plan errors from
+    /// [`PartitionCompiler::compile`].
+    pub fn partition(
+        &self,
+        layer: &ConvLayerInfo,
+        options: &CompilerOptions,
+        grid: TileGrid,
+    ) -> Result<Arc<PartitionPlan>> {
+        let key = (LayerSignature::of(layer), *options, grid);
+        let slot = {
+            let mut slots = self
+                .partition_slots
+                .lock()
+                .expect("partition cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut computed = false;
+        let result = slot.get_or_init(|| {
+            computed = true;
+            let layout = LayerLayout::for_layer(
+                options.geometry,
+                options.act_bits,
+                layer,
+                options.temp_budget,
+            )?;
+            PartitionCompiler::new(grid)
+                .compile(&layout, layer.cout, layer.cin)
+                .map(Arc::new)
+        });
+        if computed {
+            self.partition_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partition_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// The partition-cache hit/miss counters accumulated so far. `misses`
+    /// equals the number of distinct `(layer signature, options, grid)`
+    /// triples ever partitioned.
+    pub fn partition_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.partition_hits.load(Ordering::Relaxed),
+            misses: self.partition_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The plan-cache hit/miss counters accumulated so far. `misses` equals
@@ -409,6 +473,41 @@ mod tests {
         assert_eq!(summary.hits, 1);
         assert_eq!(summary.misses, 2);
         assert!(summary.passes_before_fusion > summary.passes_after_fusion);
+    }
+
+    #[test]
+    fn partition_plans_are_memoised_per_grid() {
+        let model = vgg9(0.85, 9);
+        let layer = &model.conv_like_layers()[0];
+        let options = CompilerOptions::default();
+        let cache = CompileCache::new();
+        let grid = TileGrid::new(2, 2);
+        let first = cache.partition(layer, &options, grid).expect("plan");
+        let second = cache.partition(layer, &options, grid).expect("plan");
+        assert!(Arc::ptr_eq(&first, &second), "same plan entry reused");
+        assert_eq!(cache.partition_stats(), CacheStats { hits: 1, misses: 1 });
+        // A different grid is a different plan.
+        let other = cache
+            .partition(layer, &options, TileGrid::new(4, 4))
+            .expect("plan");
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.partition_stats(), CacheStats { hits: 1, misses: 2 });
+        // Layout errors are memoised like compile errors.
+        let bad = CompilerOptions {
+            geometry: crate::layout::CamGeometry {
+                rows: 8,
+                cols: 8,
+                domains: 4,
+            },
+            ..CompilerOptions::default()
+        };
+        cache
+            .partition(layer, &bad, grid)
+            .expect_err("must not fit");
+        cache
+            .partition(layer, &bad, grid)
+            .expect_err("must not fit");
+        assert_eq!(cache.partition_stats(), CacheStats { hits: 2, misses: 3 });
     }
 
     #[test]

@@ -52,11 +52,13 @@ mod error;
 pub mod expr;
 pub mod layout;
 pub mod loopir;
+pub mod partition;
 mod passes;
 mod stats;
 
 pub use cache::{CacheStats, CompileCache, LayerSignature, PlanSummary};
 pub use error::ApcError;
+pub use partition::{PartitionCompiler, PartitionPlan, PartitionReport, PartitionUnit, TileGrid};
 pub use passes::{CompiledLayer, CompiledSlice, CompilerOptions, LayerCompiler};
 pub use stats::CompileStats;
 

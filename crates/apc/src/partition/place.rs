@@ -1,0 +1,76 @@
+//! Placement of sub-layer units onto grid tiles.
+
+use crate::partition::split::SplitPoints;
+use crate::partition::{PartitionUnit, TileGrid};
+
+/// Enumerates the cartesian product of the split points into units and
+/// assigns each to a grid tile.
+///
+/// Enumeration order is column split → row split → channel split (fastest),
+/// and placement is round-robin over the tiles in that order. Two properties
+/// follow: (a) the members of one partial-sum merge group occupy consecutive
+/// tiles, keeping gather hops short, and (b) placement is deterministic, so
+/// plans — and therefore the modeled per-tile loads — are reproducible.
+pub fn place_units(splits: &SplitPoints, grid: TileGrid) -> Vec<PartitionUnit> {
+    let tiles = grid.tiles().max(1);
+    let mut units = Vec::with_capacity(splits.col.len() * splits.row.len() * splits.channel.len());
+    for (col_split, outputs) in splits.col.iter().enumerate() {
+        for (row_split, rows) in splits.row.iter().enumerate() {
+            for (channel_split, channels) in splits.channel.iter().enumerate() {
+                let index = units.len();
+                units.push(PartitionUnit {
+                    index,
+                    col_split,
+                    row_split,
+                    channel_split,
+                    outputs: outputs.clone(),
+                    rows: rows.clone(),
+                    channels: channels.clone(),
+                    tile: index % tiles,
+                });
+            }
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_splits() -> SplitPoints {
+        SplitPoints {
+            col: vec![0..100, 100..128],
+            row: vec![0..256, 256..300],
+            channel: vec![0..32, 32..64, 64..80],
+        }
+    }
+
+    #[test]
+    fn placement_is_round_robin_and_groups_are_consecutive() {
+        let grid = TileGrid::new(2, 3);
+        let units = place_units(&sample_splits(), grid);
+        assert_eq!(units.len(), 2 * 2 * 3);
+        for (i, unit) in units.iter().enumerate() {
+            assert_eq!(unit.index, i);
+            assert_eq!(unit.tile, i % grid.tiles());
+        }
+        // Channel split varies fastest: units 0..3 share (col 0, row 0).
+        assert!(units[..3]
+            .iter()
+            .all(|u| (u.col_split, u.row_split) == (0, 0)));
+        assert_eq!(
+            units[..3]
+                .iter()
+                .map(|u| u.channel_split)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn single_tile_puts_everything_on_tile_zero() {
+        let units = place_units(&sample_splits(), TileGrid::default());
+        assert!(units.iter().all(|u| u.tile == 0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Inter-tile operand-movement scheduling.
+
+use crate::layout::LayerLayout;
+use crate::partition::{PartitionUnit, TileGrid};
+use serde::{Deserialize, Serialize};
+
+/// What a scheduled transfer carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LegKind {
+    /// Input activations fanning out from the I/O tile to a compute tile.
+    Scatter,
+    /// A partial-sum block travelling to its merge tile.
+    Gather,
+    /// Merged outputs returning to the I/O tile.
+    Writeback,
+}
+
+/// One scheduled inter-tile transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteLeg {
+    /// What the leg carries.
+    pub kind: LegKind,
+    /// Source tile.
+    pub from: usize,
+    /// Destination tile.
+    pub to: usize,
+    /// Manhattan hop distance on the grid mesh (always > 0 — same-tile moves
+    /// are not scheduled).
+    pub hops: u64,
+    /// Number of scalar elements moved.
+    pub elems: u64,
+    /// Bit width of each element.
+    pub width: u8,
+}
+
+impl RouteLeg {
+    /// Payload size in bits.
+    pub fn bits(&self) -> u64 {
+        self.elems * self.width as u64
+    }
+
+    /// Bits × hops — the link-energy integrand.
+    pub fn bit_hops(&self) -> u64 {
+        self.bits() * self.hops
+    }
+}
+
+/// Tile that holds layer inputs and collects merged outputs.
+pub const IO_TILE: usize = 0;
+
+/// Derives the movement schedule for a placed unit list.
+///
+/// Three flows are scheduled, all relative to [`IO_TILE`] where the layer's
+/// inputs live and its outputs must land:
+///
+/// * **Scatter** — each unit needs its input-activation block
+///   (`rows × patch_size × channels` activations at `act_bits`).
+/// * **Gather** — in merge groups that were channel-split, every non-leader
+///   unit ships its partial sums (`outputs × rows` values at `acc_bits`) to
+///   the group leader's tile.
+/// * **Writeback** — each group leader returns the merged block
+///   (`outputs × rows` values at `final_acc_bits`) to the I/O tile.
+///
+/// Legs whose endpoints coincide (`hops == 0`) are dropped, so a 1×1 grid
+/// schedules nothing.
+pub fn schedule_transfers(
+    layout: &LayerLayout,
+    units: &[PartitionUnit],
+    grid: TileGrid,
+) -> Vec<RouteLeg> {
+    let mut legs = Vec::new();
+    let mut push = |kind: LegKind, from: usize, to: usize, elems: u64, width: u8| {
+        let hops = grid.hops(from, to);
+        if hops > 0 && elems > 0 {
+            legs.push(RouteLeg {
+                kind,
+                from,
+                to,
+                hops,
+                elems,
+                width,
+            });
+        }
+    };
+    for unit in units {
+        let inputs = (unit.rows.len() * layout.patch_size * unit.channels.len()) as u64;
+        push(
+            LegKind::Scatter,
+            IO_TILE,
+            unit.tile,
+            inputs,
+            layout.act_bits,
+        );
+    }
+    // Merge groups are consecutive runs with identical (col_split, row_split);
+    // the channel-split-0 member is the leader that hosts the merge.
+    let mut group_start = 0;
+    while group_start < units.len() {
+        let leader = &units[group_start];
+        let mut end = group_start + 1;
+        while end < units.len()
+            && (units[end].col_split, units[end].row_split) == (leader.col_split, leader.row_split)
+        {
+            end += 1;
+        }
+        for member in &units[group_start + 1..end] {
+            let partials = (member.outputs.len() * member.rows.len()) as u64;
+            push(
+                LegKind::Gather,
+                member.tile,
+                leader.tile,
+                partials,
+                layout.acc_bits,
+            );
+        }
+        let outputs = (leader.outputs.len() * leader.rows.len()) as u64;
+        push(
+            LegKind::Writeback,
+            leader.tile,
+            IO_TILE,
+            outputs,
+            layout.final_acc_bits,
+        );
+        group_start = end;
+    }
+    legs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CamGeometry;
+    use crate::partition::split::select_split_points;
+    use crate::partition::{place, TileGrid};
+    use tnn::model::vgg9;
+
+    fn schedule_for(grid: TileGrid) -> (LayerLayout, Vec<PartitionUnit>, Vec<RouteLeg>) {
+        let model = vgg9(0.85, 1);
+        let fc1 = model
+            .conv_like_layers()
+            .into_iter()
+            .find(|l| l.name == "fc1")
+            .expect("fc1");
+        let layout = LayerLayout::for_layer(CamGeometry::default(), 4, &fc1, 32).expect("layout");
+        let splits = select_split_points(&layout, fc1.cout, fc1.cin, grid);
+        let units = place::place_units(&splits, grid);
+        let legs = schedule_transfers(&layout, &units, grid);
+        (layout, units, legs)
+    }
+
+    #[test]
+    fn single_tile_grid_schedules_nothing() {
+        let (_, _, legs) = schedule_for(TileGrid::default());
+        assert!(legs.is_empty());
+    }
+
+    #[test]
+    fn split_groups_gather_partials_and_write_back() {
+        let (layout, units, legs) = schedule_for(TileGrid::new(4, 4));
+        assert!(legs.iter().all(|l| l.hops > 0 && l.elems > 0));
+        let gathers: Vec<_> = legs.iter().filter(|l| l.kind == LegKind::Gather).collect();
+        // fc1 is channel-split on a 4×4 grid: every non-leader unit gathers.
+        let channel_splits = units.iter().map(|u| u.channel_split).max().expect("units") + 1;
+        assert!(channel_splits > 1);
+        assert!(!gathers.is_empty());
+        assert!(gathers.iter().all(|l| l.width == layout.acc_bits));
+        // Off-I/O-tile leaders write merged outputs back at full width.
+        let writebacks: Vec<_> = legs
+            .iter()
+            .filter(|l| l.kind == LegKind::Writeback)
+            .collect();
+        assert!(writebacks
+            .iter()
+            .all(|l| l.to == IO_TILE && l.width == layout.final_acc_bits));
+        // Scatters originate at the I/O tile and carry activations.
+        assert!(legs
+            .iter()
+            .filter(|l| l.kind == LegKind::Scatter)
+            .all(|l| l.from == IO_TILE && l.width == layout.act_bits));
+    }
+}

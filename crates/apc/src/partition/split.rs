@@ -1,0 +1,111 @@
+//! Split-point selection against the CAM geometry's capacity.
+
+use crate::layout::LayerLayout;
+use crate::partition::TileGrid;
+use std::ops::Range;
+
+/// Selected split points along the three partitionable dimensions of a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitPoints {
+    /// Output-channel ranges, one per layout output tile.
+    pub col: Vec<Range<usize>>,
+    /// Output-position ranges, one per layout row group.
+    pub row: Vec<Range<usize>>,
+    /// Input-channel ranges; more than one only when the grid has idle tiles
+    /// left after the mandatory row/column splits.
+    pub channel: Vec<Range<usize>>,
+}
+
+/// Chooses split points for one laid-out layer on `grid`.
+///
+/// Row and column splits are dictated by capacity: the layout's output tiles
+/// and row groups are exactly the pieces that fit one array, so they are taken
+/// verbatim. The input-channel dimension is elective — splitting it buys
+/// parallelism but costs partial-sum traffic — so it is split only as far as
+/// the grid has slack (`tiles / (col_splits × row_splits)`), and always on
+/// residency-group boundaries (`channels_per_group`) so each sub-layer loads
+/// whole cells.
+pub fn select_split_points(
+    layout: &LayerLayout,
+    cout: usize,
+    cin: usize,
+    grid: TileGrid,
+) -> SplitPoints {
+    let col: Vec<Range<usize>> = (0..layout.output_tiles)
+        .map(|tile| layout.tile_range(tile, cout.max(1)))
+        .filter(|range| !range.is_empty())
+        .collect();
+    let row: Vec<Range<usize>> = (0..layout.row_groups)
+        .map(|group| {
+            let start = group * layout.geometry.rows;
+            start..start + layout.rows_in_group(group)
+        })
+        .filter(|range| !range.is_empty())
+        .collect();
+
+    let mandatory = (col.len() * row.len()).max(1);
+    let slack = (grid.tiles() / mandatory).max(1);
+    let want = slack.min(layout.channel_groups.max(1));
+    // Split the channel-group sequence into `want` contiguous chunks and
+    // convert each chunk back to a channel range clamped at `cin`.
+    let groups_per_split = layout.channel_groups.max(1).div_ceil(want);
+    let channel: Vec<Range<usize>> = (0..layout.channel_groups.max(1))
+        .step_by(groups_per_split)
+        .map(|group| {
+            let start = group * layout.channels_per_group;
+            let end = (group + groups_per_split) * layout.channels_per_group;
+            start.min(cin.max(1))..end.min(cin.max(1))
+        })
+        .filter(|range| !range.is_empty())
+        .collect();
+
+    SplitPoints { col, row, channel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CamGeometry;
+    use tnn::model::vgg9;
+
+    fn fc1_layout() -> (LayerLayout, usize, usize) {
+        let model = vgg9(0.85, 1);
+        let fc1 = model
+            .conv_like_layers()
+            .into_iter()
+            .find(|l| l.name == "fc1")
+            .expect("fc1");
+        let layout = LayerLayout::for_layer(CamGeometry::default(), 4, &fc1, 32).expect("layout");
+        (layout, fc1.cout, fc1.cin)
+    }
+
+    #[test]
+    fn channel_splits_land_on_residency_boundaries_and_cover_cin() {
+        let (layout, cout, cin) = fc1_layout();
+        for grid in [
+            TileGrid::new(1, 1),
+            TileGrid::new(3, 3),
+            TileGrid::new(8, 8),
+        ] {
+            let splits = select_split_points(&layout, cout, cin, grid);
+            assert!(splits.channel.len() <= grid.tiles());
+            let mut next = 0;
+            for range in &splits.channel {
+                assert_eq!(range.start, next);
+                assert_eq!(range.start % layout.channels_per_group, 0);
+                next = range.end;
+            }
+            assert_eq!(next, cin);
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_never_splits_channels() {
+        let (layout, cout, cin) = fc1_layout();
+        let splits = select_split_points(&layout, cout, cin, TileGrid::default());
+        assert_eq!(splits.channel.len(), 1);
+        assert_eq!(splits.channel[0], 0..cin);
+        assert_eq!(splits.col.len(), layout.output_tiles);
+        assert_eq!(splits.row.len(), layout.row_groups);
+    }
+}

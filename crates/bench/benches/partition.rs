@@ -1,0 +1,159 @@
+//! Criterion benchmark: modeled throughput scaling of multi-tile partitioning.
+//!
+//! The acceptance benchmark of the `apc::partition` subsystem: splitting a
+//! channel-heavy `micro_cnn` across a 4×4 tile grid must deliver at least 2×
+//! the modeled samples/s of the single-tile execution of the same inputs —
+//! the tiles run their units in parallel, so the critical path shrinks to the
+//! busiest tile plus the inter-tile routing the partition-quality report
+//! prices. Logits are value-identical across every grid (pinned by the
+//! `partition_equivalence` suite and re-asserted here); only the placement
+//! differs. `partition_speedup` reports the modeled ladder next to the
+//! wall-clock per-grid execution times and appends a dated record (including
+//! the partition-plan cache counters of the shared compile cache) to
+//! `BENCH_partition.json` at the repo root (schema: `BENCH_schema.md`).
+
+use apc::{CompileCache, TileGrid};
+use camdnn::{BatchReport, FunctionalBackend};
+use camdnn_bench::{append_bench_record, bench_smoke, utc_date_string, PartitionBenchRecord};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tnn::model::{micro_cnn, ModelGraph};
+use tnn::Tensor;
+
+/// Channel width of the measured model: 64 channels give the fully-connected
+/// head 1024 inputs — 64 channel groups at 4-bit activations, plenty of
+/// elective channel splits for a 16-tile grid. `BENCH_SMOKE` shrinks to 16
+/// channels so CI can exercise the whole measurement path in seconds.
+fn workload() -> ModelGraph {
+    let channels = if bench_smoke() { 16 } else { 64 };
+    micro_cnn("partition-micro", channels, 0.8, 42)
+}
+
+/// The tile-grid ladder: single tile, quad, and the full 4×4.
+fn grids() -> [TileGrid; 3] {
+    [
+        TileGrid::default(),
+        TileGrid { rows: 2, cols: 2 },
+        TileGrid { rows: 4, cols: 4 },
+    ]
+}
+
+fn run_on_grid(
+    model: &ModelGraph,
+    inputs: &[Tensor<i64>],
+    grid: TileGrid,
+    cache: &CompileCache,
+) -> BatchReport {
+    FunctionalBackend::default()
+        .with_tile_grid(grid)
+        .run_batch(model, inputs, cache)
+        .expect("partitioned run")
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let model = workload();
+    let cache = CompileCache::new();
+    let inputs = vec![FunctionalBackend::input_for(&model, 4, 0)];
+    let mut group = c.benchmark_group("partition_micro_cnn");
+    group.sample_size(10);
+    for grid in grids() {
+        group.bench_function(format!("grid_{}", grid.label()), |b| {
+            b.iter(|| black_box(run_on_grid(&model, black_box(&inputs), grid, &cache)))
+        });
+    }
+    group.finish();
+}
+
+/// Runs the identical input batch on every grid of the ladder, prints the
+/// modeled samples/s scaling, and enforces the ≥2× acceptance floor of the
+/// largest grid over the single-tile run.
+fn partition_speedup(_c: &mut Criterion) {
+    let smoke = bench_smoke();
+    let model = workload();
+    let cache = CompileCache::new();
+    let batch = if smoke { 1 } else { 4 };
+    let inputs: Vec<Tensor<i64>> = (0..batch)
+        .map(|sample| FunctionalBackend::input_for_sample(&model, 4, 0, sample))
+        .collect();
+    let reports: Vec<(TileGrid, BatchReport)> = grids()
+        .into_iter()
+        .map(|grid| (grid, run_on_grid(&model, &inputs, grid, &cache)))
+        .collect();
+    let (_, baseline) = &reports[0];
+    for (grid, report) in &reports[1..] {
+        for (sample, reference) in report.samples.iter().zip(&baseline.samples) {
+            assert_eq!(
+                sample.logits,
+                reference.logits,
+                "grid {} drifted from the single-tile logits",
+                grid.label()
+            );
+        }
+    }
+    let ladder: Vec<f64> = reports
+        .iter()
+        .map(|(_, report)| report.samples_per_s)
+        .collect();
+    let speedup = ladder.last().expect("ladder") / ladder[0];
+    for (grid, report) in &reports {
+        let quality = report.partition.as_ref().expect("partition quality");
+        println!(
+            "partition grid {:>5}: {:>10.1} samples/s, {:>2} tiles used, \
+             {:>9} traffic bits ({} bit-hops), util row {:.2} col {:.2}",
+            grid.label(),
+            report.samples_per_s,
+            quality.tiles_used,
+            quality.traffic_bits,
+            quality.traffic_bit_hops,
+            quality.row_utilization,
+            quality.col_utilization,
+        );
+    }
+    println!(
+        "partition_speedup: {:.1}x modeled samples/s on {} over {}",
+        speedup,
+        reports.last().expect("ladder").0.label(),
+        reports[0].0.label(),
+    );
+    let (largest_grid, largest) = reports.last().expect("ladder");
+    let quality = largest.partition.as_ref().expect("partition quality");
+    append_bench_record(
+        "BENCH_partition.json",
+        &PartitionBenchRecord {
+            date: utc_date_string(),
+            bench: "partition".to_string(),
+            workload: model.name().to_string(),
+            act_bits: 4,
+            grids: grids().iter().map(TileGrid::label).collect(),
+            modeled_samples_per_s: ladder,
+            modeled_speedup: speedup,
+            tiles_used: quality.tiles_used,
+            traffic_bits: quality.traffic_bits,
+            traffic_bit_hops: quality.traffic_bit_hops,
+            smoke,
+            partition_cache: cache.partition_stats(),
+        },
+    );
+    let _ = largest_grid;
+    // The acceptance criterion of the partitioning subsystem, enforced
+    // whenever the bench actually runs (CI smokes it with BENCH_SMOKE=1 and
+    // the floor zeroed; run it locally for real figures). The modeled ratio
+    // is deterministic, but the smoke workload is smaller — override the
+    // floor with PARTITION_SPEEDUP_MIN (e.g. `PARTITION_SPEEDUP_MIN=0`).
+    let floor: f64 = std::env::var("PARTITION_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    assert!(
+        speedup >= floor,
+        "partitioned execution must reach >={floor}x the single-tile modeled samples/s \
+         on the largest grid, measured {speedup:.1}x"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grids, partition_speedup
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Multi-tile partitioning sweep: modeled samples/s scaling with tile count.
+//!
+//! Runs the functional backend over a ladder of tile grids and prints, per
+//! grid, the modeled latency/throughput next to the partition-quality report
+//! (tiles used, per-tile utilisation, inter-tile traffic) the scenario
+//! records carry. A layer that exceeds one tile's CAM capacity is split by
+//! the `apc::partition` pipeline; the extra grids then spread the sub-layers
+//! and shrink the critical path to the busiest tile plus the routed operand
+//! movement.
+//!
+//! Run with `cargo run -p camdnn-bench --bin partition --release`; pass
+//! `--vgg` to sweep the VGG-9/CIFAR10 workload instead of the channel-heavy
+//! micro CNN (slower, exercises real convolution stacks), and `--json <path>`
+//! to dump the raw records (schema: `BENCH_schema.md`).
+
+use apc::TileGrid;
+use camdnn::experiment::{BackendPlan, Session, SweepGrid};
+use camdnn_bench::maybe_write_json;
+use tnn::model::{micro_cnn, vgg9};
+
+fn main() {
+    let vgg = std::env::args().any(|arg| arg == "--vgg");
+    let grid = SweepGrid::new()
+        .act_bits([4])
+        .backends([BackendPlan::functional()])
+        .tile_grids([
+            TileGrid::default(),
+            TileGrid { rows: 2, cols: 2 },
+            TileGrid { rows: 2, cols: 4 },
+            TileGrid { rows: 4, cols: 4 },
+        ]);
+    let grid = if vgg {
+        grid.workload(("VGG-9/CIFAR10", vgg9(0.9, 3)))
+    } else {
+        grid.workload(("micro-64/synthetic", micro_cnn("micro-64", 64, 0.8, 42)))
+    };
+    let session = Session::new();
+    let results = session.run(&grid).expect("the sweep compiles");
+    println!("Modeled throughput scaling with tile count (functional backend, 4-bit)\n");
+    println!(
+        "{:<28} {:>6} {:>10} {:>12} {:>8} | {:>6} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "scenario",
+        "grid",
+        "lat[ms]",
+        "samples/s",
+        "speedup",
+        "tiles",
+        "util row",
+        "util col",
+        "traffic[b]",
+        "bit-hops",
+        "route[uJ]"
+    );
+    let baseline = results.records.first().map(|r| r.samples_per_s);
+    for record in &results.records {
+        let quality = record
+            .partition
+            .as_ref()
+            .expect("functional records carry partition quality");
+        println!(
+            "{:<28} {:>6} {:>10.4} {:>12.1} {:>7.2}x | {:>6} {:>8.2} {:>8.2} {:>12} {:>12} {:>10.4}",
+            record.scenario,
+            record.tile_grid.label(),
+            record.latency_ms,
+            record.samples_per_s,
+            record.samples_per_s / baseline.expect("baseline record"),
+            quality.tiles_used,
+            quality.row_utilization,
+            quality.col_utilization,
+            quality.traffic_bits,
+            quality.traffic_bit_hops,
+            quality.route_energy_uj,
+        );
+    }
+    let stats = session.cache().partition_stats();
+    println!(
+        "\npartition cache: {} plans compiled, {} hits / {} misses",
+        stats.misses, stats.hits, stats.misses
+    );
+    maybe_write_json(&results);
+}

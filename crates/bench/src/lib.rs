@@ -353,6 +353,39 @@ pub struct ThroughputBenchRecord {
     pub plan_cache: apc::PlanSummary,
 }
 
+/// One dated `BENCH_partition.json` record: modeled samples/s of the
+/// multi-tile partitioned execution across a ladder of tile grids, the
+/// speedup of the largest grid over the single-tile run, and the traffic the
+/// partitioning paid for it (schema: `BENCH_schema.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionBenchRecord {
+    /// UTC date the record was measured (`YYYY-MM-DD`).
+    pub date: String,
+    /// Record discriminator, always `"partition"`.
+    pub bench: String,
+    /// Workload label of the measured model.
+    pub workload: String,
+    /// Activation precision, in bits.
+    pub act_bits: u8,
+    /// Tile-grid labels of the ladder, e.g. `["1x1", "2x2", "4x4"]`.
+    pub grids: Vec<String>,
+    /// Modeled samples/s per grid, aligned with `grids`.
+    pub modeled_samples_per_s: Vec<f64>,
+    /// Largest-grid / single-tile modeled samples/s ratio (the scaling
+    /// acceptance figure).
+    pub modeled_speedup: f64,
+    /// Tiles that received at least one unit on the largest grid.
+    pub tiles_used: usize,
+    /// Inter-tile operand traffic of the largest grid, in bits.
+    pub traffic_bits: u64,
+    /// Traffic weighted by Manhattan hop distance, in bit-hops.
+    pub traffic_bit_hops: u64,
+    /// True when measured under `BENCH_SMOKE` iteration counts.
+    pub smoke: bool,
+    /// Partition-plan cache counters of the shared compile cache.
+    pub partition_cache: apc::CacheStats,
+}
+
 /// Formats a Table II row header.
 pub fn table2_header() -> String {
     format!(

@@ -261,6 +261,18 @@ impl BackendReport {
         }
     }
 
+    /// Borrows the partition-quality report of a functional execution
+    /// (single-sample or batched), if this report carries one — how the
+    /// weighted layers spread over the tile grid and what the inter-tile
+    /// movement cost (see [`crate::functional::PartitionQuality`]).
+    pub fn partition_quality(&self) -> Option<&crate::functional::PartitionQuality> {
+        match self {
+            BackendReport::Functional(r) => r.partition.as_ref(),
+            BackendReport::FunctionalBatch(r) => r.partition.as_ref(),
+            _ => None,
+        }
+    }
+
     /// Extracts the RTM-AP report, if this is one.
     pub fn into_rtm_ap(self) -> Option<NetworkReport> {
         match self {

@@ -50,10 +50,11 @@
 //! [`ResultSet::pipeline`].
 
 use crate::backend::{BackendId, BackendKind, BackendReport, InferenceBackend};
+use crate::functional::PartitionQuality;
 use crate::pipeline::PipelineReport;
 use accel::{ArchConfig, NetworkSimulator};
 use apc::layout::CamGeometry;
-use apc::{CacheStats, CompileCache, CompilerOptions};
+use apc::{CacheStats, CompileCache, CompilerOptions, TileGrid};
 use baseline::{CrossbarModel, DeepCamModel};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -177,10 +178,10 @@ impl BackendPlan {
     /// every output position, so keep the workloads small.
     pub fn functional() -> Self {
         BackendPlan::custom(BackendKind::Functional, |spec| {
-            Box::new(crate::functional::FunctionalBackend::new(
-                spec.arch,
-                spec.compiler_options(),
-            ))
+            Box::new(
+                crate::functional::FunctionalBackend::new(spec.arch, spec.compiler_options())
+                    .with_tile_grid(spec.tile_grid),
+            )
         })
     }
 
@@ -227,6 +228,9 @@ pub struct ScenarioSpec {
     /// evaluation; larger batches go through
     /// [`InferenceBackend::evaluate_batch_cached`]).
     pub batch_size: usize,
+    /// Tile grid the functional backend partitions weighted layers across
+    /// (1×1 = unpartitioned; analytic backends ignore it).
+    pub tile_grid: TileGrid,
     /// The backends evaluated on this scenario, in registration order.
     pub backends: Vec<BackendPlan>,
     /// Template for the remaining compiler knobs (CSE temp budget, retained
@@ -248,6 +252,7 @@ impl ScenarioSpec {
             geometry: template.geometry,
             arch: ArchConfig::default(),
             batch_size: 1,
+            tile_grid: TileGrid::default(),
             backends: BackendPlan::standard(),
             compiler_template: template,
         }
@@ -280,6 +285,7 @@ pub struct SweepGrid {
     geometries: Vec<CamGeometry>,
     archs: Vec<ArchConfig>,
     batch_sizes: Vec<usize>,
+    tile_grids: Vec<TileGrid>,
     backends: Vec<BackendPlan>,
     compiler_template: CompilerOptions,
 }
@@ -293,6 +299,7 @@ impl Default for SweepGrid {
             geometries: vec![template.geometry],
             archs: vec![ArchConfig::default()],
             batch_sizes: vec![1],
+            tile_grids: vec![TileGrid::default()],
             backends: BackendPlan::standard(),
             compiler_template: template,
         }
@@ -352,6 +359,16 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the tile-grid axis. Scenarios with a grid larger than 1×1
+    /// partition every weighted layer across the grid on the functional
+    /// backend (see [`apc::partition`]), tracing throughput scaling with
+    /// tile count; analytic backends ignore the axis.
+    #[must_use]
+    pub fn tile_grids(mut self, grids: impl IntoIterator<Item = TileGrid>) -> Self {
+        self.tile_grids = grids.into_iter().collect();
+        self
+    }
+
     /// Replaces the backends evaluated on every scenario.
     #[must_use]
     pub fn backends(mut self, backends: impl IntoIterator<Item = BackendPlan>) -> Self {
@@ -375,6 +392,7 @@ impl SweepGrid {
             * self.geometries.len()
             * self.archs.len()
             * self.batch_sizes.len()
+            * self.tile_grids.len()
     }
 
     /// Whether the grid expands to no scenarios.
@@ -386,9 +404,10 @@ impl SweepGrid {
     ///
     /// Labels are `"<workload> <bits>b <rows>x<cols>"`, extended with a
     /// ` dN` domain suffix when the geometry axis varies in its domain count,
-    /// an ` archN` suffix when the architecture axis has more than one point
-    /// and a ` bN` batch suffix when the batch-size axis does — unique as
-    /// long as the workload labels and axis points are.
+    /// an ` archN` suffix when the architecture axis has more than one point,
+    /// a ` bN` batch suffix when the batch-size axis does and a ` gRxC` tile
+    /// grid suffix when the tile-grid axis does — unique as long as the
+    /// workload labels and axis points are.
     pub fn scenarios(&self) -> Vec<ScenarioSpec> {
         let label_domains = self
             .geometries
@@ -400,29 +419,35 @@ impl SweepGrid {
                 for &geometry in &self.geometries {
                     for (arch_index, arch) in self.archs.iter().enumerate() {
                         for &batch_size in &self.batch_sizes {
-                            let mut label = format!(
-                                "{} {}b {}x{}",
-                                workload.label, act_bits, geometry.rows, geometry.cols
-                            );
-                            if label_domains {
-                                label.push_str(&format!(" d{}", geometry.domains));
+                            for &tile_grid in &self.tile_grids {
+                                let mut label = format!(
+                                    "{} {}b {}x{}",
+                                    workload.label, act_bits, geometry.rows, geometry.cols
+                                );
+                                if label_domains {
+                                    label.push_str(&format!(" d{}", geometry.domains));
+                                }
+                                if self.archs.len() > 1 {
+                                    label.push_str(&format!(" arch{arch_index}"));
+                                }
+                                if self.batch_sizes.len() > 1 {
+                                    label.push_str(&format!(" b{batch_size}"));
+                                }
+                                if self.tile_grids.len() > 1 {
+                                    label.push_str(&format!(" g{}", tile_grid.label()));
+                                }
+                                scenarios.push(ScenarioSpec {
+                                    label,
+                                    workload: workload.clone(),
+                                    act_bits,
+                                    geometry,
+                                    arch: arch.with_geometry(geometry),
+                                    batch_size,
+                                    tile_grid,
+                                    backends: self.backends.clone(),
+                                    compiler_template: self.compiler_template,
+                                });
                             }
-                            if self.archs.len() > 1 {
-                                label.push_str(&format!(" arch{arch_index}"));
-                            }
-                            if self.batch_sizes.len() > 1 {
-                                label.push_str(&format!(" b{batch_size}"));
-                            }
-                            scenarios.push(ScenarioSpec {
-                                label,
-                                workload: workload.clone(),
-                                act_bits,
-                                geometry,
-                                arch: arch.with_geometry(geometry),
-                                batch_size,
-                                backends: self.backends.clone(),
-                                compiler_template: self.compiler_template,
-                            });
                         }
                     }
                 }
@@ -460,12 +485,18 @@ pub struct ScenarioRecord {
     pub arrays: usize,
     /// Number of samples evaluated together in this scenario.
     pub batch_size: usize,
+    /// Tile grid of the scenario (1×1 unless the grid swept tile grids).
+    pub tile_grid: TileGrid,
     /// Modeled throughput in samples per second (for analytic backends this
     /// is the single-sample rate `1000 / latency_ms`, independent of the
     /// batch axis).
     pub samples_per_s: f64,
     /// Amortized energy per sample, in joules.
     pub joules_per_sample: f64,
+    /// Partition-quality report of functional executions: tiles used,
+    /// per-tile utilisation and inter-tile traffic (`None` for analytic
+    /// backends, which do not partition).
+    pub partition: Option<PartitionQuality>,
     /// The backend's full native report.
     pub report: BackendReport,
 }
@@ -720,8 +751,10 @@ impl Session {
                 latency_ms: report.latency_ms(),
                 arrays: report.arrays(),
                 batch_size: job.scenario.batch_size,
+                tile_grid: job.scenario.tile_grid,
                 samples_per_s,
                 joules_per_sample,
+                partition: report.partition_quality().cloned(),
                 report,
             });
         }
@@ -824,6 +857,47 @@ mod tests {
         assert!(deepcam.report.as_deepcam().is_some());
         assert_eq!(deepcam.batch_size, 3);
         // The new record shape still round-trips as JSON lines.
+        let parsed = ResultSet::from_json(&results.to_json()).expect("parse");
+        assert_eq!(parsed, results);
+    }
+
+    #[test]
+    fn tile_grid_axis_expands_labels_and_surfaces_partition_quality() {
+        let grid = SweepGrid::new()
+            .workload(micro_cnn("micro-a", 16, 0.8, 1))
+            .tile_grids([TileGrid::new(1, 1), TileGrid::new(2, 2)])
+            .backends([BackendPlan::deepcam(), BackendPlan::functional()]);
+        assert_eq!(grid.len(), 2);
+        let scenarios = grid.scenarios();
+        assert!(scenarios[0].label.ends_with(" g1x1"));
+        assert!(scenarios[1].label.ends_with(" g2x2"));
+        let session = Session::new();
+        let results = session.run(&grid).expect("sweep");
+        let solo = results
+            .get(&scenarios[0].label, BackendKind::Functional)
+            .expect("1x1 record");
+        let split = results
+            .get(&scenarios[1].label, BackendKind::Functional)
+            .expect("2x2 record");
+        // The functional records carry the partition-quality report; only
+        // the multi-tile grid moves data between tiles.
+        assert_eq!(solo.tile_grid, TileGrid::new(1, 1));
+        assert_eq!(split.tile_grid, TileGrid::new(2, 2));
+        let solo_quality = solo.partition.as_ref().expect("quality");
+        let split_quality = split.partition.as_ref().expect("quality");
+        assert_eq!(solo_quality.tiles_used, 1);
+        assert_eq!(solo_quality.traffic_bits, 0);
+        assert!(split_quality.tiles_used > 1);
+        assert!(split_quality.traffic_bits > 0);
+        // Splitting the same work over more tiles shortens the critical path.
+        assert!(split.latency_ms < solo.latency_ms);
+        assert!(split.samples_per_s > solo.samples_per_s);
+        // Analytic backends do not partition.
+        let deepcam = results
+            .get(&scenarios[1].label, BackendKind::DeepCam)
+            .expect("deepcam record");
+        assert!(deepcam.partition.is_none());
+        // The extended record shape still round-trips as JSON lines.
         let parsed = ResultSet::from_json(&results.to_json()).expect("parse");
         assert_eq!(parsed, results);
     }

@@ -33,13 +33,17 @@
 use crate::backend::{BackendReport, InferenceBackend};
 use accel::ArchConfig;
 use ap::{ApEngine, Operand, PlanGeometry};
-use apc::{ApcError, CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
+use apc::{
+    ApcError, CompileCache, CompiledLayer, CompilerOptions, LayerCompiler, PartitionPlan,
+    PartitionUnit, TileGrid,
+};
 use cam::{BitPlaneArray, CamStats};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tnn::im2col::{im2col_channel, Im2colSpec};
 use tnn::layer::LayerOp;
 use tnn::model::{ConvLayerInfo, ModelGraph, Source};
@@ -49,6 +53,189 @@ use tnn::Tensor;
 /// (`[sample][output][row]`), the per-sample (as-if-solo) counter
 /// attributions, and the unit's physical counters.
 type UnitOutcome = (Vec<Vec<Vec<i64>>>, Vec<CamStats>, CamStats);
+
+/// One executed layer's batched results plus its partition accounting: the
+/// per-sample output tensors, the per-sample (solo-equivalent) attributions,
+/// the physical aggregate counters, the partition plan that drove the
+/// execution, and the physical counters grouped by grid tile (ascending tile
+/// id, used tiles only).
+type LayerOutcome = (
+    Vec<Tensor<i64>>,
+    Vec<CamStats>,
+    CamStats,
+    Arc<PartitionPlan>,
+    Vec<(usize, CamStats)>,
+);
+
+/// One grid tile's share of a partitioned functional inference, summed over
+/// every weighted layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileUsage {
+    /// Grid tile id.
+    pub tile: usize,
+    /// Sub-layer units executed on the tile (over all layers).
+    pub units: usize,
+    /// Unit-weighted mean fraction of the tile's CAM rows occupied.
+    pub row_utilization: f64,
+    /// Unit-weighted mean fraction of the tile's CAM columns occupied.
+    pub col_utilization: f64,
+    /// Physical CAM counters the tile's units accumulated.
+    pub stats: CamStats,
+    /// Time the tile spends computing (Σ over layers of its serial share),
+    /// in milliseconds — the tile-parallel critical path is the per-layer max.
+    pub busy_ms: f64,
+}
+
+/// The partition-quality report of one functional inference: how the
+/// weighted layers spread over the [`TileGrid`], how well the tiles' arrays
+/// are filled, and what the inter-tile movement schedule costs.
+///
+/// On a 1×1 grid (the default) every layer runs unpartitioned: one tile,
+/// zero traffic, zero routing cost — and the report degenerates to the
+/// pre-partitioning accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionQuality {
+    /// The tile grid the inference ran on.
+    pub grid: TileGrid,
+    /// Weighted layers executed through partition plans.
+    pub layers: usize,
+    /// Total sub-layer units over all layers.
+    pub units: usize,
+    /// Most grid tiles any single layer spread over.
+    pub tiles_used: usize,
+    /// Unit-weighted mean CAM-row utilisation over all units of all layers.
+    pub row_utilization: f64,
+    /// Unit-weighted mean CAM-column utilisation over all units of all layers.
+    pub col_utilization: f64,
+    /// Bits crossing tile boundaries over the whole inference.
+    pub traffic_bits: u64,
+    /// Total inter-tile hop count over all scheduled transfers.
+    pub traffic_hops: u64,
+    /// Σ bits × hops over all transfers — what link energy scales with.
+    pub traffic_bit_hops: u64,
+    /// Energy of the inter-tile transfers, in microjoules
+    /// ([`ArchConfig::interconnect_pj_per_bit`] per bit-hop).
+    pub route_energy_uj: f64,
+    /// Serial latency of the inter-tile transfers, in milliseconds
+    /// ([`ArchConfig::interconnect_bits_per_ns`] per hop).
+    pub route_latency_ms: f64,
+    /// Per-tile breakdown, ascending tile id, used tiles only.
+    pub per_tile: Vec<TileUsage>,
+}
+
+impl PartitionQuality {
+    /// Sum of the per-tile physical counters — equals the inference's
+    /// aggregate [`CamStats`], since every unit runs on exactly one tile.
+    pub fn tile_stats_total(&self) -> CamStats {
+        self.per_tile
+            .iter()
+            .fold(CamStats::new(), |acc, tile| acc + tile.stats)
+    }
+}
+
+/// Running accumulator behind [`PartitionQuality`] (weighted means need the
+/// unit counts kept separate until the end).
+#[derive(Debug, Default)]
+struct QualityAccum {
+    layers: usize,
+    units: usize,
+    tiles_used: usize,
+    row_utilization_units: f64,
+    col_utilization_units: f64,
+    traffic_bits: u64,
+    traffic_hops: u64,
+    traffic_bit_hops: u64,
+    route_energy_uj: f64,
+    route_latency_ns: f64,
+    per_tile: Vec<TileUsage>,
+}
+
+impl QualityAccum {
+    /// Folds one executed layer's plan, per-tile counters and routing cost
+    /// into the running totals. Returns the layer's modeled tile-parallel
+    /// latency contribution in nanoseconds: the busiest tile's serial share
+    /// plus the layer's transfer time.
+    fn absorb_layer(
+        &mut self,
+        plan: &PartitionPlan,
+        tile_stats: &[(usize, CamStats)],
+        arch: &ArchConfig,
+    ) -> f64 {
+        let report = &plan.report;
+        self.layers += 1;
+        self.units += report.units;
+        self.tiles_used = self.tiles_used.max(report.tiles_used);
+        self.row_utilization_units += report.row_utilization * report.units as f64;
+        self.col_utilization_units += report.col_utilization * report.units as f64;
+        self.traffic_bits += report.traffic_bits;
+        self.traffic_hops += report.traffic_hops;
+        self.traffic_bit_hops += report.traffic_bit_hops;
+        let route_ns = plan
+            .legs
+            .iter()
+            .map(|leg| leg.bit_hops() as f64 / arch.interconnect_bits_per_ns)
+            .sum::<f64>();
+        self.route_latency_ns += route_ns;
+        self.route_energy_uj += plan
+            .legs
+            .iter()
+            .map(|leg| leg.bit_hops() as f64 * arch.interconnect_pj_per_bit)
+            .sum::<f64>()
+            * 1e-6;
+        let tech = &arch.cam_tech;
+        let mut busiest_ns = 0.0f64;
+        for &(tile, stats) in tile_stats {
+            let busy_ns = stats.latency_ns(tech);
+            busiest_ns = busiest_ns.max(busy_ns);
+            let load = report
+                .per_tile
+                .iter()
+                .find(|t| t.tile == tile)
+                .expect("executed tile is in the plan report");
+            match self.per_tile.iter_mut().find(|t| t.tile == tile) {
+                Some(usage) => {
+                    usage.units += load.units;
+                    usage.row_utilization += load.row_utilization * load.units as f64;
+                    usage.col_utilization += load.col_utilization * load.units as f64;
+                    usage.stats += stats;
+                    usage.busy_ms += busy_ns / 1e6;
+                }
+                None => self.per_tile.push(TileUsage {
+                    tile,
+                    units: load.units,
+                    row_utilization: load.row_utilization * load.units as f64,
+                    col_utilization: load.col_utilization * load.units as f64,
+                    stats,
+                    busy_ms: busy_ns / 1e6,
+                }),
+            }
+        }
+        busiest_ns + route_ns
+    }
+
+    fn finish(mut self, grid: TileGrid) -> PartitionQuality {
+        self.per_tile.sort_by_key(|t| t.tile);
+        for usage in &mut self.per_tile {
+            usage.row_utilization /= usage.units.max(1) as f64;
+            usage.col_utilization /= usage.units.max(1) as f64;
+        }
+        let units = self.units.max(1) as f64;
+        PartitionQuality {
+            grid,
+            layers: self.layers,
+            units: self.units,
+            tiles_used: self.tiles_used,
+            row_utilization: self.row_utilization_units / units,
+            col_utilization: self.col_utilization_units / units,
+            traffic_bits: self.traffic_bits,
+            traffic_hops: self.traffic_hops,
+            traffic_bit_hops: self.traffic_bit_hops,
+            route_energy_uj: self.route_energy_uj,
+            route_latency_ms: self.route_latency_ns / 1e6,
+            per_tile: self.per_tile,
+        }
+    }
+}
 
 /// The result of one functional (bit-level) inference.
 ///
@@ -82,6 +269,9 @@ pub struct FunctionalReport {
     pub latency_ms: f64,
     /// Memory arrays occupied (maximum row groups over the layers).
     pub arrays: usize,
+    /// How the weighted layers spread over the tile grid (always present on
+    /// functional runs; degenerate single-tile accounting on a 1×1 grid).
+    pub partition: Option<PartitionQuality>,
 }
 
 impl FunctionalReport {
@@ -165,6 +355,9 @@ pub struct BatchReport {
     pub joules_per_sample: f64,
     /// Memory arrays occupied (maximum row groups over the layers).
     pub arrays: usize,
+    /// How the weighted layers spread over the tile grid (always present on
+    /// functional runs; degenerate single-tile accounting on a 1×1 grid).
+    pub partition: Option<PartitionQuality>,
 }
 
 impl BatchReport {
@@ -213,6 +406,7 @@ pub struct FunctionalBackend {
     options: CompilerOptions,
     input_seed: u64,
     engine_mode: Option<EngineMode>,
+    tile_grid: TileGrid,
 }
 
 /// Which executor the functional backend drives the unit programs with.
@@ -250,7 +444,24 @@ impl FunctionalBackend {
             options: options.with_programs(),
             input_seed: 0,
             engine_mode: None,
+            tile_grid: TileGrid::default(),
         }
+    }
+
+    /// Returns a copy executing every weighted layer across `grid`: layers
+    /// too large for one tile split over the grid (see [`apc::partition`]),
+    /// with partial results merged deterministically and inter-tile routing
+    /// cost folded into the energy/latency accounting. The default 1×1 grid
+    /// reproduces the unpartitioned execution exactly.
+    #[must_use]
+    pub fn with_tile_grid(mut self, grid: TileGrid) -> Self {
+        self.tile_grid = grid;
+        self
+    }
+
+    /// The tile grid weighted layers are partitioned across.
+    pub fn tile_grid(&self) -> TileGrid {
+        self.tile_grid
     }
 
     /// Returns a copy pinned to an explicit executor, overriding the
@@ -332,26 +543,29 @@ impl FunctionalBackend {
         Tensor::from_vec(vec![c, h, w], data).expect("input shape is consistent by construction")
     }
 
-    /// Executes one compiled weighted layer for the whole batch: every
-    /// (output tile × row group) unit packs the B samples' rows into one
-    /// shared array and runs as an independent job; per-unit outputs and
-    /// counters are merged in unit order, so the result is identical at any
-    /// `RAYON_NUM_THREADS`.
+    /// Executes one compiled weighted layer for the whole batch, through the
+    /// layer's partition plan: every sub-layer unit packs the B samples' rows
+    /// into one shared array and runs as an independent job on its assigned
+    /// grid tile; per-unit outputs and counters are merged in unit order
+    /// (channel-split partial sums by plain integer addition), so the result
+    /// is identical at any `RAYON_NUM_THREADS`.
     ///
     /// Returns one output tensor per sample, the per-sample (solo-equivalent)
-    /// counter attributions, and the physical aggregate counters of the
-    /// packed execution.
+    /// counter attributions, the physical aggregate counters of the packed
+    /// execution, the partition plan, and the physical counters per grid
+    /// tile.
     fn execute_layer_batch(
         &self,
         info: &ConvLayerInfo,
         compiled: &CompiledLayer,
         inputs: &[&Tensor<i64>],
         cache: &CompileCache,
-    ) -> apc::Result<(Vec<Tensor<i64>>, Vec<CamStats>, CamStats)> {
+    ) -> apc::Result<LayerOutcome> {
         let layout = &compiled.layout;
         let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
             reason: "functional backend requires retained programs".to_string(),
         })?;
+        let plan = cache.partition(info, &self.options, self.tile_grid)?;
         let spec = Im2colSpec {
             fh: info.kernel.0,
             fw: info.kernel.1,
@@ -380,17 +594,12 @@ impl FunctionalBackend {
             })
             .collect::<tnn::Result<_>>()?;
 
-        let units: Vec<(usize, usize)> = (0..layout.output_tiles)
-            .flat_map(|tile| (0..layout.row_groups).map(move |group| (tile, group)))
-            .filter(|&(tile, _)| !layout.tile_range(tile, info.cout).is_empty())
-            .collect();
-
-        let outcomes: Vec<apc::Result<UnitOutcome>> = units
+        let outcomes: Vec<apc::Result<UnitOutcome>> = plan
+            .units
             .par_iter()
-            .map(|&(tile, group)| {
-                self.execute_unit_batch(info, layout, slices, &patches, tile, group, cache)
-            })
+            .map(|unit| self.execute_unit_batch(layout, slices, &patches, unit, cache))
             .collect();
+        let outcomes: Vec<UnitOutcome> = outcomes.into_iter().collect::<apc::Result<_>>()?;
 
         let batch = inputs.len();
         let mut outputs: Vec<Tensor<i64>> = (0..batch)
@@ -398,51 +607,66 @@ impl FunctionalBackend {
             .collect();
         let mut attributed = vec![CamStats::new(); batch];
         let mut physical = CamStats::new();
+        let mut tile_stats: Vec<(usize, CamStats)> = Vec::new();
         let positions = info.output_hw.0 * info.output_hw.1;
-        for (&(tile, group), outcome) in units.iter().zip(outcomes) {
-            let (per_sample, unit_attributed, unit_physical) = outcome?;
+        for (unit, (per_sample, unit_attributed, unit_physical)) in plan.units.iter().zip(outcomes)
+        {
             physical += unit_physical;
-            let range = layout.tile_range(tile, info.cout);
-            let start = group * layout.geometry.rows;
+            match tile_stats.iter_mut().find(|(tile, _)| *tile == unit.tile) {
+                Some((_, stats)) => *stats += unit_physical,
+                None => tile_stats.push((unit.tile, unit_physical)),
+            }
             for (sample, values) in per_sample.into_iter().enumerate() {
                 attributed[sample] += unit_attributed[sample];
                 // Rows of one group are consecutive output positions of each
                 // output channel's plane, so a column lands as one contiguous
-                // run.
+                // run. Channel-split units carry partial sums over disjoint
+                // input-channel ranges; integer addition into the zeroed
+                // output merges them in any order.
                 let out_data = outputs[sample].as_mut_slice();
                 for (offset, column) in values.into_iter().enumerate() {
-                    let ofm = range.start + offset;
-                    out_data[ofm * positions + start..][..column.len()].copy_from_slice(&column);
+                    let target = &mut out_data
+                        [(unit.outputs.start + offset) * positions + unit.rows.start..]
+                        [..column.len()];
+                    if plan.channel_splits == 1 {
+                        target.copy_from_slice(&column);
+                    } else {
+                        for (out, partial) in target.iter_mut().zip(column) {
+                            *out += partial;
+                        }
+                    }
                 }
             }
         }
-        Ok((outputs, attributed, physical))
+        tile_stats.sort_by_key(|&(tile, _)| tile);
+        Ok((outputs, attributed, physical, plan, tile_stats))
     }
 
-    /// Runs one (output tile, row group) unit for all B samples on a single
+    /// Runs one partition unit — an (output-channel × output-position ×
+    /// input-channel) block of the layer — for all B samples on a single
     /// engine whose array stacks the samples as B row segments of
-    /// `rows_in_group` rows each. Row results never cross rows and the
+    /// `unit.rows.len()` rows each. Row results never cross rows and the
     /// align/search/write sequence of a program is data-independent, so each
     /// segment computes — and is attributed, via the array's segment tracking
     /// — exactly what a solo run of its sample would; the physical pass over
     /// all `B × rows` packed rows is what amortizes the per-cycle costs.
+    /// Channel-split units run only their input-channel range's slices (each
+    /// slice program touches only its own channel's domains), producing
+    /// partial sums the caller merges.
     ///
     /// Returns one accumulator column per output channel per sample, the
     /// per-sample counter attributions, and the unit's physical counters.
-    #[allow(clippy::too_many_arguments)]
     fn execute_unit_batch(
         &self,
-        info: &ConvLayerInfo,
         layout: &apc::layout::LayerLayout,
         slices: &[apc::CompiledSlice],
         patches: &[Vec<Tensor<i64>>],
-        tile: usize,
-        group: usize,
+        unit: &PartitionUnit,
         cache: &CompileCache,
     ) -> apc::Result<UnitOutcome> {
         let batch = patches.len();
-        let rows = layout.rows_in_group(group);
-        let start = group * layout.geometry.rows;
+        let rows = unit.rows.len();
+        let start = unit.rows.start;
         let mut array = BitPlaneArray::new(
             rows * batch,
             layout.geometry.cols,
@@ -452,7 +676,6 @@ impl FunctionalBackend {
         .map_err(ap::ApError::from)?;
         array.track_segments(rows).map_err(ap::ApError::from)?;
         let mut engine = ApEngine::new(array);
-        let range = layout.tile_range(tile, info.cout);
         // Unit programs repeat across units, row groups, batches and served
         // requests; the plan path lowers each distinct program once into the
         // shared cache and re-executes the specialized form, while the
@@ -460,14 +683,17 @@ impl FunctionalBackend {
         // the differential reference).
         let use_plans = self.plan_execution();
         let geometry = PlanGeometry::of(engine.array());
-        let prologue = apc::codegen::tile_prologue(layout, range.len());
+        let prologue = apc::codegen::tile_prologue(layout, unit.outputs.len());
         if use_plans {
             engine.run_plan(&cache.plan(&prologue, geometry))?;
         } else {
             engine.run(&prologue)?;
         }
         let mut column = Vec::with_capacity(rows * batch);
-        for slice in slices.iter().filter(|s| s.tile == tile) {
+        for slice in slices
+            .iter()
+            .filter(|s| s.tile == unit.col_split && unit.channels.contains(&s.channel))
+        {
             for k in 0..layout.patch_size {
                 // Segment s holds sample s's rows, in row order, so the
                 // packed column is the sample-major concatenation of each
@@ -479,7 +705,8 @@ impl FunctionalBackend {
                     if start + rows > positions {
                         return Err(ApcError::Internal {
                             reason: format!(
-                                "row group {group} exceeds the {positions} output positions"
+                                "row range {:?} exceeds the {positions} output positions",
+                                unit.rows
                             ),
                         });
                     }
@@ -501,8 +728,8 @@ impl FunctionalBackend {
                 engine.run(&slice.program)?;
             }
         }
-        let mut values: Vec<Vec<Vec<i64>>> = vec![Vec::with_capacity(range.len()); batch];
-        for output in 0..range.len() {
+        let mut values: Vec<Vec<Vec<i64>>> = vec![Vec::with_capacity(unit.outputs.len()); batch];
+        for output in 0..unit.outputs.len() {
             let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
             let packed = engine.read_column(&acc)?;
             for (sample, chunk) in packed.chunks(rows).enumerate() {
@@ -569,6 +796,11 @@ impl FunctionalBackend {
         let mut checked = vec![0u64; batch];
         let mut mismatched = vec![0u64; batch];
         let mut arrays = 0usize;
+        let mut quality = QualityAccum::default();
+        // Tile-parallel latency model: layers are sequential, but within one
+        // layer the grid's tiles work concurrently, so a layer costs its
+        // busiest tile's serial share plus its inter-tile transfer time.
+        let mut modeled_ns = 0.0f64;
         // Node outputs, indexed [node][sample].
         let mut outputs: Vec<Vec<Tensor<i64>>> = Vec::with_capacity(model.nodes().len());
         for (id, node) in model.nodes().iter().enumerate() {
@@ -591,9 +823,10 @@ impl FunctionalBackend {
                     })?;
                     let compiled = cache.compile(&compiler, info)?;
                     arrays = arrays.max(compiled.layout.row_groups);
-                    let (layer_outputs, layer_attributed, layer_physical) =
+                    let (layer_outputs, layer_attributed, layer_physical, plan, tile_stats) =
                         self.execute_layer_batch(info, &compiled, &firsts, cache)?;
                     physical += layer_physical;
+                    modeled_ns += quality.absorb_layer(&plan, &tile_stats, &self.arch);
                     for (sample, output) in layer_outputs.iter().enumerate() {
                         attributed[sample] += layer_attributed[sample];
                         let expected = &references[sample].node_outputs[id];
@@ -665,8 +898,16 @@ impl FunctionalBackend {
                 }
             })
             .collect();
-        let energy_uj = physical.energy_fj(tech) / 1e9;
-        let latency_ms = physical.latency_ns(tech) / 1e6;
+        let partition = quality.finish(self.tile_grid);
+        let energy_uj = physical.energy_fj(tech) / 1e9 + partition.route_energy_uj;
+        // A 1×1 grid has a single tile whose busy time is the whole serial
+        // execution and no transfers, so the physical counters are converted
+        // in one step — bit-identical to the pre-partitioning accounting.
+        let latency_ms = if self.tile_grid.tiles() == 1 {
+            physical.latency_ns(tech) / 1e6
+        } else {
+            modeled_ns / 1e6
+        };
         Ok(BatchReport {
             name: model.name().to_string(),
             act_bits,
@@ -684,6 +925,7 @@ impl FunctionalBackend {
             },
             joules_per_sample: energy_uj * 1e-6 / batch as f64,
             arrays,
+            partition: Some(partition),
         })
     }
 }
@@ -737,10 +979,15 @@ impl InferenceBackend for FunctionalBackend {
             predicted_class: sample.predicted_class,
             checked_values: sample.checked_values,
             mismatched_values: sample.mismatched_values,
-            stats: sample.stats,
-            energy_uj: sample.energy_uj,
-            latency_ms: sample.latency_ms,
+            // Batch-level accounting: for a batch of one on a 1×1 grid the
+            // physical counters equal the sample attribution bit-for-bit,
+            // and on larger grids this surfaces the tile-parallel latency
+            // and routing energy the partition model adds.
+            stats: batch.stats,
+            energy_uj: batch.energy_uj,
+            latency_ms: batch.latency_ms,
             arrays: batch.arrays,
+            partition: batch.partition,
         }))
     }
 
@@ -917,6 +1164,46 @@ mod tests {
             .expect("functional report");
         assert_eq!(batch.samples[0].logits, single.logits);
         assert_eq!(batch.samples[0].stats, single.stats);
+    }
+
+    #[test]
+    fn partitioned_grids_stay_bit_exact_and_shorten_the_critical_path() {
+        let model = micro_cnn("micro-p", 16, 0.8, 13);
+        let solo = FunctionalBackend::default()
+            .evaluate(&model)
+            .expect("1x1")
+            .into_functional()
+            .expect("functional report");
+        let split = FunctionalBackend::default()
+            .with_tile_grid(TileGrid::new(2, 2))
+            .evaluate(&model)
+            .expect("2x2")
+            .into_functional()
+            .expect("functional report");
+        // Partitioning changes where the work runs, not what it computes.
+        assert!(split.is_bit_exact(), "{split:?}");
+        assert_eq!(split.logits, solo.logits);
+        // Channel-split units repeat the accumulator prologue and column
+        // reads per split, so the physical counters grow slightly — but the
+        // search work (the slice programs) is the same, just re-placed.
+        assert_eq!(split.stats.searched_bits, solo.stats.searched_bits);
+        // The 16-group fc layer spreads over the grid, partial sums travel,
+        // and the busiest-tile critical path beats the serial one.
+        let quality = split.partition.as_ref().expect("quality report");
+        assert_eq!(quality.grid, TileGrid::new(2, 2));
+        assert!(quality.tiles_used > 1);
+        assert!(quality.traffic_bits > 0 && quality.traffic_bit_hops > 0);
+        assert!(quality.route_energy_uj > 0.0 && quality.route_latency_ms > 0.0);
+        assert_eq!(quality.tile_stats_total(), split.stats);
+        assert!(split.latency_ms < solo.latency_ms);
+        assert!(split.energy_uj > solo.energy_uj, "routing energy is extra");
+        // The default grid reports the degenerate single-tile accounting.
+        let degenerate = solo.partition.as_ref().expect("quality report");
+        assert_eq!(degenerate.tiles_used, 1);
+        assert_eq!(degenerate.traffic_bits, 0);
+        assert_eq!(degenerate.route_energy_uj, 0.0);
+        assert_eq!(degenerate.per_tile.len(), 1);
+        assert_eq!(degenerate.tile_stats_total(), solo.stats);
     }
 
     #[test]

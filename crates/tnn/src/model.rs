@@ -561,7 +561,22 @@ pub fn vgg11(sparsity: f64, seed: u64) -> ModelGraph {
 /// trunk, 3 downsample convolutions and the final fully connected layer) with
 /// synthetic weights at the given sparsity.
 pub fn resnet18(sparsity: f64, seed: u64) -> ModelGraph {
-    let mut model = ModelGraph::new("resnet18", (3, 224, 224));
+    resnet18_at(224, sparsity, seed)
+}
+
+/// [`resnet18`] at a reduced input resolution (`side × side` instead of
+/// 224×224): the identical layer graph, channel counts and weight seeds, just
+/// smaller feature maps — so end-to-end functional execution stays affordable
+/// in tests and CI smokes. `side` must survive the stem's stride-2 conv, the
+/// stride-2 max-pool and the three stride-2 stages, so keep it ≥ 32 (224
+/// reproduces the paper model exactly, and that is what [`resnet18`] uses).
+pub fn resnet18_at(side: usize, sparsity: f64, seed: u64) -> ModelGraph {
+    let name = if side == 224 {
+        "resnet18".to_string()
+    } else {
+        format!("resnet18-{side}")
+    };
+    let mut model = ModelGraph::new(name, (3, side, side));
     let bits = DEFAULT_ACT_BITS;
     let id = model
         .chain(conv("conv1", 64, 3, 7, 2, 3, sparsity, seed), None)
@@ -722,6 +737,28 @@ mod tests {
         // About 1.8 GMACs for a 224x224 input.
         let macs = model.total_macs();
         assert!(macs > 1_500_000_000 && macs < 2_200_000_000, "macs {macs}");
+    }
+
+    #[test]
+    fn reduced_resnet18_keeps_the_layer_graph() {
+        let full = resnet18(0.8, 3);
+        let small = resnet18_at(64, 0.8, 3);
+        assert_eq!(small.name(), "resnet18-64");
+        assert!(small.node_shapes().is_ok());
+        let full_layers = full.conv_like_layers();
+        let small_layers = small.conv_like_layers();
+        assert_eq!(full_layers.len(), small_layers.len());
+        for (f, s) in full_layers.iter().zip(&small_layers) {
+            // Same layers and weights, smaller feature maps.
+            assert_eq!(f.name, s.name);
+            assert_eq!((f.cin, f.cout, f.kernel), (s.cin, s.cout, s.kernel));
+            assert_eq!(f.weights.as_slice(), s.weights.as_slice());
+            assert!(s.output_positions() <= f.output_positions());
+        }
+        // The stem halves 64 → 32, the pool 32 → 16, the stages 16 → 2.
+        assert_eq!(small_layers[0].output_hw, (32, 32));
+        // 224 reproduces the paper model under the canonical name.
+        assert_eq!(resnet18_at(224, 0.8, 3).name(), "resnet18");
     }
 
     #[test]

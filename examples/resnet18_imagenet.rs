@@ -4,9 +4,17 @@
 //! precisions, one session (the two precisions share nothing at compile time,
 //! but the flat job pool still runs all eight backend jobs in parallel).
 //!
+//! The second half runs the network *for real* on the functional backend
+//! across a 4×4 tile grid: layers too large for one CAM tile are split by the
+//! `apc::partition` pipeline, the sub-layers execute in parallel, and the
+//! logits are checked value-identical to the single-tile execution. This part
+//! is compute-heavy (about a minute in release).
+//!
 //! Run with `cargo run --release --example resnet18_imagenet`.
 
+use apc::{CompileCache, CompilerOptions, TileGrid};
 use camdnn::experiment::{Session, SweepGrid};
+use camdnn::FunctionalBackend;
 use tnn::model::resnet18;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,5 +49,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.deepcam.accuracy_drop_points
         );
     }
+
+    println!("== Partitioned functional execution (4-bit, 4x4 tile grid) ==\n");
+    let model = resnet18(0.8, 7);
+    let options = CompilerOptions {
+        act_bits: 4,
+        ..CompilerOptions::default()
+    };
+    let cache = CompileCache::new();
+    let input = FunctionalBackend::input_for(&model, 4, 0);
+    let arch = accel::ArchConfig::default();
+    let solo = FunctionalBackend::new(arch, options).run_batch(
+        &model,
+        std::slice::from_ref(&input),
+        &cache,
+    )?;
+    let split = FunctionalBackend::new(arch, options)
+        .with_tile_grid(TileGrid { rows: 4, cols: 4 })
+        .run_batch(&model, std::slice::from_ref(&input), &cache)?;
+    assert_eq!(
+        split.samples[0].logits, solo.samples[0].logits,
+        "partitioned logits must match the single-tile run"
+    );
+    let quality = split.partition.as_ref().expect("partition quality");
+    println!(
+        "logits bit-identical across grids; 1x1 {:.2} ms -> 4x4 {:.2} ms modeled \
+         ({:.1}x), {} tiles used, {} traffic bits over {} hops (+{:.2} uJ routing)",
+        solo.latency_ms,
+        split.latency_ms,
+        solo.latency_ms / split.latency_ms,
+        quality.tiles_used,
+        quality.traffic_bits,
+        quality.traffic_hops,
+        quality.route_energy_uj,
+    );
     Ok(())
 }
