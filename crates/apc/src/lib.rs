@@ -58,7 +58,10 @@ mod stats;
 
 pub use cache::{CacheStats, CompileCache, LayerSignature, PlanSummary};
 pub use error::ApcError;
-pub use partition::{PartitionCompiler, PartitionPlan, PartitionReport, PartitionUnit, TileGrid};
+pub use partition::{
+    plan_stages, PartitionCompiler, PartitionPlan, PartitionReport, PartitionUnit, StageLayer,
+    StageShape, TileGrid,
+};
 pub use passes::{CompiledLayer, CompiledSlice, CompilerOptions, LayerCompiler};
 pub use stats::CompileStats;
 

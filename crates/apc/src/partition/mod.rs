@@ -51,9 +51,11 @@
 mod place;
 mod route;
 mod split;
+pub mod stage;
 
 pub use route::{LegKind, RouteLeg};
 pub use split::SplitPoints;
+pub use stage::{plan_stages, StageLayer, StageShape};
 
 use crate::layout::LayerLayout;
 use crate::{ApcError, Result};

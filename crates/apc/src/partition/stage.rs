@@ -1,0 +1,230 @@
+//! Pipeline-stage planning: cut a layer sequence into contiguous stages.
+//!
+//! A model-parallel replica runs its layers as a pipeline of `stages` shards;
+//! the planner chooses the contiguous cut that minimises the *bottleneck*
+//! stage weight (the pipeline's steady-state interval), the classic
+//! chains-on-chains partitioning problem. The weights are per-layer modeled
+//! latencies, so the planner works on any cost profile — it has no opinion on
+//! where the numbers come from.
+//!
+//! The plan is found by exact dynamic programming (layer counts are tiny next
+//! to trace lengths), with deterministic tie-breaking towards the earliest
+//! cut, so the same inputs always yield byte-identical stage shapes.
+
+use crate::error::ApcError;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One layer's contribution to the stage planner: its modeled cost and
+/// footprint, typically distilled from a [`PartitionReport`](super::PartitionReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageLayer {
+    /// The layer's weight — modeled latency in whatever unit the caller uses
+    /// (the planner only compares and sums them). Must be at least one so no
+    /// stage can be weightless.
+    pub weight: u64,
+    /// Tiles the layer's partition plan occupies.
+    pub tiles: usize,
+    /// Activation traffic the layer moves between tiles, in bits.
+    pub traffic_bits: u64,
+}
+
+/// One contiguous pipeline stage of a planned cut.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageShape {
+    /// Stage index, `0..stages`.
+    pub stage: usize,
+    /// Index of the stage's first layer in the planned sequence.
+    pub first_layer: usize,
+    /// Number of consecutive layers in the stage (at least one).
+    pub layer_count: usize,
+    /// Total stage weight: the sum of its members' weights.
+    pub weight: u64,
+    /// Tiles the stage needs: the largest member footprint (members run
+    /// sequentially within the stage, so tiles are reused between them).
+    pub tiles: usize,
+    /// Total activation traffic of the stage's members, in bits.
+    pub traffic_bits: u64,
+}
+
+impl StageShape {
+    /// The member layers as an index range into the planned sequence.
+    pub fn layers(&self) -> Range<usize> {
+        self.first_layer..self.first_layer + self.layer_count
+    }
+}
+
+/// Cuts `layers` into exactly `stages` contiguous stages minimising the
+/// bottleneck (maximum) stage weight.
+///
+/// Returns one [`StageShape`] per stage, covering the sequence without gaps
+/// or overlap. Ties between equally good cuts break towards the earliest cut
+/// point, deterministically.
+///
+/// # Errors
+///
+/// Returns [`ApcError::InvalidArgument`] when `stages` is zero, the layer
+/// sequence is empty, a layer has zero weight, or there are more stages than
+/// layers (a stage may not be empty).
+pub fn plan_stages(layers: &[StageLayer], stages: usize) -> Result<Vec<StageShape>, ApcError> {
+    let invalid = |reason: String| ApcError::InvalidArgument { reason };
+    if stages == 0 {
+        return Err(invalid("a pipeline needs at least one stage".to_string()));
+    }
+    if layers.is_empty() {
+        return Err(invalid("cannot plan stages over zero layers".to_string()));
+    }
+    if stages > layers.len() {
+        return Err(invalid(format!(
+            "cannot cut {} layers into {} non-empty stages",
+            layers.len(),
+            stages
+        )));
+    }
+    if let Some(i) = layers.iter().position(|l| l.weight == 0) {
+        return Err(invalid(format!("layer {i} has zero weight")));
+    }
+
+    let n = layers.len();
+    let prefix: Vec<u64> = std::iter::once(0)
+        .chain(layers.iter().scan(0u64, |acc, l| {
+            *acc += l.weight;
+            Some(*acc)
+        }))
+        .collect();
+    let span = |from: usize, to: usize| prefix[to] - prefix[from];
+
+    // best[s][i]: minimal bottleneck weight cutting the first `i` layers into
+    // `s + 1` stages; cut[s][i]: the start index of the last stage in that
+    // optimum (smallest such index on ties — the earliest cut).
+    let mut best = vec![vec![u64::MAX; n + 1]; stages];
+    let mut cut = vec![vec![0usize; n + 1]; stages];
+    for (i, slot) in best[0].iter_mut().enumerate().skip(1) {
+        *slot = span(0, i);
+    }
+    for s in 1..stages {
+        for i in (s + 1)..=n {
+            for j in s..i {
+                if best[s - 1][j] == u64::MAX {
+                    continue;
+                }
+                let bottleneck = best[s - 1][j].max(span(j, i));
+                if bottleneck < best[s][i] {
+                    best[s][i] = bottleneck;
+                    cut[s][i] = j;
+                }
+            }
+        }
+    }
+
+    let mut bounds = vec![n; stages + 1];
+    bounds[0] = 0;
+    let mut end = n;
+    for s in (1..stages).rev() {
+        end = cut[s][end];
+        bounds[s] = end;
+    }
+    Ok((0..stages)
+        .map(|s| {
+            let members = &layers[bounds[s]..bounds[s + 1]];
+            StageShape {
+                stage: s,
+                first_layer: bounds[s],
+                layer_count: members.len(),
+                weight: members.iter().map(|l| l.weight).sum(),
+                tiles: members.iter().map(|l| l.tiles).max().unwrap_or(0),
+                traffic_bits: members.iter().map(|l| l.traffic_bits).sum(),
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(weight: u64) -> StageLayer {
+        StageLayer {
+            weight,
+            tiles: 1,
+            traffic_bits: weight * 8,
+        }
+    }
+
+    #[test]
+    fn single_stage_takes_everything() {
+        let plan = plan_stages(&[layer(3), layer(5), layer(2)], 1).expect("plan");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].layers(), 0..3);
+        assert_eq!(plan[0].weight, 10);
+        assert_eq!(plan[0].traffic_bits, 80);
+    }
+
+    #[test]
+    fn cuts_minimise_the_bottleneck() {
+        // [3, 5, 2, 4] into 2: best cut is [3,5 | 2,4] with bottleneck 8
+        // (vs [3 | 5,2,4] = 11 and [3,5,2 | 4] = 10).
+        let plan = plan_stages(&[layer(3), layer(5), layer(2), layer(4)], 2).expect("plan");
+        assert_eq!(plan[0].layers(), 0..2);
+        assert_eq!(plan[1].layers(), 2..4);
+        assert_eq!(plan.iter().map(|s| s.weight).max(), Some(8));
+    }
+
+    #[test]
+    fn ties_break_towards_the_earliest_cut() {
+        // [4, 4] into 2 could only cut at 1; [2, 2, 2, 2] into 2 has the
+        // unique optimum [2,2 | 2,2]; [1, 3, 3, 1] into 2 ties between
+        // [1,3 | 3,1] and... no: both give bottleneck 4; earliest cut wins.
+        let plan = plan_stages(&[layer(1), layer(3), layer(3), layer(1)], 2).expect("plan");
+        assert_eq!(plan[0].layers(), 0..2);
+        let plan = plan_stages(&[layer(2); 4], 2).expect("plan");
+        assert_eq!(plan[0].layers(), 0..2);
+    }
+
+    #[test]
+    fn one_layer_per_stage_is_the_finest_cut() {
+        let weights = [7u64, 1, 9];
+        let layers: Vec<StageLayer> = weights.iter().map(|&w| layer(w)).collect();
+        let plan = plan_stages(&layers, 3).expect("plan");
+        for (s, shape) in plan.iter().enumerate() {
+            assert_eq!(shape.stage, s);
+            assert_eq!(shape.layer_count, 1);
+            assert_eq!(shape.weight, weights[s]);
+        }
+    }
+
+    #[test]
+    fn stage_tiles_are_the_member_maximum() {
+        let layers = [
+            StageLayer {
+                weight: 2,
+                tiles: 3,
+                traffic_bits: 10,
+            },
+            StageLayer {
+                weight: 2,
+                tiles: 7,
+                traffic_bits: 20,
+            },
+        ];
+        let plan = plan_stages(&layers, 1).expect("plan");
+        assert_eq!(plan[0].tiles, 7);
+        assert_eq!(plan[0].traffic_bits, 30);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(plan_stages(&[layer(1)], 0).is_err());
+        assert!(plan_stages(&[], 1).is_err());
+        assert!(plan_stages(&[layer(1)], 2).is_err());
+        assert!(plan_stages(&[layer(1), layer(0)], 1).is_err());
+    }
+
+    #[test]
+    fn shapes_serialize_round_trip() {
+        let plan = plan_stages(&[layer(3), layer(5)], 2).expect("plan");
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: Vec<StageShape> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(plan, back);
+    }
+}

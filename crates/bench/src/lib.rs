@@ -386,6 +386,37 @@ pub struct PartitionBenchRecord {
     pub partition_cache: apc::CacheStats,
 }
 
+/// One dated `BENCH_serve.json` record of the fleet sweep: the pareto
+/// frontier over SLO attainment vs joules/sample, the pipelining speedup of
+/// the deepest shard cut, and the scaling high-water mark (schema:
+/// `BENCH_schema.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetBenchRecord {
+    /// UTC date the record was measured (`YYYY-MM-DD`).
+    pub date: String,
+    /// Record discriminator, always `"fleet"`.
+    pub bench: String,
+    /// Workload label of the served model.
+    pub workload: String,
+    /// Scenarios the sweep expanded to.
+    pub scenarios: usize,
+    /// Scenario labels of the pareto frontier, in expansion order.
+    pub pareto_scenarios: Vec<String>,
+    /// SLO attainment per frontier point, aligned with `pareto_scenarios`.
+    pub pareto_slo_attainment: Vec<f64>,
+    /// Joules/sample per frontier point, aligned with `pareto_scenarios`.
+    pub pareto_joules_per_sample: Vec<f64>,
+    /// Deepest-cut / single-stage modeled samples/s ratio at saturating
+    /// fixed-fleet load (the pipelining acceptance figure).
+    pub pipeline_speedup: f64,
+    /// Largest provisioned replica count any scenario reached.
+    pub peak_replicas: usize,
+    /// Largest provisioned tile count any scenario reached.
+    pub peak_tiles: u64,
+    /// True when measured under `BENCH_SMOKE` iteration counts.
+    pub smoke: bool,
+}
+
 /// Formats a Table II row header.
 pub fn table2_header() -> String {
     format!(

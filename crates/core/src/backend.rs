@@ -314,6 +314,55 @@ impl BackendReport {
     }
 }
 
+/// The modeled cost of one weighted layer, as profiled by a backend that can
+/// attribute execution per layer.
+///
+/// This is the raw material of pipeline-stage planning
+/// ([`apc::plan_stages`]): a fleet simulator cuts the layer sequence into
+/// shards by these latencies and prices each shard by these energies and
+/// footprints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// The layer's name in the model graph.
+    pub name: String,
+    /// The layer's node index in the model graph.
+    pub node_id: usize,
+    /// Modeled single-sample latency of the layer, in nanoseconds (busiest
+    /// tile's serial share plus inter-tile transfer time).
+    pub latency_ns: f64,
+    /// Modeled single-sample energy of the layer, in microjoules (CAM
+    /// operations plus routing).
+    pub energy_uj: f64,
+    /// Tiles the layer's partition plan occupies.
+    pub tiles_used: usize,
+    /// Partition units (mapped sub-arrays) of the layer.
+    pub units: usize,
+    /// Activation traffic the layer moves between tiles, in bits.
+    pub traffic_bits: u64,
+}
+
+/// Per-layer cost profile of one model on one backend configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// The profiled model's name.
+    pub model: String,
+    /// One entry per weighted layer, in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ModelProfile {
+    /// Total modeled single-sample latency: the sum of the layer latencies,
+    /// in nanoseconds.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.layers.iter().map(|l| l.latency_ns).sum()
+    }
+
+    /// Total modeled single-sample energy, in microjoules.
+    pub fn total_energy_uj(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_uj).sum()
+    }
+}
+
 /// A way of executing (or analytically modelling) DNN inference.
 ///
 /// Implementations must be thread-safe: the registry evaluates backends as
@@ -406,6 +455,29 @@ pub trait InferenceBackend: Send + Sync {
         cache: &CompileCache,
     ) -> apc::Result<BackendReport> {
         self.evaluate_batch_cached(model, inputs.len(), cache)
+    }
+
+    /// Profiles `model` per weighted layer, when the backend can attribute
+    /// execution to individual layers.
+    ///
+    /// The default returns `Ok(None)` — analytic baselines price the whole
+    /// model in closed form and have no per-layer story. The
+    /// [`FunctionalBackend`](crate::functional::FunctionalBackend) overrides
+    /// this with the layer costs of a real single-sample execution; the sum
+    /// of the profiled latencies/energies is consistent with its whole-model
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate_cached`](Self::evaluate_cached), for backends that
+    /// profile by executing.
+    fn profile_layers(
+        &self,
+        model: &ModelGraph,
+        cache: &CompileCache,
+    ) -> apc::Result<Option<ModelProfile>> {
+        let _ = (model, cache);
+        Ok(None)
     }
 }
 

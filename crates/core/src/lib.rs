@@ -47,7 +47,10 @@ pub mod functional;
 mod pipeline;
 pub mod verify;
 
-pub use backend::{BackendId, BackendKind, BackendRegistry, BackendReport, InferenceBackend};
+pub use backend::{
+    BackendId, BackendKind, BackendRegistry, BackendReport, InferenceBackend, LayerCost,
+    ModelProfile,
+};
 pub use experiment::{
     BackendPlan, ResultSet, ScenarioRecord, ScenarioSpec, Session, SweepGrid, Workload,
 };

@@ -4,6 +4,18 @@
 use crate::error::{Result, ServeError};
 use serde::{Deserialize, Serialize};
 
+/// Converts a duration in milliseconds to whole nanoseconds: round to the
+/// nearest nanosecond, then clamp to at least one so no modeled duration is
+/// ever zero on the virtual clock.
+///
+/// This is the *single* ms→ns conversion of the serving stack — SLO targets,
+/// modeled service latencies and fleet stage costs all go through it, so a
+/// boundary value like `0.29 ms` means the same `290_000 ns` everywhere
+/// (truncating `as u64` casts read `0.29 * 1e6 = 289999.999…` as `289_999`).
+pub fn ms_to_ns(ms: f64) -> u64 {
+    ((ms * 1e6).round() as u64).max(1)
+}
+
 /// How incoming requests are spread over the model replicas.
 ///
 /// All three policies are deterministic given the same arrival sequence and
@@ -163,10 +175,11 @@ impl ServeConfig {
         self
     }
 
-    /// Returns a copy with the SLO target set to `slo_ms` milliseconds.
+    /// Returns a copy with the SLO target set to `slo_ms` milliseconds
+    /// (rounded to whole nanoseconds via [`ms_to_ns`]).
     #[must_use]
     pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
-        self.slo_ns = (slo_ms * 1e6) as u64;
+        self.slo_ns = ms_to_ns(slo_ms);
         self
     }
 
@@ -223,6 +236,18 @@ mod tests {
             let err = broken.validate().expect_err("must be rejected");
             assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err}");
         }
+    }
+
+    #[test]
+    fn ms_to_ns_rounds_and_clamps_at_the_boundary() {
+        // 0.29 * 1e6 = 289999.99999999994 in f64: a truncating cast loses a
+        // nanosecond, round-and-clamp does not. Pinned so every ms→ns call
+        // site (SLO setters, executor latency, fleet stage costs) agrees.
+        assert_eq!(ms_to_ns(0.29), 290_000);
+        assert_eq!(ms_to_ns(1.5), 1_500_000);
+        assert_eq!(ms_to_ns(0.0), 1);
+        assert_eq!(ms_to_ns(0.0000004), 1); // rounds to zero -> clamped
+        assert_eq!(ServeConfig::default().with_slo_ms(0.29).slo_ns, 290_000);
     }
 
     #[test]

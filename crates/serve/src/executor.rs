@@ -8,6 +8,7 @@
 //! [`apc::CompileCache`], so every replica and every scenario of a sweep
 //! compiles each distinct layer exactly once.
 
+use crate::config::ms_to_ns;
 use crate::error::Result;
 use apc::CompileCache;
 use camdnn::{BackendReport, FunctionalBackend, InferenceBackend};
@@ -105,12 +106,6 @@ impl BackendExecutor {
     }
 }
 
-/// Converts a modeled latency in milliseconds to whole nanoseconds (at least
-/// one, so a service never takes zero virtual time).
-pub(crate) fn latency_ms_to_ns(latency_ms: f64) -> u64 {
-    ((latency_ms * 1e6).round() as u64).max(1)
-}
-
 impl RequestExecutor for BackendExecutor {
     fn name(&self) -> String {
         self.backend.name()
@@ -122,12 +117,12 @@ impl RequestExecutor for BackendExecutor {
             .evaluate_requests_cached(&self.model, inputs, &self.cache)?;
         Ok(match report {
             BackendReport::FunctionalBatch(batch) => ExecutedBatch {
-                latency_ns: latency_ms_to_ns(batch.latency_ms),
+                latency_ns: ms_to_ns(batch.latency_ms),
                 bit_exact: Some(batch.is_bit_exact()),
                 logits: Some(batch.samples.into_iter().map(|s| s.logits).collect()),
             },
             other => ExecutedBatch {
-                latency_ns: latency_ms_to_ns(other.latency_ms()),
+                latency_ns: ms_to_ns(other.latency_ms()),
                 logits: None,
                 bit_exact: None,
             },
@@ -194,7 +189,9 @@ mod tests {
 
     #[test]
     fn latency_conversion_rounds_and_floors() {
-        assert_eq!(latency_ms_to_ns(1.5), 1_500_000);
-        assert_eq!(latency_ms_to_ns(0.0), 1);
+        assert_eq!(ms_to_ns(1.5), 1_500_000);
+        assert_eq!(ms_to_ns(0.0), 1);
+        // The boundary case a truncating cast would get wrong by 1 ns.
+        assert_eq!(ms_to_ns(0.29), 290_000);
     }
 }

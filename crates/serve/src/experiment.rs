@@ -193,10 +193,11 @@ impl ServeGrid {
         self
     }
 
-    /// Sets the latency SLO applied to every scenario, in milliseconds.
+    /// Sets the latency SLO applied to every scenario, in milliseconds
+    /// (rounded to whole nanoseconds via [`crate::config::ms_to_ns`]).
     #[must_use]
     pub fn slo_ms(mut self, slo_ms: f64) -> Self {
-        self.slo_ns = (slo_ms * 1e6) as u64;
+        self.slo_ns = crate::config::ms_to_ns(slo_ms);
         self
     }
 

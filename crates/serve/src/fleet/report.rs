@@ -1,0 +1,189 @@
+//! Fleet outcome reporting: SLO attainment, scaling trajectory, energy cost.
+//!
+//! [`FleetReport`] is the fleet counterpart of
+//! [`ServeReport`](crate::report::ServeReport): every time field is an exact
+//! integer off the virtual clock and every rate is derived from those
+//! integers by a fixed formula, so the JSON rendering is byte-identical
+//! across runs and `RAYON_NUM_THREADS` settings.
+
+use super::FleetConfig;
+use crate::report::LatencySummary;
+use crate::trace::TraceSpec;
+use serde::{Deserialize, Serialize};
+
+/// One autoscaler decision: at `time_ns` the provisioned replica count moved
+/// from `from_replicas` to `to_replicas`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Virtual time of the decision, in nanoseconds.
+    pub time_ns: u64,
+    /// Provisioned replicas (active + warming) before the decision.
+    pub from_replicas: usize,
+    /// Provisioned replicas after the decision.
+    pub to_replicas: usize,
+}
+
+/// The outcome of replaying one trace through a fleet of pipelined replicas:
+/// load accounting, latency distributions, the scaling trajectory, and the
+/// energy cost model behind the pareto sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The served model's name.
+    pub model: String,
+    /// The fleet configuration (shards, replicas, autoscaler, power).
+    pub config: FleetConfig,
+    /// The trace that was served (process, request count, seed).
+    pub trace: TraceSpec,
+    /// Per-stage batch service latency, in pipeline order, in nanoseconds.
+    pub stage_latency_ns: Vec<u64>,
+    /// Per-stage tile footprint, in pipeline order.
+    pub stage_tiles: Vec<u64>,
+    /// Tiles one replica holds: the sum of its stages' footprints.
+    pub tiles_per_replica: u64,
+    /// Requests in the trace.
+    pub offered: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests rejected by admission control (queue at capacity).
+    pub rejected: u64,
+    /// Requests that completed the full pipeline.
+    pub completed: u64,
+    /// Stage-0 batches dispatched across the fleet.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub mean_batch_size: f64,
+    /// End-to-end request latency distribution (queueing + pipeline).
+    pub latency: LatencySummary,
+    /// Queueing-delay distribution (arrival to stage-0 dispatch).
+    pub queue_wait: LatencySummary,
+    /// Largest total number of waiting requests observed across the fleet.
+    pub max_queue_depth: u64,
+    /// Virtual time from trace start to the last completion, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Achieved throughput: `completed · 1e9 / makespan_ns`.
+    pub samples_per_s: f64,
+    /// Completed requests whose end-to-end latency met `config.slo_ns`.
+    pub slo_attained: u64,
+    /// `slo_attained / offered` — rejected requests count against the SLO.
+    pub slo_attainment: f64,
+    /// The autoscaler's decisions, in virtual-time order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Largest provisioned replica count observed.
+    pub peak_replicas: usize,
+    /// Replicas still in the fleet (not retired) when the trace drained.
+    pub final_replicas: usize,
+    /// Time-averaged provisioned replica count over the makespan.
+    pub mean_replicas: f64,
+    /// `peak_replicas · tiles_per_replica` — the provisioning high-water mark.
+    pub peak_tiles: u64,
+    /// Integrated tile-time: Σ over replicas of (lifetime · tiles), in
+    /// tile-nanoseconds (saturating at `u64::MAX`).
+    pub tile_ns: u64,
+    /// Compute energy: Σ over dispatches of per-stage energy × batch size, in
+    /// microjoules.
+    pub compute_uj: f64,
+    /// Static energy: `tile_ns · idle_tile_uw`, in microjoules.
+    pub idle_uj: f64,
+    /// `compute_uj + idle_uj`.
+    pub total_uj: f64,
+    /// `total_uj · 1e-6 / completed`, in joules — the pareto cost axis.
+    pub joules_per_sample: f64,
+}
+
+impl FleetReport {
+    /// Serializes the report as one JSON object (single line).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a document produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serde error when the document does not describe a report.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: s{} {} — {}/{} served ({} rejected), {:.1} samples/s, p99 {:.3} ms, \
+             SLO {:.1}% @ {:.2} ms, peak {} replicas ({} tiles), {:.4} uJ/sample",
+            self.model,
+            self.config.shards,
+            self.config.autoscaler.label(),
+            self.completed,
+            self.offered,
+            self.rejected,
+            self.samples_per_s,
+            self.latency.p99_ms(),
+            self.slo_attainment * 100.0,
+            self.config.slo_ns as f64 / 1e6,
+            self.peak_replicas,
+            self.peak_tiles,
+            self.joules_per_sample * 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FleetReport {
+        FleetReport {
+            model: "toy".to_string(),
+            config: FleetConfig::default(),
+            trace: TraceSpec::poisson(1_000.0, 64, 7),
+            stage_latency_ns: vec![1_000, 500],
+            stage_tiles: vec![2, 1],
+            tiles_per_replica: 3,
+            offered: 64,
+            admitted: 64,
+            rejected: 0,
+            completed: 64,
+            batches: 12,
+            mean_batch_size: 64.0 / 12.0,
+            latency: LatencySummary::from_values(vec![1_500, 2_000, 2_500]),
+            queue_wait: LatencySummary::from_values(vec![0, 10, 20]),
+            max_queue_depth: 9,
+            makespan_ns: 100_000,
+            samples_per_s: 64.0 * 1e9 / 100_000.0,
+            slo_attained: 64,
+            slo_attainment: 1.0,
+            scale_events: vec![ScaleEvent {
+                time_ns: 5_000,
+                from_replicas: 1,
+                to_replicas: 2,
+            }],
+            peak_replicas: 2,
+            final_replicas: 1,
+            mean_replicas: 1.4,
+            peak_tiles: 6,
+            tile_ns: 300_000,
+            compute_uj: 96.0,
+            idle_uj: 0.015,
+            total_uj: 96.015,
+            joules_per_sample: 96.015 * 1e-6 / 64.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let report = report();
+        let json = report.to_json();
+        let back = FleetReport::from_json(&json).expect("parse");
+        assert_eq!(report, back);
+        assert_eq!(json, back.to_json());
+        assert!(FleetReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn summary_mentions_the_load_bearing_numbers() {
+        let text = report().summary();
+        assert!(text.contains("64/64"), "{text}");
+        assert!(text.contains("peak 2 replicas"), "{text}");
+        assert!(text.contains("6 tiles"), "{text}");
+    }
+}

@@ -23,6 +23,13 @@
 //! * [`ServeGrid`] / [`ServeSession`] — serving sweeps (traffic intensity ×
 //!   batching policy × replica count) in the `camdnn::experiment` idiom,
 //!   sharing one compile cache across all scenarios.
+//! * [`fleet`] — fleet-scale capacity planning: model-parallel replicas whose
+//!   layers are cut into pipeline stages by [`apc::plan_stages`] over a
+//!   profiled per-layer cost model, bounded inter-stage queues with
+//!   head-of-line blocking, deterministic autoscaling ([`AutoscalePolicy`]),
+//!   diurnal / flash-crowd traffic, and a joules-per-sample cost model;
+//!   [`FleetGrid`] sweeps shards × replicas × autoscaler policy into a
+//!   pareto table over SLO attainment vs energy.
 //!
 //! Batches dispatch through
 //! [`camdnn::InferenceBackend::evaluate_requests_cached`] against a shared
@@ -37,6 +44,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 pub mod experiment;
+pub mod fleet;
 pub mod report;
 pub mod server;
 pub mod sim;
@@ -46,6 +54,10 @@ pub use config::{BatchingPolicy, RoutePolicy, ServeConfig};
 pub use error::{Result, ServeError};
 pub use executor::{BackendExecutor, ExecutedBatch, RequestExecutor};
 pub use experiment::{ServeGrid, ServeRecord, ServeResultSet, ServeScenario, ServeSession};
+pub use fleet::{
+    simulate_fleet, AutoscalePolicy, FleetConfig, FleetGrid, FleetRecord, FleetReport,
+    FleetResultSet, FleetScenario, FleetSession, FleetStageModel, ScaleEvent, StageCost,
+};
 pub use report::{LatencySummary, ServeReport};
 pub use server::{Completion, Server, ServerCounters, Ticket};
 pub use sim::{simulate, BatchRecord, SimCompletion, SimOutcome};

@@ -30,6 +30,15 @@ pub struct LatencySummary {
     pub max_ns: u64,
 }
 
+/// The 1-based nearest rank of the `pct`th percentile among `count` sorted
+/// observations: the smallest rank holding at least `pct`% of the mass.
+///
+/// The product is formed in `u128` so fleet-scale counts cannot overflow
+/// (`count * pct` wraps `u64` beyond ~1.8×10^17 observations).
+pub(crate) fn nearest_rank(count: u64, pct: u64) -> u64 {
+    ((u128::from(count) * u128::from(pct)).div_ceil(100).max(1)) as u64
+}
+
 impl LatencySummary {
     /// Summarises `values` (order irrelevant; the vector is sorted in place).
     pub fn from_values(mut values: Vec<u64>) -> Self {
@@ -39,12 +48,7 @@ impl LatencySummary {
         values.sort_unstable();
         let count = values.len() as u64;
         let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
-        let nearest = |pct: u64| -> u64 {
-            // Nearest-rank: the smallest value with at least pct% of the
-            // observations at or below it.
-            let rank = (count * pct).div_ceil(100).max(1);
-            values[(rank - 1) as usize]
-        };
+        let nearest = |pct: u64| -> u64 { values[(nearest_rank(count, pct) - 1) as usize] };
         LatencySummary {
             count,
             mean_ns: (sum / u128::from(count)) as u64,
@@ -184,5 +188,52 @@ mod tests {
         let b = LatencySummary::from_values(vec![9, 7, 5, 3, 1]);
         assert_eq!(a, b);
         assert_eq!(a.p50_ns, 5);
+    }
+
+    #[test]
+    fn nearest_rank_survives_giant_counts() {
+        // Regression: `count * pct` used to be computed in u64, wrapping for
+        // counts beyond ~1.8e17 — exactly the regime of fleet traces.
+        let giant = u64::MAX / 2;
+        assert_eq!(nearest_rank(giant, 100), giant);
+        assert_eq!(nearest_rank(giant, 50), giant.div_ceil(2));
+        assert_eq!(nearest_rank(u64::MAX, 99), {
+            let exact = (u128::from(u64::MAX) * 99).div_ceil(100);
+            u64::try_from(exact).expect("fits")
+        });
+        assert_eq!(nearest_rank(0, 99), 1); // clamp guards the empty edge
+    }
+
+    // Nearest rank stays exact at any count (the *smallest* rank whose prefix
+    // holds at least `pct`% of the observations), and summaries depend only
+    // on the multiset of values, not their order.
+    proptest::proptest! {
+        #[test]
+        fn nearest_rank_matches_its_definition(count in 1u64..=u64::MAX, pct in 1u64..=100u64) {
+            let rank = nearest_rank(count, pct);
+            proptest::prop_assert!(rank >= 1 && rank <= count);
+            let mass = u128::from(count) * u128::from(pct);
+            proptest::prop_assert!(u128::from(rank) * 100 >= mass);
+            proptest::prop_assert!(rank == 1 || (u128::from(rank) - 1) * 100 < mass);
+        }
+
+        #[test]
+        fn summaries_are_order_independent(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        ) {
+            let sorted = LatencySummary::from_values({
+                let mut v = values.clone();
+                v.sort_unstable();
+                v
+            });
+            let reversed = LatencySummary::from_values({
+                let mut v = values.clone();
+                v.sort_unstable();
+                v.reverse();
+                v
+            });
+            proptest::prop_assert_eq!(sorted, reversed);
+            proptest::prop_assert_eq!(sorted, LatencySummary::from_values(values));
+        }
     }
 }

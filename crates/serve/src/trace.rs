@@ -34,13 +34,48 @@ pub enum ArrivalProcess {
         idle_rate_per_s: f64,
         /// Arrival rate of the burst phase, in requests per second.
         burst_rate_per_s: f64,
-        /// Mean number of requests per phase before the state toggles.
+        /// Mean number of requests per phase before the state toggles
+        /// (strictly greater than one — a mean of one flips state on every
+        /// request, degenerating to plain Poisson at the mean rate).
         mean_phase_requests: f64,
+    },
+    /// A diurnal (daily-cycle) load: Poisson arrivals whose instantaneous
+    /// rate is modulated sinusoidally around `base_rate_per_s`, the classic
+    /// shape of a million-user service seen from one region. At virtual time
+    /// `t` seconds the rate is `base * (1 + swing * sin(2π t / period_s))`.
+    Diurnal {
+        /// Mean arrival rate over a full cycle, in requests per second.
+        base_rate_per_s: f64,
+        /// Relative peak-to-mean swing, in `[0, 1)` so the trough rate stays
+        /// strictly positive.
+        swing: f64,
+        /// Cycle period, in (virtual) seconds.
+        period_s: f64,
+    },
+    /// A flash crowd: baseline Poisson arrivals at `base_rate_per_s`, with
+    /// the rate multiplied by `spike` inside the window
+    /// `[start_s, start_s + duration_s)` — a launch, an outage recovery, a
+    /// viral link.
+    FlashCrowd {
+        /// Baseline arrival rate, in requests per second.
+        base_rate_per_s: f64,
+        /// Rate multiplier inside the crowd window (at least one).
+        spike: f64,
+        /// Window start, in (virtual) seconds from trace start.
+        start_s: f64,
+        /// Window length, in seconds (strictly positive).
+        duration_s: f64,
     },
 }
 
+/// Whether `value` is a usable, finite, strictly positive rate or duration.
+fn finite_positive(value: f64) -> bool {
+    value.is_finite() && value > 0.0
+}
+
 impl ArrivalProcess {
-    /// Short label used in scenario names (`poisson@2000`, `bursty@50-4000`).
+    /// Short label used in scenario names (`poisson@2000`, `bursty@50-4000`,
+    /// `diurnal@2000`, `flash@500x20`).
     pub fn label(&self) -> String {
         match self {
             ArrivalProcess::Poisson { rate_per_s } => format!("poisson@{rate_per_s:.0}"),
@@ -49,24 +84,101 @@ impl ArrivalProcess {
                 burst_rate_per_s,
                 ..
             } => format!("bursty@{idle_rate_per_s:.0}-{burst_rate_per_s:.0}"),
+            ArrivalProcess::Diurnal {
+                base_rate_per_s, ..
+            } => format!("diurnal@{base_rate_per_s:.0}"),
+            ArrivalProcess::FlashCrowd {
+                base_rate_per_s,
+                spike,
+                ..
+            } => format!("flash@{base_rate_per_s:.0}x{spike:.0}"),
         }
     }
 
     fn validate(&self) -> Result<()> {
         let ok = match self {
-            ArrivalProcess::Poisson { rate_per_s } => *rate_per_s > 0.0,
+            ArrivalProcess::Poisson { rate_per_s } => finite_positive(*rate_per_s),
             ArrivalProcess::Bursty {
                 idle_rate_per_s,
                 burst_rate_per_s,
                 mean_phase_requests,
-            } => *idle_rate_per_s > 0.0 && *burst_rate_per_s > 0.0 && *mean_phase_requests >= 1.0,
+            } => {
+                finite_positive(*idle_rate_per_s)
+                    && finite_positive(*burst_rate_per_s)
+                    // `>= 1.0` would admit the degenerate per-request flip
+                    // (and NaN/∞ pass a bare `> 0.0` comparison elsewhere), so
+                    // the phase length must be a finite mean above one.
+                    && mean_phase_requests.is_finite()
+                    && *mean_phase_requests > 1.0
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                swing,
+                period_s,
+            } => {
+                finite_positive(*base_rate_per_s)
+                    && swing.is_finite()
+                    && (0.0..1.0).contains(swing)
+                    && finite_positive(*period_s)
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rate_per_s,
+                spike,
+                start_s,
+                duration_s,
+            } => {
+                finite_positive(*base_rate_per_s)
+                    && spike.is_finite()
+                    && *spike >= 1.0
+                    && start_s.is_finite()
+                    && *start_s >= 0.0
+                    && finite_positive(*duration_s)
+            }
         };
         if ok {
             Ok(())
         } else {
             Err(ServeError::InvalidConfig {
-                reason: format!("arrival process has a non-positive rate or phase: {self:?}"),
+                reason: format!("arrival process has an invalid rate, phase or window: {self:?}"),
             })
+        }
+    }
+
+    /// The instantaneous arrival rate at virtual time `now_ns`, for the
+    /// rate-modulated processes; the state-dependent processes return their
+    /// current-state rate unchanged.
+    fn rate_at(&self, now_ns: u64, bursting: bool) -> f64 {
+        let t_s = now_ns as f64 * 1e-9;
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+            ArrivalProcess::Bursty {
+                idle_rate_per_s,
+                burst_rate_per_s,
+                ..
+            } => {
+                if bursting {
+                    burst_rate_per_s
+                } else {
+                    idle_rate_per_s
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                swing,
+                period_s,
+            } => base_rate_per_s * (1.0 + swing * (std::f64::consts::TAU * t_s / period_s).sin()),
+            ArrivalProcess::FlashCrowd {
+                base_rate_per_s,
+                spike,
+                start_s,
+                duration_s,
+            } => {
+                if t_s >= start_s && t_s < start_s + duration_s {
+                    base_rate_per_s * spike
+                } else {
+                    base_rate_per_s
+                }
+            }
         }
     }
 }
@@ -93,6 +205,49 @@ impl TraceSpec {
         }
     }
 
+    /// A diurnal trace: `requests` arrivals whose rate cycles sinusoidally
+    /// around `base_rate_per_s` with relative swing `swing` over `period_s`
+    /// seconds.
+    pub fn diurnal(
+        base_rate_per_s: f64,
+        swing: f64,
+        period_s: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        TraceSpec {
+            process: ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                swing,
+                period_s,
+            },
+            requests,
+            seed,
+        }
+    }
+
+    /// A flash-crowd trace: baseline `base_rate_per_s` multiplied by `spike`
+    /// inside the window `[start_s, start_s + duration_s)`.
+    pub fn flash_crowd(
+        base_rate_per_s: f64,
+        spike: f64,
+        start_s: f64,
+        duration_s: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        TraceSpec {
+            process: ArrivalProcess::FlashCrowd {
+                base_rate_per_s,
+                spike,
+                start_s,
+                duration_s,
+            },
+            requests,
+            seed,
+        }
+    }
+
     /// Expands the spec into concrete arrival times.
     ///
     /// # Errors
@@ -111,25 +266,22 @@ impl TraceSpec {
         let mut now_ns = 0u64;
         let mut bursting = false;
         for _ in 0..self.requests {
-            let rate = match self.process {
-                ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
-                ArrivalProcess::Bursty {
-                    idle_rate_per_s,
-                    burst_rate_per_s,
-                    mean_phase_requests,
-                } => {
-                    if unit_open(&mut rng) < 1.0 / mean_phase_requests {
-                        bursting = !bursting;
-                    }
-                    if bursting {
-                        burst_rate_per_s
-                    } else {
-                        idle_rate_per_s
-                    }
+            if let ArrivalProcess::Bursty {
+                mean_phase_requests,
+                ..
+            } = self.process
+            {
+                if unit_open(&mut rng) < 1.0 / mean_phase_requests {
+                    bursting = !bursting;
                 }
-            };
+            }
+            let rate = self.process.rate_at(now_ns, bursting);
             let gap_s = -unit_open(&mut rng).ln() / rate;
-            now_ns = now_ns.saturating_add((gap_s * 1e9).round() as u64);
+            // Round the exponential gap to whole nanoseconds and clamp it to
+            // at least one: at fleet-scale rates a short gap can round to
+            // zero, and downstream consumers rely on arrival timestamps being
+            // strictly increasing.
+            now_ns = now_ns.saturating_add(((gap_s * 1e9).round() as u64).max(1));
             arrivals_ns.push(now_ns);
         }
         Ok(Trace { arrivals_ns })
@@ -264,7 +416,7 @@ mod tests {
         let b = spec.generate().expect("trace");
         assert_eq!(a, b);
         assert_eq!(a.len(), 64);
-        assert!(a.arrivals_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.arrivals_ns.windows(2).all(|w| w[0] < w[1]));
         assert!(a.span_ns() > 0);
         assert!(a.offered_rate_per_s() > 0.0);
         // A different seed shifts the arrivals.
@@ -309,6 +461,103 @@ mod tests {
     fn invalid_specs_are_rejected() {
         assert!(TraceSpec::poisson(0.0, 4, 1).generate().is_err());
         assert!(TraceSpec::poisson(100.0, 0, 1).generate().is_err());
+        assert!(TraceSpec::poisson(f64::NAN, 4, 1).generate().is_err());
+        assert!(TraceSpec::poisson(f64::INFINITY, 4, 1).generate().is_err());
+    }
+
+    #[test]
+    fn degenerate_bursty_phases_are_rejected() {
+        // Regression: `mean_phase_requests <= 1.0` used to be accepted and
+        // silently flipped phase on (nearly) every request; non-finite values
+        // sailed through the bare `>= 1.0` comparison.
+        let bursty = |mean_phase_requests: f64| TraceSpec {
+            process: ArrivalProcess::Bursty {
+                idle_rate_per_s: 100.0,
+                burst_rate_per_s: 10_000.0,
+                mean_phase_requests,
+            },
+            requests: 16,
+            seed: 1,
+        };
+        for bad in [1.0, 0.5, 0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(bursty(bad).generate().is_err(), "accepted {bad}");
+        }
+        assert!(bursty(1.5).generate().is_ok());
+    }
+
+    #[test]
+    fn zero_gap_arrivals_are_clamped_to_strictly_increasing() {
+        // At an absurd rate every exponential gap rounds to zero nanoseconds;
+        // the clamp keeps timestamps strictly increasing anyway.
+        let trace = TraceSpec::poisson(1e12, 256, 5).generate().expect("trace");
+        assert!(trace.arrivals_ns.windows(2).all(|w| w[0] < w[1]));
+        assert!(trace.span_ns() >= 256);
+    }
+
+    #[test]
+    fn diurnal_traces_cycle_between_peak_and_trough() {
+        let spec = TraceSpec::diurnal(50_000.0, 0.9, 1.0, 40_000, 7);
+        let trace = spec.generate().expect("trace");
+        assert_eq!(trace, spec.generate().expect("replay"));
+        assert!(trace.arrivals_ns.windows(2).all(|w| w[0] < w[1]));
+        // Quarter-period around the peak (t ≈ period/4) must be denser than
+        // around the trough (t ≈ 3·period/4).
+        let count_in = |lo_s: f64, hi_s: f64| {
+            trace
+                .arrivals_ns
+                .iter()
+                .filter(|&&t| {
+                    let t_s = t as f64 * 1e-9;
+                    t_s >= lo_s && t_s < hi_s
+                })
+                .count()
+        };
+        let peak = count_in(0.15, 0.35);
+        let trough = count_in(0.65, 0.85);
+        assert!(peak > 2 * trough, "peak {peak} vs trough {trough}");
+        assert_eq!(spec.process.label(), "diurnal@50000");
+        // A swing of one (or more) would zero the trough rate.
+        assert!(TraceSpec::diurnal(1_000.0, 1.0, 1.0, 8, 1)
+            .generate()
+            .is_err());
+        assert!(TraceSpec::diurnal(1_000.0, -0.1, 1.0, 8, 1)
+            .generate()
+            .is_err());
+        assert!(TraceSpec::diurnal(1_000.0, 0.5, 0.0, 8, 1)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn flash_crowds_spike_inside_their_window() {
+        let spec = TraceSpec::flash_crowd(2_000.0, 25.0, 1.0, 0.5, 20_000, 13);
+        let trace = spec.generate().expect("trace");
+        assert_eq!(trace, spec.generate().expect("replay"));
+        let in_window = trace
+            .arrivals_ns
+            .iter()
+            .filter(|&&t| {
+                let t_s = t as f64 * 1e-9;
+                (1.0..1.5).contains(&t_s)
+            })
+            .count();
+        // The 0.5 s window at 25x the base rate should hold the majority of
+        // the trace's arrivals.
+        assert!(
+            in_window > trace.len() / 2,
+            "{in_window} of {} in window",
+            trace.len()
+        );
+        assert_eq!(spec.process.label(), "flash@2000x25");
+        assert!(TraceSpec::flash_crowd(2_000.0, 0.5, 1.0, 0.5, 8, 1)
+            .generate()
+            .is_err());
+        assert!(TraceSpec::flash_crowd(2_000.0, 25.0, -1.0, 0.5, 8, 1)
+            .generate()
+            .is_err());
+        assert!(TraceSpec::flash_crowd(2_000.0, 25.0, 1.0, 0.0, 8, 1)
+            .generate()
+            .is_err());
     }
 
     #[test]
