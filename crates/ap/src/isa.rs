@@ -160,6 +160,55 @@ impl ApInstruction {
             ApInstruction::Clear { .. } => vec![],
         }
     }
+
+    /// Stable one-byte opcode used by the execution-trace encoding
+    /// (`camdnn::trace`). New variants must extend — never renumber — this
+    /// table, or recorded traces stop comparing across versions.
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            ApInstruction::AddInPlace { .. } => 1,
+            ApInstruction::SubInPlace { .. } => 2,
+            ApInstruction::AddOutOfPlace { .. } => 3,
+            ApInstruction::SubOutOfPlace { .. } => 4,
+            ApInstruction::Copy { .. } => 5,
+            ApInstruction::Clear { .. } => 6,
+        }
+    }
+
+    /// Human-readable mnemonic for diagnostics and trace divergence reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ApInstruction::AddInPlace { .. } => "add-in-place",
+            ApInstruction::SubInPlace { .. } => "sub-in-place",
+            ApInstruction::AddOutOfPlace { .. } => "add-out-of-place",
+            ApInstruction::SubOutOfPlace { .. } => "sub-out-of-place",
+            ApInstruction::Copy { .. } => "copy",
+            ApInstruction::Clear { .. } => "clear",
+        }
+    }
+
+    /// Every `(column, first domain, width)` region this instruction writes,
+    /// including the carry slot of arithmetic instructions, sorted by column
+    /// then domain — the regions the execution-trace recorder digests after
+    /// executing the instruction.
+    pub fn written_regions(&self) -> Vec<(usize, usize, u8)> {
+        let mut regions: Vec<(usize, usize, u8)> = self
+            .destinations()
+            .iter()
+            .map(|dest| (dest.col, dest.base, dest.width))
+            .collect();
+        match self {
+            ApInstruction::AddInPlace { carry, .. }
+            | ApInstruction::SubInPlace { carry, .. }
+            | ApInstruction::AddOutOfPlace { carry, .. }
+            | ApInstruction::SubOutOfPlace { carry, .. } => {
+                regions.push((carry.col, carry.domain, 1));
+            }
+            ApInstruction::Copy { .. } | ApInstruction::Clear { .. } => {}
+        }
+        regions.sort_unstable();
+        regions
+    }
 }
 
 #[cfg(test)]

@@ -949,6 +949,10 @@ impl PassPlan {
                             access.set_word(plane, w, cleared);
                         }
                     }
+                    // Costs were booked in bulk up front; the trace recorder's
+                    // pass log still needs the interpreter's per-plane all-set
+                    // write entries (no-op unless logging is enabled).
+                    array.log_allset_writes(planes.len() as u64);
                 }
                 PlanOp::Copy { src, dests } => {
                     let passes = copy_kernel(&mut array.plane_access(), *src, dests, &mut scratch);

@@ -31,7 +31,7 @@ use crate::layout::LayerLayout;
 use crate::partition::{PartitionCompiler, PartitionPlan, TileGrid};
 use crate::passes::{CompiledLayer, CompilerOptions, LayerCompiler};
 use crate::{ApcError, Result};
-use ap::{ApProgram, PassPlan, PlanCompiler, PlanGeometry};
+use ap::{ApInstruction, ApProgram, PassPlan, PlanCompiler, PlanGeometry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -287,6 +287,23 @@ impl CompileCache {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(plan)
+    }
+
+    /// [`plan`](Self::plan) for a single-instruction program: the
+    /// execution-trace recorder replays programs one instruction at a time
+    /// (to delimit per-record counter deltas), and instructions repeat
+    /// heavily across slices and units, so each distinct `(instruction,
+    /// geometry)` pair is lowered exactly once and served from the digest
+    /// cache afterwards.
+    pub fn instruction_plan(
+        &self,
+        instruction: &ApInstruction,
+        geometry: PlanGeometry,
+    ) -> Arc<PassPlan> {
+        self.plan(
+            &ApProgram::from_instructions(vec![instruction.clone()]),
+            geometry,
+        )
     }
 
     /// Partitions `layer` across `grid`, reusing a previous plan for the

@@ -1,0 +1,94 @@
+//! Golden workload corpus runner: pass/fail/diverged-at per checked-in spec.
+//!
+//! Loads every `tests/corpus/*.json` workload, executes it through **both**
+//! functional engines (compiled plans and the reference interpreter), diffs
+//! the execution traces record-by-record, and checks the plan trace and
+//! logits digests against the spec's goldens. One line per spec reports
+//! `pass`, a digest mismatch, or the exact first diverging record when the
+//! engines disagree.
+//!
+//! Run with `cargo run -p camdnn-bench --bin corpus`; pass `--bless` to
+//! rewrite every spec's goldens from the current execution (CI runs a bless
+//! and requires a clean diff, so blessing is always safe to re-run).
+
+use camdnn::corpus::{load_specs, run_spec};
+
+fn main() {
+    let bless = std::env::args().any(|arg| arg == "--bless");
+    let entries = match load_specs() {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("corpus: {error}");
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("corpus: no specs found in tests/corpus/");
+        std::process::exit(2);
+    }
+
+    println!(
+        "Golden workload corpus ({} specs{})\n",
+        entries.len(),
+        if bless { ", blessing" } else { "" }
+    );
+    let mut failures = 0usize;
+    for entry in &entries {
+        let spec = &entry.spec;
+        let label = format!(
+            "{} [{} c{} {}b batch{} grid{}x{}]",
+            spec.name,
+            spec.family,
+            spec.channels,
+            spec.act_bits,
+            spec.batch,
+            spec.grid.first().copied().unwrap_or(0),
+            spec.grid.get(1).copied().unwrap_or(0),
+        );
+        let run = match run_spec(spec) {
+            Ok(run) => run,
+            Err(error) => {
+                failures += 1;
+                println!("{label:<52} ERROR: {error}");
+                continue;
+            }
+        };
+        if bless {
+            // Engine divergence is never blessed away: the goldens pin what
+            // both engines agree on.
+            if let Some(divergence) = &run.divergence {
+                failures += 1;
+                println!("{label:<52} DIVERGED (not blessed): {divergence}");
+                continue;
+            }
+            let blessed = spec.blessed(&run);
+            if let Err(error) = std::fs::write(&entry.path, blessed.to_json()) {
+                failures += 1;
+                println!("{label:<52} ERROR: cannot write goldens: {error}");
+                continue;
+            }
+            let changed = blessed.golden != spec.golden;
+            println!(
+                "{label:<52} blessed{}",
+                if changed {
+                    " (updated)"
+                } else {
+                    " (unchanged)"
+                }
+            );
+            continue;
+        }
+        let status = spec.check(&run);
+        if !status.is_pass() {
+            failures += 1;
+        }
+        println!("{label:<52} {status}");
+    }
+    if bless {
+        println!("\nGoldens written to tests/corpus/.");
+    }
+    if failures > 0 {
+        eprintln!("\ncorpus: {failures} spec(s) failed");
+        std::process::exit(1);
+    }
+}

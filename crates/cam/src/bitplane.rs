@@ -28,6 +28,13 @@ pub struct PackedTags {
 /// Number of rows packed into one tag word.
 const WORD_BITS: usize = 64;
 
+/// FNV-1a 64-bit offset basis (digest idiom shared with the compile cache's
+/// layer signatures and the execution-trace recorder).
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 fn words_for(rows: usize) -> usize {
     rows.div_ceil(WORD_BITS).max(1)
 }
@@ -230,6 +237,10 @@ pub struct BitPlaneArray {
     tech: CamTechnology,
     stats: CamStats,
     tracker: Option<SegmentTracker>,
+    /// Per-pass tagged-row populations, recorded when tracing is enabled
+    /// (see [`enable_pass_log`](Self::enable_pass_log)); `None` keeps the
+    /// hot paths free of bookkeeping.
+    pass_log: Option<Vec<u64>>,
 }
 
 /// Per-segment "as-if-solo" event attribution (see
@@ -324,6 +335,7 @@ impl BitPlaneArray {
             tech,
             stats: CamStats::new(),
             tracker: None,
+            pass_log: None,
         })
     }
 
@@ -608,6 +620,9 @@ impl BitPlaneArray {
         if let Some(tracker) = self.tracker.as_mut() {
             tracker.shared.write_cycles += 1;
         }
+        if let Some(log) = self.pass_log.as_mut() {
+            log.push(tags.count() as u64);
+        }
         self.split_tagged_bits(tags.as_words(), pattern.len() as u64);
         Ok(())
     }
@@ -761,7 +776,103 @@ impl BitPlaneArray {
     pub fn bulk_tagged_bits(&mut self, mask: &[u64], pattern_bits: u64) {
         let count: u64 = mask.iter().map(|w| u64::from(w.count_ones())).sum();
         self.stats.written_bits += pattern_bits * count;
+        if let Some(log) = self.pass_log.as_mut() {
+            log.push(count);
+        }
         self.split_tagged_bits(mask, pattern_bits);
+    }
+
+    /// Starts (or restarts) recording the tagged-row population of every
+    /// write pass into an in-order log: [`write_tagged`](Self::write_tagged)
+    /// appends its tag count, [`bulk_tagged_bits`](Self::bulk_tagged_bits)
+    /// the popcount of its mask, and compiled-plan clears report through
+    /// [`log_allset_writes`](Self::log_allset_writes). The interpreter and
+    /// the plan engine produce the identical sequence for the same program —
+    /// the substrate of the execution-trace recorder. Disabled by default;
+    /// any previously recorded entries are discarded.
+    pub fn enable_pass_log(&mut self) {
+        self.pass_log = Some(Vec::new());
+    }
+
+    /// Stops recording pass populations and discards any pending entries.
+    pub fn disable_pass_log(&mut self) {
+        self.pass_log = None;
+    }
+
+    /// Whether pass-population logging is currently enabled.
+    pub fn pass_log_enabled(&self) -> bool {
+        self.pass_log.is_some()
+    }
+
+    /// Drains and returns the pass populations recorded since the last call
+    /// (empty when logging is disabled). Logging stays enabled.
+    pub fn take_pass_log(&mut self) -> Vec<u64> {
+        match self.pass_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records `planes` all-rows-tagged write passes (one per cleared plane)
+    /// in the pass log. Compiled plans clear planes with raw word stores and
+    /// book their cost through [`bulk_pass_events`](Self::bulk_pass_events),
+    /// so they call this to mirror the interpreter's per-plane all-set
+    /// [`write_tagged`](Self::write_tagged) entries. No-op when logging is
+    /// disabled; charges no counters.
+    pub fn log_allset_writes(&mut self, planes: u64) {
+        if let Some(log) = self.pass_log.as_mut() {
+            log.extend(std::iter::repeat_n(self.rows as u64, planes as usize));
+        }
+    }
+
+    /// FNV-1a 64 digest of the stored bits of `col` over domains
+    /// `base..base + width`, independent of the column's current port
+    /// position. Rows beyond the array are masked out, so arrays of the same
+    /// logical geometry digest identically regardless of word padding. Reads
+    /// no ports and charges no counters — this is the trace recorder's view
+    /// of a written column, not a modeled CAM operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the column or domain range is out of bounds.
+    pub fn column_digest(&self, col: usize, base: usize, width: u8) -> Result<u64> {
+        self.check_col(col)?;
+        if width > 0 {
+            self.check_domain(base + width as usize - 1)?;
+        }
+        let valid = last_word_mask(self.rows);
+        let mut digest = FNV_OFFSET_BASIS;
+        for domain in base..base + width as usize {
+            let plane = self.plane(col, domain);
+            for (w, &word) in plane.iter().enumerate() {
+                let masked = if w + 1 == plane.len() {
+                    word & valid
+                } else {
+                    word
+                };
+                for byte in masked.to_le_bytes() {
+                    digest ^= u64::from(byte);
+                    digest = digest.wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        Ok(digest)
+    }
+
+    /// Flips the stored bit at (`col`, `domain`, `row`) in place — a fault
+    /// injection hook for differential and trace-divergence testing. Unlike
+    /// [`write_bit`](Self::write_bit) this models a disturbance, not an
+    /// operation: no ports move and no counters are charged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any index is out of range.
+    pub fn flip_bit(&mut self, col: usize, domain: usize, row: usize) -> Result<()> {
+        self.check_col(col)?;
+        self.check_domain(domain)?;
+        self.check_row(row)?;
+        self.plane_mut(col, domain)[row / WORD_BITS] ^= 1u64 << (row % WORD_BITS);
+        Ok(())
     }
 
     /// Stages one bit into `col`/`row` at `domain` (input loading; counted as I/O).

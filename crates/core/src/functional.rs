@@ -31,6 +31,7 @@
 //! evaluation is simply a batch of one.
 
 use crate::backend::{BackendReport, InferenceBackend, LayerCost, ModelProfile};
+use crate::trace::{self, ExecutionTrace, TraceEngine, TraceHeader, TraceRecorder, UnitFrame};
 use accel::ArchConfig;
 use ap::{ApEngine, Operand, PlanGeometry};
 use apc::{
@@ -54,17 +55,26 @@ use tnn::Tensor;
 /// attributions, and the unit's physical counters.
 type UnitOutcome = (Vec<Vec<Vec<i64>>>, Vec<CamStats>, CamStats);
 
+/// Identity of the unit being traced, threaded into the per-unit jobs when an
+/// execution-trace recorder is attached to the batch run.
+#[derive(Debug, Clone, Copy)]
+struct UnitTraceCtx {
+    node_id: usize,
+    ordinal: usize,
+}
+
 /// One executed layer's batched results plus its partition accounting: the
 /// per-sample output tensors, the per-sample (solo-equivalent) attributions,
 /// the physical aggregate counters, the partition plan that drove the
-/// execution, and the physical counters grouped by grid tile (ascending tile
-/// id, used tiles only).
+/// execution, the physical counters grouped by grid tile (ascending tile
+/// id, used tiles only), and the layer's trace fragment (empty untraced).
 type LayerOutcome = (
     Vec<Tensor<i64>>,
     Vec<CamStats>,
     CamStats,
     Arc<PartitionPlan>,
     Vec<(usize, CamStats)>,
+    Vec<u8>,
 );
 
 /// One grid tile's share of a partitioned functional inference, summed over
@@ -560,6 +570,7 @@ impl FunctionalBackend {
         compiled: &CompiledLayer,
         inputs: &[&Tensor<i64>],
         cache: &CompileCache,
+        trace_node: Option<usize>,
     ) -> apc::Result<LayerOutcome> {
         let layout = &compiled.layout;
         let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
@@ -594,12 +605,16 @@ impl FunctionalBackend {
             })
             .collect::<tnn::Result<_>>()?;
 
-        let outcomes: Vec<apc::Result<UnitOutcome>> = plan
-            .units
-            .par_iter()
-            .map(|unit| self.execute_unit_batch(layout, slices, &patches, unit, cache))
+        let indexed: Vec<(usize, &PartitionUnit)> = plan.units.iter().enumerate().collect();
+        let outcomes: Vec<apc::Result<(UnitOutcome, Vec<u8>)>> = indexed
+            .into_par_iter()
+            .map(|(ordinal, unit)| {
+                let ctx = trace_node.map(|node_id| UnitTraceCtx { node_id, ordinal });
+                self.execute_unit_batch(layout, slices, &patches, unit, cache, ctx)
+            })
             .collect();
-        let outcomes: Vec<UnitOutcome> = outcomes.into_iter().collect::<apc::Result<_>>()?;
+        let outcomes: Vec<(UnitOutcome, Vec<u8>)> =
+            outcomes.into_iter().collect::<apc::Result<_>>()?;
 
         let batch = inputs.len();
         let mut outputs: Vec<Tensor<i64>> = (0..batch)
@@ -608,9 +623,15 @@ impl FunctionalBackend {
         let mut attributed = vec![CamStats::new(); batch];
         let mut physical = CamStats::new();
         let mut tile_stats: Vec<(usize, CamStats)> = Vec::new();
+        // Trace fragments concatenate in unit order — the same deterministic
+        // order the outputs merge in — so the recorded stream is identical at
+        // any `RAYON_NUM_THREADS`.
+        let mut trace_bytes = Vec::new();
         let positions = info.output_hw.0 * info.output_hw.1;
-        for (unit, (per_sample, unit_attributed, unit_physical)) in plan.units.iter().zip(outcomes)
+        for (unit, ((per_sample, unit_attributed, unit_physical), fragment)) in
+            plan.units.iter().zip(outcomes)
         {
+            trace_bytes.extend_from_slice(&fragment);
             physical += unit_physical;
             match tile_stats.iter_mut().find(|(tile, _)| *tile == unit.tile) {
                 Some((_, stats)) => *stats += unit_physical,
@@ -639,7 +660,7 @@ impl FunctionalBackend {
             }
         }
         tile_stats.sort_by_key(|&(tile, _)| tile);
-        Ok((outputs, attributed, physical, plan, tile_stats))
+        Ok((outputs, attributed, physical, plan, tile_stats, trace_bytes))
     }
 
     /// Runs one partition unit — an (output-channel × output-position ×
@@ -663,7 +684,8 @@ impl FunctionalBackend {
         patches: &[Vec<Tensor<i64>>],
         unit: &PartitionUnit,
         cache: &CompileCache,
-    ) -> apc::Result<UnitOutcome> {
+        trace_ctx: Option<UnitTraceCtx>,
+    ) -> apc::Result<(UnitOutcome, Vec<u8>)> {
         let batch = patches.len();
         let rows = unit.rows.len();
         let start = unit.rows.start;
@@ -683,11 +705,41 @@ impl FunctionalBackend {
         // the differential reference).
         let use_plans = self.plan_execution();
         let geometry = PlanGeometry::of(engine.array());
-        let prologue = apc::codegen::tile_prologue(layout, unit.outputs.len());
-        if use_plans {
-            engine.run_plan(&cache.plan(&prologue, geometry))?;
+        // With a trace context attached, every program executes one
+        // instruction at a time through `trace::trace_program` (per-pass
+        // counter deltas are additive, so the unit's totals are unchanged)
+        // and the staged/sensed columns are digested into I/O records.
+        let mut recorder = trace_ctx.map(|ctx| {
+            let mut recorder = TraceRecorder::detached();
+            recorder.begin_unit(&UnitFrame {
+                node_id: ctx.node_id,
+                ordinal: ctx.ordinal,
+                tile: unit.tile,
+                rows_start: unit.rows.start,
+                rows_len: rows,
+                outputs_start: unit.outputs.start,
+                outputs_len: unit.outputs.len(),
+                channels_start: unit.channels.start,
+                channels_len: unit.channels.len(),
+                col_split: unit.col_split,
+                geom_rows: rows * batch,
+                geom_cols: layout.geometry.cols,
+                geom_domains: layout.geometry.domains,
+            });
+            recorder
+        });
+        let trace_mode = if use_plans {
+            TraceEngine::Plan(cache)
         } else {
-            engine.run(&prologue)?;
+            TraceEngine::Interpreter
+        };
+        let prologue = apc::codegen::tile_prologue(layout, unit.outputs.len());
+        match recorder.as_mut() {
+            Some(recorder) => {
+                trace::trace_program(&mut engine, &prologue, trace_mode, recorder, None)?
+            }
+            None if use_plans => engine.run_plan(&cache.plan(&prologue, geometry))?,
+            None => engine.run(&prologue)?,
         }
         let mut column = Vec::with_capacity(rows * batch);
         for slice in slices
@@ -720,24 +772,33 @@ impl FunctionalBackend {
                     layout.act_bits,
                     false,
                 );
-                engine.load_column(&operand, &column)?;
+                match recorder.as_mut() {
+                    Some(recorder) => trace::traced_load(&mut engine, &operand, &column, recorder)?,
+                    None => engine.load_column(&operand, &column)?,
+                }
             }
-            if use_plans {
-                engine.run_plan(&cache.plan(&slice.program, geometry))?;
-            } else {
-                engine.run(&slice.program)?;
+            match recorder.as_mut() {
+                Some(recorder) => {
+                    trace::trace_program(&mut engine, &slice.program, trace_mode, recorder, None)?
+                }
+                None if use_plans => engine.run_plan(&cache.plan(&slice.program, geometry))?,
+                None => engine.run(&slice.program)?,
             }
         }
         let mut values: Vec<Vec<Vec<i64>>> = vec![Vec::with_capacity(unit.outputs.len()); batch];
         for output in 0..unit.outputs.len() {
             let acc = Operand::new(layout.acc_col_start + output, 0, layout.acc_bits, true);
-            let packed = engine.read_column(&acc)?;
+            let packed = match recorder.as_mut() {
+                Some(recorder) => trace::traced_read(&mut engine, &acc, recorder)?,
+                None => engine.read_column(&acc)?,
+            };
             for (sample, chunk) in packed.chunks(rows).enumerate() {
                 values[sample].push(chunk.to_vec());
             }
         }
         let attributed = engine.array().segment_stats();
-        Ok((values, attributed, engine.stats()))
+        let fragment = recorder.map(TraceRecorder::into_bytes).unwrap_or_default();
+        Ok(((values, attributed, engine.stats()), fragment))
     }
 
     /// Executes `model` end to end for a batch of explicit inputs, reusing
@@ -776,7 +837,39 @@ impl FunctionalBackend {
         base_seed: Option<u64>,
         cache: &CompileCache,
     ) -> apc::Result<BatchReport> {
-        self.run_batch_collected(model, inputs, base_seed, cache, None)
+        self.run_batch_collected(model, inputs, base_seed, cache, None, None)
+    }
+
+    /// [`run_batch`](Self::run_batch) plus an execution trace: every weighted
+    /// layer's unit executions are recorded (unit frames, instruction
+    /// records, I/O records) in deterministic unit order, and the stream is
+    /// closed with one logits digest per sample. The recorded bytes are
+    /// identical across [`EngineMode`]s and `RAYON_NUM_THREADS` settings —
+    /// the invariant the corpus goldens and the trace-divergence suite pin.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_batch`](Self::run_batch).
+    pub fn run_batch_traced(
+        &self,
+        model: &ModelGraph,
+        inputs: &[Tensor<i64>],
+        cache: &CompileCache,
+    ) -> apc::Result<(BatchReport, ExecutionTrace)> {
+        let mut recorder = TraceRecorder::new(&TraceHeader {
+            label: model.name().to_string(),
+            act_bits: self.options.act_bits,
+            batch: inputs.len(),
+            grid: (self.tile_grid.rows, self.tile_grid.cols),
+        });
+        let report =
+            self.run_batch_collected(model, inputs, None, cache, None, Some(&mut recorder))?;
+        let digests: Vec<u64> = report
+            .samples
+            .iter()
+            .map(|sample| trace::fnv1a_i64s(&sample.logits))
+            .collect();
+        Ok((report, recorder.finish(&digests)))
     }
 
     /// Profiles `model` per weighted layer by executing a single seeded
@@ -800,6 +893,7 @@ impl FunctionalBackend {
             Some(self.input_seed),
             cache,
             Some(&mut layers),
+            None,
         )?;
         Ok(ModelProfile {
             model: model.name().to_string(),
@@ -817,6 +911,7 @@ impl FunctionalBackend {
         base_seed: Option<u64>,
         cache: &CompileCache,
         mut collector: Option<&mut Vec<LayerCost>>,
+        mut trace_sink: Option<&mut TraceRecorder>,
     ) -> apc::Result<BatchReport> {
         if inputs.is_empty() {
             return Err(ApcError::InvalidArgument {
@@ -865,8 +960,12 @@ impl FunctionalBackend {
                     })?;
                     let compiled = cache.compile(&compiler, info)?;
                     arrays = arrays.max(compiled.layout.row_groups);
-                    let (layer_outputs, layer_attributed, layer_physical, plan, tile_stats) =
-                        self.execute_layer_batch(info, &compiled, &firsts, cache)?;
+                    let trace_node = trace_sink.as_ref().map(|_| id);
+                    let (layer_outputs, layer_attributed, layer_physical, plan, tile_stats, frag) =
+                        self.execute_layer_batch(info, &compiled, &firsts, cache, trace_node)?;
+                    if let Some(sink) = trace_sink.as_deref_mut() {
+                        sink.append_fragment(&frag);
+                    }
                     physical += layer_physical;
                     let layer_ns = quality.absorb_layer(&plan, &tile_stats, &self.arch);
                     modeled_ns += layer_ns;

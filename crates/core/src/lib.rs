@@ -42,20 +42,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod corpus;
 pub mod experiment;
 pub mod functional;
 mod pipeline;
+pub mod trace;
 pub mod verify;
 
 pub use backend::{
     BackendId, BackendKind, BackendRegistry, BackendReport, InferenceBackend, LayerCost,
     ModelProfile,
 };
+pub use corpus::{CorpusSpec, SpecRun, SpecStatus};
 pub use experiment::{
     BackendPlan, ResultSet, ScenarioRecord, ScenarioSpec, Session, SweepGrid, Workload,
 };
 pub use functional::{BatchReport, EngineMode, FunctionalBackend, FunctionalReport, SampleReport};
 pub use pipeline::{FullStackPipeline, PipelineReport};
+pub use trace::{Divergence, ExecutionTrace, TraceDiff, TraceError, TraceHeader, TraceRecorder};
 
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};
 pub use apc::{CompiledLayer, CompilerOptions, LayerCompiler};

@@ -419,6 +419,191 @@ pub fn micro_cnn(name: impl Into<String>, channels: usize, sparsity: f64, seed: 
     model
 }
 
+/// Builds a depthwise ternary convolution as a standard [`Conv2d`]: a
+/// `[channels, channels, k, k]` kernel whose off-diagonal channel pairs are
+/// all zero, so output channel `c` convolves input channel `c` only. The
+/// diagonal taps come from a random `[channels, 1, k, k]` ternary tensor;
+/// expressing the layer as a full (extremely sparse) convolution keeps it
+/// inside the compiler's existing conv lowering — no new operator.
+fn depthwise_conv(
+    name: &str,
+    channels: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    sparsity: f64,
+    seed: u64,
+) -> LayerOp {
+    let diagonal = TernaryTensor::random(vec![channels, 1, k, k], sparsity, seed);
+    let taps = diagonal.as_slice();
+    let mut data = vec![0i8; channels * channels * k * k];
+    for c in 0..channels {
+        let dst = (c * channels + c) * k * k;
+        data[dst..dst + k * k].copy_from_slice(&taps[c * k * k..(c + 1) * k * k]);
+    }
+    let weights = TernaryTensor::from_vec(vec![channels, channels, k, k], data)
+        .expect("static layer definitions are valid");
+    LayerOp::Conv2d(
+        Conv2d::new(name, weights, stride, padding).expect("static layer definitions are valid"),
+    )
+}
+
+/// Builds a depthwise-separable convnet on an 8×8 input: a standard stem
+/// convolution followed by a depthwise (diagonal-kernel) 3×3 + pointwise 1×1
+/// pair — the factorization behind MobileNet-style networks — and a small
+/// classifier head. Exercises the compiler and the functional engines on
+/// extremely sparse per-channel kernels and on 1×1 convolutions.
+///
+/// # Example
+///
+/// ```
+/// use tnn::model::dw_sep_cnn;
+///
+/// let model = dw_sep_cnn("dw", 8, 0.8, 1);
+/// assert_eq!(model.conv_like_layers().len(), 4);
+/// assert!(model.node_shapes().is_ok());
+/// ```
+pub fn dw_sep_cnn(
+    name: impl Into<String>,
+    channels: usize,
+    sparsity: f64,
+    seed: u64,
+) -> ModelGraph {
+    let mut model = ModelGraph::new(name, (3, 8, 8));
+    let bits = DEFAULT_ACT_BITS;
+    let id = model
+        .chain(conv("stem", channels, 3, 3, 1, 1, sparsity, seed), None)
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            depthwise_conv("dw1", channels, 3, 1, 1, sparsity, seed + 1),
+            Some(id),
+        )
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            conv("pw1", channels, channels, 1, 1, 0, sparsity, seed + 2),
+            Some(id),
+        )
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            LayerOp::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            Some(id),
+        )
+        .expect("chain");
+    model
+        .chain(
+            linear("fc", 10, channels * 4 * 4, sparsity, seed + 3),
+            Some(id),
+        )
+        .expect("chain");
+    model
+}
+
+/// Builds an MLP-mixer-style block on an 8×8 input: a patch-embedding
+/// convolution (2×2, stride 2 → a 4×4 token grid), a token-mixing depthwise
+/// convolution with a residual connection, and a channel-mixing 1×1
+/// expand/project pair with a second residual — the `Requantize + Add`
+/// idiom of the ResNet builder keeps both branch inputs in the activation
+/// range. Exercises residual merges over both spatial and channel mixing.
+///
+/// # Example
+///
+/// ```
+/// use tnn::model::micro_mixer;
+///
+/// let model = micro_mixer("mixer", 8, 0.8, 1);
+/// assert_eq!(model.conv_like_layers().len(), 5);
+/// assert!(model.node_shapes().is_ok());
+/// ```
+pub fn micro_mixer(
+    name: impl Into<String>,
+    channels: usize,
+    sparsity: f64,
+    seed: u64,
+) -> ModelGraph {
+    let mut model = ModelGraph::new(name, (3, 8, 8));
+    let bits = DEFAULT_ACT_BITS;
+    let embed = model
+        .chain(
+            conv("patch_embed", channels, 3, 2, 2, 0, sparsity, seed),
+            None,
+        )
+        .expect("chain");
+    let embed = model
+        .chain(LayerOp::Requantize { bits }, Some(embed))
+        .expect("chain");
+    // Token mixing: per-channel spatial taps, merged back residually.
+    let id = model
+        .chain(
+            depthwise_conv("token_mix", channels, 3, 1, 1, sparsity, seed + 1),
+            Some(embed),
+        )
+        .expect("chain");
+    let id = model
+        .chain(LayerOp::Requantize { bits }, Some(id))
+        .expect("chain");
+    let tokens = model
+        .add(LayerOp::Add, vec![Source::Node(id), Source::Node(embed)])
+        .expect("add");
+    // Residual sums can exceed the activation range; requantize before the
+    // next weighted layer (the ResNet builder's post-Add idiom).
+    let tokens = act(&mut model, tokens, bits);
+    // Channel mixing: 1×1 expand, activation, 1×1 project, second residual.
+    let id = model
+        .chain(
+            conv(
+                "channel_expand",
+                channels * 2,
+                channels,
+                1,
+                1,
+                0,
+                sparsity,
+                seed + 2,
+            ),
+            Some(tokens),
+        )
+        .expect("chain");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(
+            conv(
+                "channel_project",
+                channels,
+                channels * 2,
+                1,
+                1,
+                0,
+                sparsity,
+                seed + 3,
+            ),
+            Some(id),
+        )
+        .expect("chain");
+    let id = model
+        .chain(LayerOp::Requantize { bits }, Some(id))
+        .expect("chain");
+    let id = model
+        .add(LayerOp::Add, vec![Source::Node(id), Source::Node(tokens)])
+        .expect("add");
+    let id = act(&mut model, id, bits);
+    let id = model
+        .chain(LayerOp::GlobalAvgPool, Some(id))
+        .expect("chain");
+    model
+        .chain(linear("head", 10, channels, sparsity, seed + 4), Some(id))
+        .expect("chain");
+    model
+}
+
 /// Builds the VGG-9 CIFAR-10 model of the paper (6 ternary convolutions and
 /// 3 fully connected layers) with synthetic weights at the given sparsity.
 pub fn vgg9(sparsity: f64, seed: u64) -> ModelGraph {
@@ -759,6 +944,67 @@ mod tests {
         assert_eq!(small_layers[0].output_hw, (32, 32));
         // 224 reproduces the paper model under the canonical name.
         assert_eq!(resnet18_at(224, 0.8, 3).name(), "resnet18");
+    }
+
+    #[test]
+    fn depthwise_separable_model_has_the_expected_structure() {
+        let model = dw_sep_cnn("dw", 8, 0.8, 3);
+        assert!(model.node_shapes().is_ok());
+        let layers = model.conv_like_layers();
+        // stem + depthwise + pointwise + fc.
+        assert_eq!(layers.len(), 4);
+        let dw = &layers[1];
+        assert_eq!((dw.cin, dw.cout, dw.kernel), (8, 8, (3, 3)));
+        // The depthwise kernel is diagonal: output channel c reads input
+        // channel c only, every cross-channel tap is zero.
+        let taps = dw.weights.as_slice();
+        let k2 = 3 * 3;
+        for cout in 0..8 {
+            for cin in 0..8 {
+                let block = &taps[(cout * 8 + cin) * k2..][..k2];
+                if cout != cin {
+                    assert!(
+                        block.iter().all(|&w| w == 0),
+                        "off-diagonal taps must be zero"
+                    );
+                }
+            }
+        }
+        // A diagonal [C, C, k, k] kernel is at least (C-1)/C sparse on top of
+        // the diagonal's own sparsity.
+        assert!(dw.sparsity() > 7.0 / 8.0);
+        // The pointwise layer is a plain 1×1 convolution.
+        assert_eq!(layers[2].kernel, (1, 1));
+        assert_eq!(layers[2].output_hw, (8, 8));
+        // MACs count the dense kernel (the compiler sees the zero taps as
+        // sparsity, not as a smaller layer).
+        assert!(model.total_macs() > 0 && model.total_weights() > 0);
+    }
+
+    #[test]
+    fn micro_mixer_has_the_expected_structure() {
+        let model = micro_mixer("mixer", 8, 0.8, 3);
+        assert!(model.node_shapes().is_ok());
+        let layers = model.conv_like_layers();
+        // patch embed + token mix + expand + project + head.
+        assert_eq!(layers.len(), 5);
+        // The 2×2/stride-2 patch embedding yields a 4×4 token grid.
+        assert_eq!(layers[0].kernel, (2, 2));
+        assert_eq!(layers[0].output_hw, (4, 4));
+        // Token mixing is depthwise over the token grid.
+        assert_eq!((layers[1].cin, layers[1].cout), (8, 8));
+        assert!(layers[1].sparsity() > 7.0 / 8.0);
+        // Channel mixing expands ×2 and projects back.
+        assert_eq!((layers[2].cin, layers[2].cout), (8, 16));
+        assert_eq!((layers[3].cin, layers[3].cout), (16, 8));
+        assert_eq!(layers[4].cout, 10);
+        // Two residual merges ride on the graph.
+        let adds = model
+            .nodes()
+            .iter()
+            .filter(|node| matches!(node.op, LayerOp::Add))
+            .count();
+        assert_eq!(adds, 2);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Corpus golden suite: every checked-in workload spec must pass against its
+//! blessed goldens, and the bless cycle itself must be stable.
+//!
+//! Pins three properties of `tests/corpus/`:
+//!
+//! * **Goldens hold** — each spec re-executes through both engines with no
+//!   divergence and reproduces its golden trace and logits digests.
+//! * **Bless round-trips** — blessing a freshly-run spec and immediately
+//!   re-checking passes, so `--bless` always converges in one step.
+//! * **Rendering is byte-stable** — parsing a checked-in spec and
+//!   re-rendering it reproduces the file byte for byte, so a CI bless run
+//!   leaves a clean working tree.
+
+use camdnn::corpus::{load_specs, load_specs_from, run_spec, CorpusSpec};
+
+/// Every checked-in spec passes against its goldens; the corpus must cover
+/// all three model families.
+#[test]
+fn checked_in_specs_pass_their_goldens() {
+    let entries = load_specs().expect("load corpus");
+    assert!(
+        entries.len() >= 8,
+        "the corpus must hold at least 8 specs, found {}",
+        entries.len()
+    );
+    for family in ["micro_cnn", "dw_sep", "mixer"] {
+        assert!(
+            entries.iter().any(|entry| entry.spec.family == family),
+            "no corpus spec covers the {family} family"
+        );
+    }
+    for entry in &entries {
+        let run = run_spec(&entry.spec).expect("run spec");
+        let status = entry.spec.check(&run);
+        assert!(status.is_pass(), "{}: {status}", entry.path.display());
+    }
+}
+
+/// Checked-in spec files are byte-identical to their own re-rendering, so a
+/// CI `--bless` pass produces no diff.
+#[test]
+fn checked_in_specs_render_byte_stably() {
+    let entries = load_specs().expect("load corpus");
+    for entry in &entries {
+        let on_disk = std::fs::read_to_string(&entry.path).expect("read spec");
+        assert_eq!(
+            entry.spec.to_json(),
+            on_disk,
+            "{} is not in canonical rendering; re-run the corpus bin with --bless",
+            entry.path.display()
+        );
+    }
+}
+
+/// Bless round-trip: a spec with stale goldens, once blessed from a live run,
+/// immediately passes — and a second bless changes nothing.
+#[test]
+fn blessing_a_stale_spec_converges_in_one_step() {
+    let entries = load_specs().expect("load corpus");
+    let stale = CorpusSpec {
+        golden: Default::default(),
+        ..entries[0].spec.clone()
+    };
+    let run = run_spec(&stale).expect("run spec");
+    assert!(
+        !stale.check(&run).is_pass(),
+        "a spec with empty goldens must not pass"
+    );
+
+    let blessed = stale.blessed(&run);
+    let rerun = run_spec(&blessed).expect("re-run spec");
+    let status = blessed.check(&rerun);
+    assert!(status.is_pass(), "blessed spec must pass: {status}");
+    // Idempotence: blessing the passing run reproduces the same goldens.
+    assert_eq!(blessed.blessed(&rerun).to_json(), blessed.to_json());
+
+    // The blessed spec round-trips through a scratch corpus directory.
+    let scratch =
+        std::env::temp_dir().join(format!("camdnn-corpus-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    std::fs::write(scratch.join("spec.json"), blessed.to_json()).expect("write spec");
+    let reloaded = load_specs_from(&scratch).expect("reload");
+    assert_eq!(reloaded.len(), 1);
+    assert_eq!(reloaded[0].spec, blessed);
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Malformed corpus files surface as errors naming the offending path rather
+/// than panicking or being silently skipped.
+#[test]
+fn malformed_specs_are_reported_with_their_path() {
+    let scratch =
+        std::env::temp_dir().join(format!("camdnn-corpus-malformed-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    std::fs::write(scratch.join("broken.json"), "{ not json").expect("write spec");
+    let error = load_specs_from(&scratch).expect_err("malformed spec must fail to load");
+    assert!(
+        error.to_string().contains("broken.json"),
+        "error must name the file: {error}"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}

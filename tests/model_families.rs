@@ -1,0 +1,102 @@
+//! Model-family suite: the new corpus model families — the
+//! depthwise-separable CNN and the mixer-style block — must execute
+//! bit-exactly on the CAM backend at every supported activation precision.
+//!
+//! For each family × `act_bits` ∈ {4, 8} × engine mode, the CAM logits are
+//! pinned against [`tnn::infer::run`] (the scalar integer reference), the run
+//! must report bit-exactness, and the two engine modes must agree
+//! sample-for-sample. The structural invariants (shapes, MAC counts,
+//! sparsity) are unit-tested next to the builders in `tnn::model`.
+
+use accel::ArchConfig;
+use apc::{CompileCache, CompilerOptions};
+use camdnn::{EngineMode, FunctionalBackend};
+use tnn::model::{dw_sep_cnn, micro_mixer, ModelGraph};
+use tnn::Tensor;
+
+const INPUT_SEED: u64 = 23;
+const BATCH: usize = 2;
+
+fn backend(act_bits: u8, mode: EngineMode) -> FunctionalBackend {
+    FunctionalBackend::new(
+        ArchConfig::default(),
+        CompilerOptions::default().with_act_bits(act_bits),
+    )
+    .with_input_seed(INPUT_SEED)
+    .with_engine_mode(mode)
+}
+
+/// Runs `model` through the CAM backend and returns the per-sample logits,
+/// asserting bit-exactness against the in-report reference.
+fn cam_logits(model: &ModelGraph, act_bits: u8, mode: EngineMode) -> Vec<Vec<i64>> {
+    let cache = CompileCache::new();
+    let inputs: Vec<Tensor<i64>> = (0..BATCH)
+        .map(|sample| FunctionalBackend::input_for_sample(model, act_bits, INPUT_SEED, sample))
+        .collect();
+    let report = backend(act_bits, mode)
+        .run_batch(model, &inputs, &cache)
+        .expect("batched CAM run");
+    assert!(
+        report.is_bit_exact(),
+        "{} at {act_bits}b must be bit-exact",
+        model.name()
+    );
+    report
+        .samples
+        .iter()
+        .map(|sample| sample.logits.clone())
+        .collect()
+}
+
+/// Reference logits via the scalar integer interpreter.
+fn reference_logits(model: &ModelGraph, act_bits: u8) -> Vec<Vec<i64>> {
+    (0..BATCH)
+        .map(|sample| {
+            let input = FunctionalBackend::input_for_sample(model, act_bits, INPUT_SEED, sample);
+            let trace = tnn::infer::run(model, &input, Some(act_bits)).expect("reference run");
+            trace.output().expect("logits").as_slice().to_vec()
+        })
+        .collect()
+}
+
+/// Both engine modes must reproduce the scalar reference exactly.
+fn assert_family_pinned(model: &ModelGraph, act_bits: u8) {
+    let reference = reference_logits(model, act_bits);
+    let planned = cam_logits(model, act_bits, EngineMode::Plan);
+    let interpreted = cam_logits(model, act_bits, EngineMode::Interpreter);
+    assert_eq!(
+        planned,
+        reference,
+        "{} at {act_bits}b: plan engine vs scalar reference",
+        model.name()
+    );
+    assert_eq!(
+        interpreted,
+        reference,
+        "{} at {act_bits}b: interpreter engine vs scalar reference",
+        model.name()
+    );
+    // Distinct batch slots stage distinct inputs, so identical logits across
+    // slots would indicate the staging collapsed.
+    assert_ne!(reference[0], reference[1], "{}", model.name());
+}
+
+#[test]
+fn depthwise_separable_logits_are_pinned_at_4_bits() {
+    assert_family_pinned(&dw_sep_cnn("families-dw-4b", 8, 0.8, 3), 4);
+}
+
+#[test]
+fn depthwise_separable_logits_are_pinned_at_8_bits() {
+    assert_family_pinned(&dw_sep_cnn("families-dw-8b", 8, 0.8, 5), 8);
+}
+
+#[test]
+fn mixer_logits_are_pinned_at_4_bits() {
+    assert_family_pinned(&micro_mixer("families-mixer-4b", 8, 0.8, 11), 4);
+}
+
+#[test]
+fn mixer_logits_are_pinned_at_8_bits() {
+    assert_family_pinned(&micro_mixer("families-mixer-8b", 8, 0.85, 2), 8);
+}
