@@ -117,10 +117,18 @@ impl ApEngine {
 
     /// Executes a whole program in order.
     ///
+    /// When [`telemetry`] recording is on, books `ap.interpreter.runs` and
+    /// `ap.interpreter.instructions` once per program (never per
+    /// instruction); with recording off the cost is a single relaxed load.
+    ///
     /// # Errors
     ///
     /// Returns the first error encountered; earlier instructions remain applied.
     pub fn run(&mut self, program: &ApProgram) -> Result<()> {
+        if telemetry::enabled() {
+            telemetry::count("ap.interpreter.runs", 1);
+            telemetry::count("ap.interpreter.instructions", program.len() as u64);
+        }
         for instruction in program.iter() {
             self.execute(instruction)?;
         }

@@ -991,12 +991,43 @@ impl ApEngine {
     /// program the plan was lowered from: same data, same
     /// [`cam::CamStats`] (aggregate and per-segment), same errors.
     ///
+    /// When [`telemetry`] recording is on, each run books the plan's
+    /// kernel-dispatch and pass-fusion counters (`ap.plan.runs`,
+    /// `ap.kernel.dispatches`, `ap.fusion.passes_saved`,
+    /// `ap.plan.fallback_runs`) — aggregated deltas once per run, never per
+    /// pass, so the enabled cost stays off the inner loop. With recording
+    /// off the only cost over [`run_plan_raw`](Self::run_plan_raw) is one
+    /// relaxed atomic load (pinned < 3% by `benches/telemetry.rs`).
+    ///
     /// # Errors
     ///
     /// Returns [`ApError::PlanMismatch`] when the plan was compiled for a
     /// different array geometry; fallback plans return exactly the
     /// interpreter's errors.
     pub fn run_plan(&mut self, plan: &PassPlan) -> Result<()> {
+        if telemetry::enabled() {
+            let stats = plan.stats();
+            telemetry::count("ap.plan.runs", 1);
+            telemetry::count("ap.plan.fallback_runs", u64::from(stats.fallback));
+            telemetry::count("ap.kernel.dispatches", stats.passes_after_fusion);
+            telemetry::count(
+                "ap.fusion.passes_saved",
+                stats
+                    .passes_before_fusion
+                    .saturating_sub(stats.passes_after_fusion),
+            );
+        }
+        self.run_plan_raw(plan)
+    }
+
+    /// [`run_plan`](Self::run_plan) without the telemetry hook — the
+    /// uninstrumented twin the overhead bench (`benches/telemetry.rs`)
+    /// measures the instrumented entry point against.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`run_plan`](Self::run_plan).
+    pub fn run_plan_raw(&mut self, plan: &PassPlan) -> Result<()> {
         let geometry = plan.geometry();
         let array = self.array();
         if geometry.rows != array.rows()

@@ -10,6 +10,15 @@
 //! parallel jobs request it simultaneously, and exposes hit/miss counters so
 //! callers can assert the reuse they expect.
 //!
+//! The three counter families (layer compile, plan lowering, partition) also
+//! feed the [`telemetry`] registry when recording is on — as `apc.compile.*`,
+//! `apc.plan.*` and `apc.partition.*` counters aggregated across every live
+//! cache — and each miss's compilation runs under a `apc.compile.*` span.
+//! The [`stats`](CompileCache::stats) family of accessors remains the exact
+//! per-cache view it always was. All of these counters are deterministic for
+//! a fixed workload: misses count distinct keys (exactly-once) and hits are
+//! requests minus misses, independent of thread interleaving.
+//!
 //! # Example
 //!
 //! ```
@@ -205,12 +214,15 @@ impl CompileCache {
         let mut computed = false;
         let result = slot.get_or_init(|| {
             computed = true;
+            let _span = telemetry::span("apc.compile.layer");
             compiler.compile(layer).map(Arc::new)
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("apc.compile.misses", 1);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("apc.compile.hits", 1);
         }
         result.clone()
     }
@@ -279,12 +291,21 @@ impl CompileCache {
         let mut computed = false;
         let plan = slot.get_or_init(|| {
             computed = true;
+            let _span = telemetry::span("apc.compile.plan");
             Arc::new(PlanCompiler::new(geometry).compile(program))
         });
         if computed {
             self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            if telemetry::enabled() {
+                let stats = plan.stats();
+                telemetry::count("apc.plan.misses", 1);
+                telemetry::count("apc.plan.passes_before_fusion", stats.passes_before_fusion);
+                telemetry::count("apc.plan.passes_after_fusion", stats.passes_after_fusion);
+                telemetry::count("apc.plan.fallbacks", u64::from(stats.fallback));
+            }
         } else {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("apc.plan.hits", 1);
         }
         Arc::clone(plan)
     }
@@ -333,6 +354,7 @@ impl CompileCache {
         let mut computed = false;
         let result = slot.get_or_init(|| {
             computed = true;
+            let _span = telemetry::span("apc.compile.partition");
             let layout = LayerLayout::for_layer(
                 options.geometry,
                 options.act_bits,
@@ -345,8 +367,10 @@ impl CompileCache {
         });
         if computed {
             self.partition_misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("apc.partition.misses", 1);
         } else {
             self.partition_hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::count("apc.partition.hits", 1);
         }
         result.clone()
     }

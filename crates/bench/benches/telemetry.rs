@@ -1,0 +1,179 @@
+//! Criterion benchmark: the telemetry spine's cost contract on the engine
+//! hot loop.
+//!
+//! `ApEngine::run_plan` is the instrumented production entry point; its
+//! uninstrumented twin `run_plan_raw` is the baseline. With recording
+//! **off** the instrumented path does one relaxed atomic load per run and
+//! must stay within `TELEMETRY_OVERHEAD_MAX` (default 3%) of the raw twin —
+//! the disabled-path near-zero-cost contract of `camdnn::telemetry`. The
+//! bench also measures the recording-**on** cost for context (not
+//! asserted: enabled-mode cost is a feature trade-off, not a contract),
+//! prints all three, and appends a dated record to `BENCH_telemetry.json`
+//! at the repo root (schema: `BENCH_schema.md`).
+//!
+//! Wall-clock ratios on loaded machines are noisy; the measurement takes
+//! the best of several repetitions for both sides, and CI smokes the path
+//! with the floor disabled (`TELEMETRY_OVERHEAD_MAX=1000`).
+
+use ap::{ApEngine, Operand, PassPlan, PlanGeometry};
+use apc::{CompileCache, CompiledLayer, CompilerOptions, LayerCompiler};
+use cam::{BitPlaneArray, CamTechnology};
+use camdnn::telemetry;
+use camdnn_bench::{append_bench_record, bench_smoke, utc_date_string, TelemetryBenchRecord};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tnn::model::ConvLayerInfo;
+use tnn::TernaryTensor;
+
+/// The same small-but-realistic 3×3 convolution work list as
+/// `benches/engine.rs`: tile-0 prologue plus every tile-0 slice program,
+/// lowered once into pass plans.
+fn work_list() -> (ApEngine, Vec<Arc<PassPlan>>) {
+    let layer = ConvLayerInfo {
+        node_id: 0,
+        name: "telemetry-conv".to_string(),
+        cin: 2,
+        cout: 8,
+        kernel: (3, 3),
+        stride: 1,
+        padding: 1,
+        input_hw: (16, 16),
+        output_hw: (16, 16),
+        weights: TernaryTensor::random(vec![8, 2, 3, 3], 0.5, 42),
+    };
+    let compiled: CompiledLayer = LayerCompiler::new(CompilerOptions::default().with_programs())
+        .compile(&layer)
+        .expect("compile");
+    let layout = &compiled.layout;
+    let g = layout.geometry;
+    let mut engine = ApEngine::new(
+        BitPlaneArray::new(g.rows, g.cols, g.domains, CamTechnology::default()).expect("array"),
+    );
+    let slices = compiled.slices.as_ref().expect("programs");
+    for slice in slices.iter().filter(|s| s.tile == 0) {
+        for k in 0..layout.patch_size {
+            let values: Vec<i64> = (0..g.rows)
+                .map(|row| (row as i64 * 7 + k as i64) % (1 << layout.act_bits))
+                .collect();
+            let operand = Operand::new(
+                k,
+                layout.channel_domain_base(slice.channel_in_group),
+                layout.act_bits,
+                false,
+            );
+            engine.load_column(&operand, &values).expect("load");
+        }
+    }
+    let mut programs = vec![apc::codegen::tile_prologue(
+        layout,
+        layout.tile_range(0, layer.cout).len(),
+    )];
+    for slice in slices.iter().filter(|s| s.tile == 0) {
+        programs.push(slice.program.clone());
+    }
+    let cache = CompileCache::new();
+    let geometry = PlanGeometry::of(engine.array());
+    let plans = programs
+        .iter()
+        .map(|program| cache.plan(program, geometry))
+        .collect();
+    (engine, plans)
+}
+
+/// Best-of-`reps` wall-clock seconds for `iters` work-list iterations of
+/// `body` (best-of filters scheduler noise better than the mean).
+fn best_of(reps: u32, iters: u32, mut body: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
+}
+
+/// Measures raw twin vs instrumented entry (recording off, then on) on the
+/// identical plan work list and pins the disabled-path overhead below
+/// `TELEMETRY_OVERHEAD_MAX`.
+fn telemetry_overhead(_c: &mut Criterion) {
+    let smoke = bench_smoke();
+    let (mut engine, plans) = work_list();
+    // The contract under test is the *disabled* path.
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    // Warm up both paths.
+    for plan in &plans {
+        engine.run_plan_raw(plan).expect("run");
+        engine.run_plan(plan).expect("run");
+    }
+    let (reps, iters) = if smoke { (3u32, 5u32) } else { (7, 30) };
+    let raw = best_of(reps, iters, || {
+        for plan in &plans {
+            engine.run_plan_raw(black_box(plan)).expect("run");
+        }
+    });
+    let disabled = best_of(reps, iters, || {
+        for plan in &plans {
+            engine.run_plan(black_box(plan)).expect("run");
+        }
+    });
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let enabled = best_of(reps, iters, || {
+        for plan in &plans {
+            engine.run_plan(black_box(plan)).expect("run");
+        }
+    });
+    // The recorder actually recorded: every enabled run books its counters.
+    let runs = telemetry::global().registry().counter("ap.plan.runs");
+    assert!(runs > 0, "enabled runs must book ap.plan.runs");
+    telemetry::set_enabled(false);
+    telemetry::reset();
+
+    let disabled_overhead = disabled / raw - 1.0;
+    println!(
+        "telemetry_overhead: raw {:.4} ms/iter, disabled {:.4} ms/iter ({:+.2}%), \
+         enabled {:.4} ms/iter ({:+.2}%)",
+        raw * 1e3,
+        disabled * 1e3,
+        disabled_overhead * 100.0,
+        enabled * 1e3,
+        (enabled / raw - 1.0) * 100.0,
+    );
+    append_bench_record(
+        "BENCH_telemetry.json",
+        &TelemetryBenchRecord {
+            date: utc_date_string(),
+            bench: "telemetry".to_string(),
+            raw_ms_per_iter: raw * 1e3,
+            disabled_ms_per_iter: disabled * 1e3,
+            enabled_ms_per_iter: enabled * 1e3,
+            disabled_overhead,
+            smoke,
+        },
+    );
+    // The acceptance criterion: near-zero disabled cost. Override the
+    // ceiling with TELEMETRY_OVERHEAD_MAX (CI smokes with it effectively
+    // disabled; run locally for real figures).
+    let ceiling: f64 = std::env::var("TELEMETRY_OVERHEAD_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03);
+    assert!(
+        disabled_overhead < ceiling,
+        "disabled telemetry must cost < {:.1}% on the engine hot loop, measured {:+.2}%",
+        ceiling * 100.0,
+        disabled_overhead * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = telemetry_overhead
+}
+criterion_main!(benches);

@@ -11,9 +11,11 @@ use apc::layout::CamGeometry;
 use apc::{CompilerOptions, LayerCompiler};
 use camdnn::experiment::{Session, SweepGrid};
 use camdnn::BackendKind;
+use camdnn_bench::BenchCli;
 use tnn::model::vgg9;
 
 fn main() {
+    let cli = BenchCli::from_env();
     let model = vgg9(0.9, 5);
     let session = Session::new();
 
@@ -74,4 +76,5 @@ fn main() {
         stats.requests(),
         stats.hit_rate() * 100.0
     );
+    cli.finish();
 }

@@ -6,10 +6,12 @@
 
 use camdnn::experiment::{BackendPlan, Session, SweepGrid};
 use camdnn::verify::verify_random_layer;
+use camdnn_bench::BenchCli;
 use tnn::model::micro_cnn;
 use tnn::train::accuracy_experiment;
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!("Accuracy experiment (synthetic blob task, ternary MLP)\n");
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
@@ -106,4 +108,5 @@ fn main() {
             record.joules_per_sample,
         );
     }
+    cli.finish();
 }

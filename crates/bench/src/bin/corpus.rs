@@ -12,8 +12,10 @@
 //! and requires a clean diff, so blessing is always safe to re-run).
 
 use camdnn::corpus::{load_specs, run_spec};
+use camdnn_bench::BenchCli;
 
 fn main() {
+    let cli = BenchCli::from_env();
     let bless = std::env::args().any(|arg| arg == "--bless");
     let entries = match load_specs() {
         Ok(entries) => entries,
@@ -87,6 +89,8 @@ fn main() {
     if bless {
         println!("\nGoldens written to tests/corpus/.");
     }
+    // Snapshot before the failure exit so a red run still writes metrics.
+    cli.finish();
     if failures > 0 {
         eprintln!("\ncorpus: {failures} spec(s) failed");
         std::process::exit(1);

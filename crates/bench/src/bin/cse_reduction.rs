@@ -10,9 +10,11 @@
 
 use camdnn::experiment::{BackendPlan, Session, SweepGrid};
 use camdnn::BackendKind;
+use camdnn_bench::BenchCli;
 use tnn::model::{resnet18, vgg11, vgg9};
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!(
         "CSE reduction in add/sub operations (paper: ResNet-18 1499K -> 931K, ~31% average)\n"
     );
@@ -68,4 +70,5 @@ fn main() {
             (1.0 - a / b) * 100.0
         );
     }
+    cli.finish();
 }

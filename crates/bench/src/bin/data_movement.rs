@@ -6,10 +6,11 @@
 
 use baseline::CrossbarTechnology;
 use camdnn::experiment::{Session, SweepGrid};
-use camdnn_bench::scenario_views;
+use camdnn_bench::{scenario_views, BenchCli};
 use tnn::model::{resnet18, vgg9};
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!("Data-movement share of total energy (paper: RTM-AP ~3%, crossbar ~41%)\n");
     let grid = SweepGrid::new().workloads([
         ("ResNet18/ImageNet", resnet18(0.8, 7)),
@@ -47,4 +48,5 @@ fn main() {
             CrossbarTechnology::default().interconnect_share * 100.0
         );
     }
+    cli.finish();
 }

@@ -6,11 +6,13 @@
 
 use camdnn::experiment::{Session, SweepGrid};
 use camdnn::BackendKind;
+use camdnn_bench::BenchCli;
 use rtm::endurance::{column_rewrite_interval_ns, EnduranceReport};
 use rtm::RtmTechnology;
 use tnn::model::vgg9;
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!("Write endurance of the RTM-AP (paper: ~31 years)\n");
     let tech = RtmTechnology::default();
 
@@ -35,4 +37,5 @@ fn main() {
         "\nWorkload-derived estimate (VGG-9, 4-bit): rewrite every {:.1} ns -> {:.1} years",
         endurance.write_interval_ns, endurance.lifetime_years
     );
+    cli.finish();
 }

@@ -6,8 +6,10 @@
 
 use ap::{Lut, LutKind};
 use apc::dfg::Dfg;
+use camdnn_bench::BenchCli;
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!("Table I — lookup-table cycle counts per processed bit");
     for kind in [
         LutKind::AddInPlace,
@@ -56,4 +58,5 @@ fn main() {
             }
         );
     }
+    cli.finish();
 }

@@ -10,10 +10,11 @@
 
 use camdnn::experiment::{BackendPlan, Session, SweepGrid};
 use camdnn::BackendKind;
-use camdnn_bench::maybe_write_json;
+use camdnn_bench::BenchCli;
 use tnn::model::resnet18;
 
 fn main() {
+    let cli = BenchCli::from_env();
     let act_bits = 4u8;
     let grid = SweepGrid::new()
         .workload(resnet18(0.8, 7))
@@ -90,5 +91,6 @@ fn main() {
         totals[2],
         totals[5] * 1e-3
     );
-    maybe_write_json(&results);
+    cli.write_results(&results);
+    cli.finish();
 }

@@ -9,13 +9,12 @@
 //! record` section). A fixed trace seed makes the output byte-identical
 //! across runs and thread counts.
 
-use camdnn_bench::{
-    append_bench_record, bench_smoke, json_path_from_args, utc_date_string, FleetBenchRecord,
-};
+use camdnn_bench::{append_bench_record, bench_smoke, utc_date_string, BenchCli, FleetBenchRecord};
 use serve::{AutoscalePolicy, BatchingPolicy, FleetGrid, FleetSession, TraceSpec};
 use tnn::model::micro_cnn;
 
 fn main() {
+    let cli = BenchCli::from_env();
     // Smoke mode shrinks the traces so CI exercises the full emission path
     // in seconds; real runs replay 20k requests per trace point.
     let requests = if bench_smoke() { 512 } else { 20_000 };
@@ -110,12 +109,13 @@ fn main() {
     };
     append_bench_record("BENCH_serve.json", &record);
 
-    if let Some(path) = json_path_from_args() {
-        results.write_json(&path).expect("write JSON output");
+    if let Some(path) = &cli.json {
+        results.write_json(path).expect("write JSON output");
         eprintln!(
             "wrote {} fleet records to {} (schema: BENCH_schema.md)",
             results.records.len(),
             path.display()
         );
     }
+    cli.finish();
 }

@@ -15,10 +15,11 @@
 
 use apc::TileGrid;
 use camdnn::experiment::{BackendPlan, Session, SweepGrid};
-use camdnn_bench::maybe_write_json;
+use camdnn_bench::BenchCli;
 use tnn::model::{micro_cnn, vgg9};
 
 fn main() {
+    let cli = BenchCli::from_env();
     let vgg = std::env::args().any(|arg| arg == "--vgg");
     let grid = SweepGrid::new()
         .act_bits([4])
@@ -77,5 +78,6 @@ fn main() {
         "\npartition cache: {} plans compiled, {} hits / {} misses",
         stats.misses, stats.hits, stats.misses
     );
-    maybe_write_json(&results);
+    cli.write_results(&results);
+    cli.finish();
 }

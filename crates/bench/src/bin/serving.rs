@@ -7,11 +7,12 @@
 //! lines (schema: `BENCH_schema.md`, `serve record` section). A fixed trace
 //! seed makes the output byte-identical across runs and thread counts.
 
-use camdnn_bench::json_path_from_args;
+use camdnn_bench::BenchCli;
 use serve::{ArrivalProcess, BatchingPolicy, RoutePolicy, ServeGrid, ServeSession, TraceSpec};
 use tnn::model::micro_cnn;
 
 fn main() {
+    let cli = BenchCli::from_env();
     let requests = 192;
     let seed = 42;
     let grid = ServeGrid::new()
@@ -70,12 +71,13 @@ fn main() {
         single.report.latency.p99_ms(),
     );
 
-    if let Some(path) = json_path_from_args() {
-        results.write_json(&path).expect("write JSON output");
+    if let Some(path) = &cli.json {
+        results.write_json(path).expect("write JSON output");
         eprintln!(
             "wrote {} serve records to {} (schema: BENCH_schema.md)",
             results.records.len(),
             path.display()
         );
     }
+    cli.finish();
 }

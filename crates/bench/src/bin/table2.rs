@@ -10,11 +10,12 @@
 //! `--json <path>` to dump the raw records as JSON lines (see `BENCH_schema.md`).
 
 use camdnn::experiment::{Session, SweepGrid};
-use camdnn_bench::{maybe_write_json, scenario_views, table2_header, table2_row};
+use camdnn_bench::{scenario_views, table2_header, table2_row, BenchCli};
 use tnn::model::{resnet18, vgg11, vgg9};
 use tnn::train::accuracy_experiment;
 
 fn main() {
+    let cli = BenchCli::from_env();
     println!("Table II — RTM-AP (unroll+CSE) vs DNN+NeuroSim-style crossbar\n");
     println!("{}", table2_header());
 
@@ -32,7 +33,7 @@ fn main() {
     for (record, report) in scenario_views(&results) {
         println!("{}", table2_row(&record.workload, &report));
     }
-    maybe_write_json(&results);
+    cli.write_results(&results);
 
     println!("\nAccuracy columns (synthetic-task substitute, see DESIGN.md):");
     let columns = accuracy_experiment(21).expect("accuracy experiment");
@@ -44,4 +45,5 @@ fn main() {
         columns.graph4 * 100.0
     );
     println!("  (the AP itself is bit-exact against the quantized software model — see the bit_exactness tests)");
+    cli.finish();
 }

@@ -572,11 +572,16 @@ impl FunctionalBackend {
         cache: &CompileCache,
         trace_node: Option<usize>,
     ) -> apc::Result<LayerOutcome> {
+        let _layer_span = telemetry::span("functional.layer");
         let layout = &compiled.layout;
         let slices = compiled.slices.as_ref().ok_or_else(|| ApcError::Internal {
             reason: "functional backend requires retained programs".to_string(),
         })?;
         let plan = cache.partition(info, &self.options, self.tile_grid)?;
+        if telemetry::enabled() {
+            telemetry::count("functional.layers", 1);
+            telemetry::count("functional.units", plan.units.len() as u64);
+        }
         let spec = Im2colSpec {
             fh: info.kernel.0,
             fw: info.kernel.1,
@@ -586,6 +591,7 @@ impl FunctionalBackend {
         // One im2col matrix per (sample, input channel), shared by all units.
         // Fully connected layers arrive as (1, 1)-kernel convolutions over a
         // flattened input; reshape the activation tensors accordingly.
+        let pack_span = telemetry::span("functional.pack");
         let patches: Vec<Vec<Tensor<i64>>> = inputs
             .iter()
             .map(|&input| {
@@ -604,11 +610,17 @@ impl FunctionalBackend {
                     .collect::<tnn::Result<Vec<_>>>()
             })
             .collect::<tnn::Result<_>>()?;
+        drop(pack_span);
 
+        // Spans opened on rayon workers adopt this layer's span path so the
+        // per-unit timings nest under `functional.layer` in the flamegraph.
+        let span_context = telemetry::SpanContext::capture();
         let indexed: Vec<(usize, &PartitionUnit)> = plan.units.iter().enumerate().collect();
         let outcomes: Vec<apc::Result<(UnitOutcome, Vec<u8>)>> = indexed
             .into_par_iter()
             .map(|(ordinal, unit)| {
+                let _parent = span_context.adopt();
+                let _unit_span = telemetry::span("functional.unit");
                 let ctx = trace_node.map(|node_id| UnitTraceCtx { node_id, ordinal });
                 self.execute_unit_batch(layout, slices, &patches, unit, cache, ctx)
             })
@@ -616,6 +628,7 @@ impl FunctionalBackend {
         let outcomes: Vec<(UnitOutcome, Vec<u8>)> =
             outcomes.into_iter().collect::<apc::Result<_>>()?;
 
+        let _merge_span = telemetry::span("functional.merge");
         let batch = inputs.len();
         let mut outputs: Vec<Tensor<i64>> = (0..batch)
             .map(|_| Tensor::zeros(vec![info.cout, info.output_hw.0, info.output_hw.1]))
@@ -918,7 +931,12 @@ impl FunctionalBackend {
                 reason: "batched evaluation needs at least one sample".to_string(),
             });
         }
+        let _batch_span = telemetry::span("functional.run_batch");
         let batch = inputs.len();
+        if telemetry::enabled() {
+            telemetry::count("functional.batches", 1);
+            telemetry::count("functional.samples", batch as u64);
+        }
         let compiler = LayerCompiler::new(self.options);
         let act_bits = self.options.act_bits;
         let references = tnn::infer::run_batch(model, inputs, Some(act_bits))?;

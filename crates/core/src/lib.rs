@@ -61,6 +61,12 @@ pub use functional::{BatchReport, EngineMode, FunctionalBackend, FunctionalRepor
 pub use pipeline::{FullStackPipeline, PipelineReport};
 pub use trace::{Divergence, ExecutionTrace, TraceDiff, TraceError, TraceHeader, TraceRecorder};
 
+/// The telemetry spine (`camdnn-telemetry`, re-exported): span tracing, the
+/// unified metrics registry and deterministic snapshots. See
+/// [`telemetry::global`] and the crate docs for the determinism and cost
+/// contracts.
+pub use telemetry;
+
 pub use accel::{AcceleratorModel, ArchConfig, NetworkReport};
 pub use apc::{CompiledLayer, CompilerOptions, LayerCompiler};
 pub use baseline::{CrossbarModel, CrossbarReport, DeepCamModel, DeepCamReport};

@@ -7,7 +7,7 @@
 //! across runs and `RAYON_NUM_THREADS` settings.
 
 use super::FleetConfig;
-use crate::report::LatencySummary;
+use crate::report::{LatencySummary, PhaseBreakdown};
 use crate::trace::TraceSpec;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +56,10 @@ pub struct FleetReport {
     pub latency: LatencySummary,
     /// Queueing-delay distribution (arrival to stage-0 dispatch).
     pub queue_wait: LatencySummary,
+    /// Per-request latency decomposed into queue wait / batch wait /
+    /// execute / merge (see [`PhaseBreakdown`]; per request the four phases
+    /// sum to the end-to-end latency exactly).
+    pub phases: PhaseBreakdown,
     /// Largest total number of waiting requests observed across the fleet.
     pub max_queue_depth: u64,
     /// Virtual time from trace start to the last completion, in nanoseconds.
@@ -147,6 +151,7 @@ mod tests {
             mean_batch_size: 64.0 / 12.0,
             latency: LatencySummary::from_values(vec![1_500, 2_000, 2_500]),
             queue_wait: LatencySummary::from_values(vec![0, 10, 20]),
+            phases: PhaseBreakdown::default(),
             max_queue_depth: 9,
             makespan_ns: 100_000,
             samples_per_s: 64.0 * 1e9 / 100_000.0,

@@ -13,7 +13,7 @@ use super::report::{FleetReport, ScaleEvent};
 use super::{AutoscalePolicy, FleetConfig};
 use crate::config::RoutePolicy;
 use crate::error::{Result, ServeError};
-use crate::report::LatencySummary;
+use crate::report::{LatencySummary, PhaseBreakdown, PhaseSample};
 use crate::trace::{Trace, TraceSpec};
 use camdnn::ModelProfile;
 use serde::{Deserialize, Serialize};
@@ -103,6 +103,10 @@ impl FleetStageModel {
 struct FleetBatch {
     /// Member requests (trace indices), in queue order.
     requests: Vec<usize>,
+    /// When the batching policy decided this batch (the filling member's
+    /// arrival when size-triggered, the oldest member's deadline otherwise),
+    /// never after `dispatch_ns`.
+    planned_close_ns: u64,
     /// Stage-0 dispatch time, in nanoseconds.
     dispatch_ns: u64,
 }
@@ -292,7 +296,8 @@ pub fn simulate_fleet(
         } => check_interval_ns,
     };
 
-    let mut completions: Vec<(usize, u64, u64)> = Vec::new(); // (request, dispatch, completion)
+    // (request, planned close, dispatch, completion)
+    let mut completions: Vec<(usize, u64, u64, u64)> = Vec::new();
     let mut rejected = 0u64;
     let mut batches_total = 0u64;
     let mut batched_samples = 0u64;
@@ -369,7 +374,7 @@ pub fn simulate_fleet(
                 slot.busy_until = None;
                 if stage == last_stage {
                     for &request in &batch.requests {
-                        completions.push((request, batch.dispatch_ns, now));
+                        completions.push((request, batch.planned_close_ns, batch.dispatch_ns, now));
                     }
                 } else {
                     slot.done = Some(batch);
@@ -435,8 +440,20 @@ pub fn simulate_fleet(
                 batches_total += 1;
                 batched_samples += members.len() as u64;
                 replica.batches += 1;
+                // When the batching policy decided this batch: the filling
+                // member's arrival when size-triggered, the oldest member's
+                // deadline otherwise. Later dispatch is replica-busy delay.
+                let planned_close_ns = if config.batching.is_full(members.len()) {
+                    trace.arrivals_ns[*members.last().expect("batch is non-empty")]
+                } else {
+                    config
+                        .batching
+                        .close_deadline_ns(trace.arrivals_ns[members[0]])
+                }
+                .min(now);
                 replica.stages[0].queue.push_back(FleetBatch {
                     requests: members,
+                    planned_close_ns,
                     dispatch_ns: now,
                 });
                 settle(
@@ -561,23 +578,40 @@ pub fn simulate_fleet(
     let latency = LatencySummary::from_values(
         completions
             .iter()
-            .map(|&(request, _, completion)| completion - trace.arrivals_ns[request])
+            .map(|&(request, _, _, completion)| completion - trace.arrivals_ns[request])
             .collect(),
     );
     let queue_wait = LatencySummary::from_values(
         completions
             .iter()
-            .map(|&(request, dispatch, _)| dispatch - trace.arrivals_ns[request])
+            .map(|&(request, _, dispatch, _)| dispatch - trace.arrivals_ns[request])
             .collect(),
     );
+    let phase_samples: Vec<PhaseSample> = completions
+        .iter()
+        .map(|&(request, planned_close, dispatch, completion)| {
+            // A member can arrive after its batch's deadline already passed
+            // while stage 0 was busy; clamp to its own lifetime so the
+            // phases still sum to the end-to-end latency exactly.
+            let arrival = trace.arrivals_ns[request];
+            let close = planned_close.clamp(arrival, dispatch);
+            PhaseSample {
+                queue_wait_ns: close - arrival,
+                batch_wait_ns: dispatch - close,
+                execute_ns: completion - dispatch,
+                merge_ns: 0,
+            }
+        })
+        .collect();
+    let phases = PhaseBreakdown::from_samples(&phase_samples);
     let makespan_ns = completions
         .iter()
-        .map(|&(_, _, completion)| completion)
+        .map(|&(_, _, _, completion)| completion)
         .max()
         .unwrap_or(0);
     let slo_attained = completions
         .iter()
-        .filter(|&&(request, _, completion)| {
+        .filter(|&&(request, _, _, completion)| {
             completion - trace.arrivals_ns[request] <= config.slo_ns
         })
         .count() as u64;
@@ -627,6 +661,7 @@ pub fn simulate_fleet(
         },
         latency,
         queue_wait,
+        phases,
         max_queue_depth,
         makespan_ns,
         samples_per_s: if makespan_ns == 0 {

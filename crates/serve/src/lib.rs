@@ -58,7 +58,7 @@ pub use fleet::{
     simulate_fleet, AutoscalePolicy, FleetConfig, FleetGrid, FleetRecord, FleetReport,
     FleetResultSet, FleetScenario, FleetSession, FleetStageModel, ScaleEvent, StageCost,
 };
-pub use report::{LatencySummary, ServeReport};
+pub use report::{LatencySummary, PhaseBreakdown, PhaseSample, ServeReport};
 pub use server::{Completion, Server, ServerCounters, Ticket};
 pub use sim::{simulate, BatchRecord, SimCompletion, SimOutcome};
 pub use trace::{ArrivalProcess, PayloadSpec, Trace, TraceSpec};

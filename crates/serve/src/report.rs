@@ -70,6 +70,95 @@ impl LatencySummary {
     }
 }
 
+/// Per-request latency decomposed into its four serving phases.
+///
+/// For every completed request
+/// `queue_wait + batch_wait + execute + merge` equals its end-to-end latency
+/// exactly (all four are integer nanoseconds on the same clock):
+///
+/// * **queue wait** — arrival until the batch's *planned* close (the moment
+///   the batching policy decided the batch: the filling member's arrival for
+///   size-triggered batches, the oldest member's deadline otherwise),
+///   clamped to the request's own lifetime;
+/// * **batch wait** — planned close until actual dispatch (replica-busy
+///   head-of-line delay);
+/// * **execute** — dispatch until the backend finished the batch;
+/// * **merge** — demultiplexing per-request results out of the batch
+///   (exactly zero on the virtual clock, where handing results back is
+///   free; real wall-clock time in the threaded server).
+///
+/// On the virtual clock these summaries are exact integers from the
+/// deterministic event order, so they are byte-identical across runs and
+/// `RAYON_NUM_THREADS` settings, like the rest of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Arrival → planned batch close.
+    pub queue_wait: LatencySummary,
+    /// Planned batch close → actual dispatch.
+    pub batch_wait: LatencySummary,
+    /// Dispatch → backend completion.
+    pub execute: LatencySummary,
+    /// Batch completion → per-request result delivery.
+    pub merge: LatencySummary,
+}
+
+/// One request's exact phase durations, in nanoseconds (see
+/// [`PhaseBreakdown`] for the phase boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseSample {
+    /// Arrival → planned batch close.
+    pub queue_wait_ns: u64,
+    /// Planned batch close → actual dispatch.
+    pub batch_wait_ns: u64,
+    /// Dispatch → backend completion.
+    pub execute_ns: u64,
+    /// Batch completion → per-request result delivery.
+    pub merge_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Summarises per-request phase samples into the four distributions,
+    /// and — when [`telemetry`] recording is on — mirrors every sample into
+    /// the global registry's `serve.phase.*` histograms (deterministic
+    /// class: on the virtual clock the values are exact integers).
+    pub fn from_samples(samples: &[PhaseSample]) -> Self {
+        if telemetry::enabled() {
+            for sample in samples {
+                telemetry::observe("serve.phase.queue_wait", sample.queue_wait_ns);
+                telemetry::observe("serve.phase.batch_wait", sample.batch_wait_ns);
+                telemetry::observe("serve.phase.execute", sample.execute_ns);
+                telemetry::observe("serve.phase.merge", sample.merge_ns);
+            }
+        }
+        PhaseBreakdown {
+            queue_wait: LatencySummary::from_values(
+                samples.iter().map(|s| s.queue_wait_ns).collect(),
+            ),
+            batch_wait: LatencySummary::from_values(
+                samples.iter().map(|s| s.batch_wait_ns).collect(),
+            ),
+            execute: LatencySummary::from_values(samples.iter().map(|s| s.execute_ns).collect()),
+            merge: LatencySummary::from_values(samples.iter().map(|s| s.merge_ns).collect()),
+        }
+    }
+
+    /// One-line human-readable rendering (p50/p99 per phase, in ms).
+    pub fn summary(&self) -> String {
+        format!(
+            "queue p50 {:.3}/p99 {:.3} ms, batch p50 {:.3}/p99 {:.3} ms, \
+             execute p50 {:.3}/p99 {:.3} ms, merge p50 {:.3}/p99 {:.3} ms",
+            self.queue_wait.p50_ms(),
+            self.queue_wait.p99_ms(),
+            self.batch_wait.p50_ms(),
+            self.batch_wait.p99_ms(),
+            self.execute.p50_ms(),
+            self.execute.p99_ms(),
+            self.merge.p50_ms(),
+            self.merge.p99_ms(),
+        )
+    }
+}
+
 /// The outcome of serving one trace: load accounting, latency distribution,
 /// batching behaviour and SLO attainment.
 ///
@@ -108,6 +197,10 @@ pub struct ServeReport {
     pub latency: LatencySummary,
     /// Queueing-delay distribution (arrival to batch dispatch).
     pub queue_wait: LatencySummary,
+    /// Per-request latency decomposed into queue wait / batch wait /
+    /// execute / merge (see [`PhaseBreakdown`]; per request the four phases
+    /// sum to the end-to-end latency exactly).
+    pub phases: PhaseBreakdown,
     /// Largest total number of waiting requests observed across all replicas.
     pub max_queue_depth: u64,
     /// Virtual time from trace start to the last completion, in nanoseconds.

@@ -19,6 +19,7 @@
 use crate::config::{RoutePolicy, ServeConfig};
 use crate::error::{Result, ServeError};
 use crate::executor::RequestExecutor;
+use crate::report::PhaseSample;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -47,6 +48,11 @@ pub struct Completion {
     pub logits: Option<Vec<i64>>,
     /// Whether the executed batch matched the reference inference.
     pub bit_exact: Option<bool>,
+    /// Wall-clock phase decomposition of this request's time in the server:
+    /// queue wait (enqueue → batch close), batch wait (close → dispatch),
+    /// execute (dispatch → backend done) and merge (backend done → this
+    /// response being handed back).
+    pub phases: PhaseSample,
 }
 
 /// A pending response: wait on it to receive the request's [`Completion`].
@@ -333,6 +339,11 @@ impl Drop for Server {
     }
 }
 
+/// A [`Duration`] as saturated whole nanoseconds.
+fn duration_ns(duration: Duration) -> u64 {
+    duration.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// One replica's worker: form a batch (size- or deadline-closed), execute it,
 /// answer its members; on shutdown, keep flushing until the queue is empty.
 fn worker_loop(shared: &Shared, replica: usize) {
@@ -373,12 +384,33 @@ fn worker_loop(shared: &Shared, replica: usize) {
             slot.cond.notify_all();
             batch
         };
+        // The moment the batching window decided this batch; input cloning
+        // and dispatch bookkeeping after it count as batch wait.
+        let closed = Instant::now();
         let inputs: Vec<Tensor<i64>> = batch.iter().map(|p| p.input.clone()).collect();
         let dispatched = Instant::now();
-        match shared.executor.execute(&inputs) {
+        let executed = {
+            let _span = telemetry::span("serve.execute");
+            shared.executor.execute(&inputs)
+        };
+        match executed {
             Ok(executed) => {
+                let finished = Instant::now();
+                let _merge_span = telemetry::span("serve.merge");
                 shared.batches.fetch_add(1, Ordering::SeqCst);
                 for (slot_index, pending) in batch.into_iter().enumerate() {
+                    let phases = PhaseSample {
+                        queue_wait_ns: duration_ns(closed.duration_since(pending.enqueued)),
+                        batch_wait_ns: duration_ns(dispatched.duration_since(closed)),
+                        execute_ns: duration_ns(finished.duration_since(dispatched)),
+                        merge_ns: duration_ns(finished.elapsed()),
+                    };
+                    if telemetry::enabled() {
+                        telemetry::observe_timing("serve.wall.queue_wait", phases.queue_wait_ns);
+                        telemetry::observe_timing("serve.wall.batch_wait", phases.batch_wait_ns);
+                        telemetry::observe_timing("serve.wall.execute", phases.execute_ns);
+                        telemetry::observe_timing("serve.wall.merge", phases.merge_ns);
+                    }
                     let completion = Completion {
                         id: pending.id,
                         replica,
@@ -388,6 +420,7 @@ fn worker_loop(shared: &Shared, replica: usize) {
                         service_latency_ns: executed.latency_ns,
                         logits: executed.logits.as_ref().map(|l| l[slot_index].clone()),
                         bit_exact: executed.bit_exact,
+                        phases,
                     };
                     shared.completed.fetch_add(1, Ordering::SeqCst);
                     // A caller that dropped its ticket is not an error.

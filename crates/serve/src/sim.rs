@@ -18,7 +18,7 @@
 use crate::config::{RoutePolicy, ServeConfig};
 use crate::error::{Result, ServeError};
 use crate::executor::RequestExecutor;
-use crate::report::{LatencySummary, ServeReport};
+use crate::report::{LatencySummary, PhaseBreakdown, PhaseSample, ServeReport};
 use crate::trace::{Trace, TraceSpec};
 use std::collections::VecDeque;
 use tnn::Tensor;
@@ -43,6 +43,11 @@ pub struct SimCompletion {
     pub request: usize,
     /// Arrival time, in virtual nanoseconds.
     pub arrival_ns: u64,
+    /// When the batching policy *decided* the batch that carried this
+    /// request (the filling member's arrival for size-triggered batches, the
+    /// oldest member's deadline otherwise). Never after `dispatch_ns`; the
+    /// gap between the two is replica-busy head-of-line delay.
+    pub planned_close_ns: u64,
     /// Dispatch time of the batch that carried it.
     pub dispatch_ns: u64,
     /// Completion time of that batch.
@@ -64,6 +69,28 @@ impl SimCompletion {
     /// Queueing delay (arrival to dispatch), in nanoseconds.
     pub fn queue_wait_ns(&self) -> u64 {
         self.dispatch_ns - self.arrival_ns
+    }
+
+    /// The batch's planned close, clamped to this request's own lifetime (a
+    /// request can arrive after its batch's deadline already passed while
+    /// the replica was busy).
+    fn effective_close_ns(&self) -> u64 {
+        self.planned_close_ns
+            .clamp(self.arrival_ns, self.dispatch_ns)
+    }
+
+    /// This request's exact four-phase decomposition. The phases sum to
+    /// [`latency_ns`](Self::latency_ns) exactly, and queue + batch wait sum
+    /// to [`queue_wait_ns`](Self::queue_wait_ns); merge is zero on the
+    /// virtual clock.
+    pub fn phases(&self) -> PhaseSample {
+        let close = self.effective_close_ns();
+        PhaseSample {
+            queue_wait_ns: close - self.arrival_ns,
+            batch_wait_ns: self.dispatch_ns - close,
+            execute_ns: self.completion_ns - self.dispatch_ns,
+            merge_ns: 0,
+        }
     }
 }
 
@@ -237,6 +264,18 @@ pub fn simulate(
                     let size = replica.queue.len().min(config.batching.max_batch_size);
                     replica.queue.drain(..size).collect()
                 };
+                // When the batch closed *by policy*: the filling member's
+                // arrival for a size-triggered batch, the oldest member's
+                // deadline otherwise. Dispatch beyond this point is
+                // replica-busy delay, not batching delay.
+                let planned_close_ns = if config.batching.is_full(members.len()) {
+                    trace.arrivals_ns[*members.last().expect("batch is non-empty")]
+                } else {
+                    config
+                        .batching
+                        .close_deadline_ns(trace.arrivals_ns[members[0]])
+                }
+                .min(now);
                 let inputs: Vec<Tensor<i64>> =
                     members.iter().map(|&r| payloads[r].clone()).collect();
                 let executed = executor.execute(&inputs)?;
@@ -256,6 +295,7 @@ pub fn simulate(
                     completions.push(SimCompletion {
                         request,
                         arrival_ns: trace.arrivals_ns[request],
+                        planned_close_ns,
                         dispatch_ns: now,
                         completion_ns,
                         replica: index,
@@ -283,6 +323,8 @@ pub fn simulate(
             .map(SimCompletion::queue_wait_ns)
             .collect(),
     );
+    let phase_samples: Vec<PhaseSample> = completions.iter().map(SimCompletion::phases).collect();
+    let phases = PhaseBreakdown::from_samples(&phase_samples);
     let makespan_ns = batches.iter().map(|b| b.completion_ns).max().unwrap_or(0);
     let slo_attained = completions
         .iter()
@@ -307,6 +349,7 @@ pub fn simulate(
         },
         latency,
         queue_wait,
+        phases,
         max_queue_depth,
         makespan_ns,
         samples_per_s: if makespan_ns == 0 {

@@ -1,8 +1,11 @@
 //! Serving demo: the threaded dynamic-batching server on live submissions,
-//! then the deterministic trace-driven simulation with its SLO report.
+//! then the deterministic trace-driven simulation with its SLO report,
+//! per-phase latency breakdown and span flamegraph — the telemetry spine
+//! recording the whole run.
 //!
 //! Run with `cargo run --release --example serve_demo`.
 
+use camdnn::telemetry;
 use camdnn::FunctionalBackend;
 use serve::{
     BackendExecutor, BatchingPolicy, PayloadSpec, RoutePolicy, ServeConfig, ServeGrid,
@@ -13,6 +16,10 @@ use tnn::model::micro_cnn;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== camdnn-serve: dynamic-batching inference serving ==\n");
+
+    // Record spans, counters and phase histograms for the whole demo.
+    telemetry::set_enabled(true);
+    telemetry::reset();
 
     // 1. The threaded server: two replicas, batches close at 8 requests or
     //    300 us. Submit 32 requests as fast as the queue admits them; every
@@ -89,6 +96,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         saturated_single.report.samples_per_s,
         saturated_batched.report.samples_per_s / saturated_single.report.samples_per_s,
         saturated_batched.report.latency.p99_ms(),
+    );
+
+    // 3. Per-phase latency breakdown: where the saturated scenario's
+    //    end-to-end latency goes — waiting for a batch to close, waiting for
+    //    a free replica, executing, merging results back out.
+    println!("\nper-phase latency (saturating load, batched, one replica):");
+    println!("  {}", saturated_batched.report.phases.summary());
+    println!("per-phase latency (saturating load, single dispatch):");
+    println!("  {}", saturated_single.report.phases.summary());
+
+    // 4. The span flamegraph of everything recorded so far (collapsed-stack
+    //    format, ready for `inferno`/`flamegraph.pl`): compile spans from
+    //    the layer compiler, execute spans from the batched functional
+    //    backend, serve spans from the threaded server.
+    let flamegraph = telemetry::flamegraph();
+    println!(
+        "\nspan flamegraph ({} collapsed stacks; top lines):",
+        flamegraph.lines().count()
+    );
+    for line in flamegraph.lines().take(8) {
+        println!("  {line}");
+    }
+    let snapshot = telemetry::snapshot();
+    println!(
+        "metrics snapshot: {} deterministic counters, {} phase/work histograms, {} span paths \
+         (schema: {})",
+        snapshot.deterministic.counters.len(),
+        snapshot.deterministic.histograms.len(),
+        snapshot.timing.spans.len(),
+        camdnn::telemetry::MetricsSnapshot::SCHEMA,
     );
 
     // Replaying the same grid is byte-identical — the property CI pins.
